@@ -1,0 +1,137 @@
+// Ablation studies for the design choices DESIGN.md calls out: the NACK
+// threshold N, the capture-effect probability, the collision-detector
+// sensitivity, and the protocol refinements — measured on both first
+// convergence time (c3 and c5) and long-run efficiency (c3, 6k slots with
+// beacon loss).
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "arachnet/core/experiment_configs.hpp"
+#include "arachnet/sim/stats.hpp"
+
+using namespace arachnet;
+using core::SlotNetwork;
+
+namespace {
+
+double median_convergence(const core::ExperimentConfig& cfg,
+                          SlotNetwork::Params base, int seeds) {
+  std::vector<double> times;
+  for (int seed = 1; seed <= seeds; ++seed) {
+    SlotNetwork::Params p = base;
+    p.seed = static_cast<std::uint64_t>(seed) * 977 + 3;
+    SlotNetwork net{p, cfg.tag_specs()};
+    net.run(3);
+    if (const auto conv = net.measure_convergence(60000)) {
+      times.push_back(static_cast<double>(*conv));
+    } else {
+      times.push_back(60000.0);  // censored
+    }
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+struct LongRun {
+  double non_empty;
+  double collision;
+};
+
+LongRun long_run(SlotNetwork::Params base) {
+  auto specs = core::table3_config("c3").tag_specs();
+  for (auto& s : specs) s.dl_loss = 0.0012;
+  base.seed = 808;
+  SlotNetwork net{base, specs};
+  net.measure_convergence(40000);
+  double ne = 0.0, col = 0.0;
+  const int slots = 6000;
+  for (int i = 0; i < slots; ++i) {
+    net.step();
+    ne += net.reader().non_empty_ratio();
+    col += net.reader().collision_ratio();
+  }
+  return {ne / slots, col / slots};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int seeds = argc > 1 ? std::atoi(argv[1]) : 15;
+
+  std::printf("=== Ablation 1: NACK threshold N (Sec. 5.3; paper uses 3) ===\n\n");
+  std::printf("%-4s %18s %18s %12s %12s\n", "N", "conv med (c3)",
+              "conv med (c5)", "non-empty", "collision");
+  for (int n : {1, 2, 3, 5, 8}) {
+    SlotNetwork::Params p;
+    p.nack_threshold = n;
+    const double c3 = median_convergence(core::table3_config("c3"), p, seeds);
+    const double c5 = median_convergence(core::table3_config("c5"), p, seeds);
+    const auto lr = long_run(p);
+    std::printf("%-4d %18.0f %18.0f %12.3f %12.3f\n", n, c3, c5, lr.non_empty,
+                lr.collision);
+  }
+  std::printf("\nsmall N: settled tags give up their slots too eagerly after\n"
+              "stray NACKs; large N: colliding pairs take longer to break.\n\n");
+
+  std::printf("=== Ablation 2: capture-effect probability (Sec. 5.3) ===\n\n");
+  std::printf("%-9s %18s %12s %12s\n", "capture", "conv med (c3)",
+              "non-empty", "collision");
+  for (double cap : {0.0, 0.15, 0.3, 0.6, 0.9}) {
+    SlotNetwork::Params p;
+    p.capture_prob = cap;
+    const double c3 = median_convergence(core::table3_config("c3"), p, seeds);
+    const auto lr = long_run(p);
+    std::printf("%-9.2f %18.0f %12.3f %12.3f\n", cap, c3, lr.non_empty,
+                lr.collision);
+  }
+  std::printf("\nthe cluster detector NACKs capture decodes during\n"
+              "collisions, so capture strength barely matters — the check\n"
+              "that motivates the IQ-cluster design.\n\n");
+
+  std::printf("=== Ablation 3: collision-detector sensitivity ===\n\n");
+  std::printf("%-12s %18s %12s %12s\n", "sensitivity", "conv med (c3)",
+              "non-empty", "collision");
+  for (double det : {0.70, 0.85, 0.95, 0.98, 1.0}) {
+    SlotNetwork::Params p;
+    p.collision_detect_prob = det;
+    const double c3 = median_convergence(core::table3_config("c3"), p, seeds);
+    const auto lr = long_run(p);
+    std::printf("%-12.2f %18.0f %12.3f %12.3f\n", det, c3, lr.non_empty,
+                lr.collision);
+  }
+  std::printf("\nmissed collisions get falsely ACKed, settling two tags into\n"
+              "the same slot; efficiency degrades steadily below ~95%%.\n\n");
+
+  std::printf("=== Ablation 4: protocol refinements on/off ===\n\n");
+  std::printf("%-36s %18s %12s %12s\n", "variant", "conv med (c3)",
+              "non-empty", "collision");
+  struct Variant {
+    const char* name;
+    void (*mutate)(SlotNetwork::Params&);
+  };
+  const Variant variants[] = {
+      {"full protocol", [](SlotNetwork::Params&) {}},
+      {"no beacon-loss timer (Sec. 5.4)",
+       [](SlotNetwork::Params& p) { p.beacon_loss_migrate = false; }},
+      {"no EMPTY gating (Sec. 5.5)",
+       [](SlotNetwork::Params& p) { p.empty_gating = false; }},
+      {"no future-collision avoid (Sec. 5.6)",
+       [](SlotNetwork::Params& p) {
+         p.reader.future_collision_avoidance = false;
+       }},
+  };
+  for (const auto& v : variants) {
+    SlotNetwork::Params p;
+    v.mutate(p);
+    const double c3 = median_convergence(core::table3_config("c3"), p, seeds);
+    const auto lr = long_run(p);
+    std::printf("%-36s %18.0f %12.3f %12.3f\n", v.name, c3, lr.non_empty,
+                lr.collision);
+  }
+  std::printf("\nnote: EMPTY gating applies to newly *activated* tags, so a\n"
+              "RESET-based measurement shows no difference; its effect is\n"
+              "late-arrival integration (see the SlotNetwork late-arrival\n"
+              "tests and example_convergence_playground).\n");
+  return 0;
+}

@@ -1,0 +1,181 @@
+// Extension experiments (paper Sec. 6.3 / Sec. 2.2 future work):
+//  1. FDMA subcarriers — two tags decoded in the same slot, doubling
+//     aggregate throughput.
+//  2. 4-PAM higher-order modulation — 2 bits/symbol vs FM0's 0.5
+//     bits/chip, with the SNR cost quantified as BER vs noise.
+//  3. Ambient-vibration harvesting — charging-time improvement across
+//     drive states for the weakest tag.
+#include <cmath>
+#include <cstdio>
+
+#include "arachnet/acoustic/waveform_channel.hpp"
+#include "arachnet/energy/ambient.hpp"
+#include "arachnet/energy/harvester.hpp"
+#include "arachnet/phy/fm0.hpp"
+#include "arachnet/phy/pam4.hpp"
+#include "arachnet/phy/subcarrier.hpp"
+#include "arachnet/reader/fdma_rx.hpp"
+#include "arachnet/reader/pam4_rx.hpp"
+#include "arachnet/reader/rx_chain.hpp"
+
+using namespace arachnet;
+
+int main() {
+  // ---------------------------------------------------------------- FDMA
+  std::printf("=== Extension 1: FDMA Subcarrier Backscatter ===\n\n");
+  {
+    sim::Rng rng{21};
+    acoustic::UplinkWaveformSynth synth{
+        acoustic::UplinkWaveformSynth::Params{}};
+    reader::FdmaRxChain::Params fp;
+    fp.channels = {{3000.0}, {6000.0}};
+    reader::FdmaRxChain fdma{fp};
+    const int rounds = 20;
+    int delivered = 0;
+    for (int i = 0; i < rounds; ++i) {
+      std::vector<acoustic::BackscatterSource> srcs;
+      int k = 0;
+      for (double fsc : {3000.0, 6000.0}) {
+        const phy::UlPacket pkt{
+            .tid = static_cast<std::uint8_t>(k + 1),
+            .payload = static_cast<std::uint16_t>(0x300 + i)};
+        phy::SubcarrierModulator mod{{375.0, fsc}};
+        acoustic::BackscatterSource s;
+        s.chips =
+            mod.modulate(phy::Fm0Encoder::encode_frame(pkt.serialize()));
+        s.chip_rate = mod.subchip_rate();
+        s.start_s = 0.03;
+        s.amplitude = k == 0 ? 0.2 : 0.15;
+        s.phase_rad = 0.8 + k;
+        srcs.push_back(s);
+        ++k;
+      }
+      fdma.clear_packets();
+      fdma.process(synth.synthesize(srcs, 0.3, rng));
+      for (std::size_t c = 0; c < 2; ++c) {
+        for (const auto& p : fdma.packets(c)) {
+          if (p.payload == 0x300 + i) ++delivered;
+        }
+      }
+    }
+    std::printf("two tags per slot, %d slots: %d/%d packets delivered\n",
+                rounds, delivered, 2 * rounds);
+    std::printf("aggregate throughput: %.1fx the single-tag TDMA slot\n",
+                delivered / static_cast<double>(rounds));
+    std::printf("(baseline ARACHNET decodes at most 1 packet per slot)\n\n");
+  }
+
+  // ---------------------------------------------------------------- PAM4
+  std::printf("=== Extension 2: 4-PAM Higher-Order Modulation ===\n\n");
+  {
+    const phy::Pam4 pam;
+    // Line efficiency.
+    phy::BitVector sample;
+    for (int i = 0; i < 32; ++i) sample.push_back(i % 3 == 0);
+    const double fm0_intervals =
+        static_cast<double>(phy::Fm0Encoder::encode(sample).size());
+    const double pam_intervals =
+        static_cast<double>(pam.encode_frame(sample).size());
+    std::printf("32 payload bits: FM0 %.0f line intervals, PAM-4 %.0f "
+                "(incl. %d training)\n",
+                fm0_intervals, pam_intervals, phy::Pam4::kTrainingSymbols);
+    std::printf("net speedup at equal symbol rate: %.2fx\n\n",
+                fm0_intervals / pam_intervals);
+
+    // BER vs channel noise for both schemes, same link amplitude.
+    std::printf("%-14s %14s %14s %18s\n", "noise sigma", "FM0 pkt loss",
+                "PAM-4 BER", "PAM-4 pkt est.");
+    for (double sigma : {0.004, 0.008, 0.012, 0.016, 0.024}) {
+      sim::Rng rng{31};
+      acoustic::UplinkWaveformSynth::Params wp;
+      wp.noise_sigma = sigma;
+      // FM0 packet loss.
+      acoustic::UplinkWaveformSynth synth_fm0{wp};
+      reader::RxChain rx{reader::RxChain::Params{}};
+      rx.process(synth_fm0.synthesize({}, 0.05, rng));
+      int fm0_lost = 0;
+      const int fm0_rounds = 25;
+      for (int i = 0; i < fm0_rounds; ++i) {
+        const phy::UlPacket pkt{.tid = 1,
+                                .payload = static_cast<std::uint16_t>(i)};
+        acoustic::BackscatterSource s;
+        s.chips = phy::Fm0Encoder::encode_frame(pkt.serialize());
+        s.chip_rate = 375.0;
+        s.start_s = 0.02;
+        s.amplitude = 0.013;  // tag-11-class link
+        s.phase_rad = 1.0;
+        rx.clear_packets();
+        rx.process(synth_fm0.synthesize({s}, 0.28, rng));
+        bool got = false;
+        for (const auto& p : rx.packets()) got |= (p.packet == pkt);
+        fm0_lost += got ? 0 : 1;
+      }
+      // PAM-4 bit errors.
+      acoustic::UplinkWaveformSynth synth_pam{wp};
+      reader::Pam4Receiver::Params rp;
+      rp.symbol_rate = 375.0;
+      const reader::Pam4Receiver prx{rp};
+      int bit_errors = 0, bits_total = 0;
+      sim::Rng drng{7};
+      for (int i = 0; i < 25; ++i) {
+        phy::BitVector data;
+        for (int b = 0; b < 64; ++b) data.push_back(drng.bernoulli(0.5));
+        acoustic::BackscatterSource s;
+        s.levels = pam.encode_frame(data);
+        s.chip_rate = 375.0;
+        s.start_s = 0.05;
+        s.amplitude = 0.013;  // tag-11-class link
+        s.phase_rad = 1.0;
+        const auto wave = synth_pam.synthesize(
+            {s}, 0.05 + s.levels.size() / 375.0 + 0.05, rng);
+        const auto decoded = prx.decode(wave, 0.05, data.size());
+        bits_total += static_cast<int>(data.size());
+        if (!decoded) {
+          bit_errors += static_cast<int>(data.size());
+          continue;
+        }
+        for (std::size_t b = 0; b < data.size(); ++b) {
+          bit_errors += (*decoded)[b] != data[b];
+        }
+      }
+      const double ber = static_cast<double>(bit_errors) / bits_total;
+      std::printf("%-14.3f %11d/%d %14.4f %17.2f%%\n", sigma, fm0_lost,
+                  fm0_rounds, ber,
+                  100.0 * (1.0 - std::pow(1.0 - ber, 32.0)));
+    }
+    std::printf("\nnote: the PAM-4 receiver here is measurement-grade (known\n"
+                "symbol timing, coherent per-symbol averaging), so its\n"
+                "absolute numbers flatter it; the structural cost is the 3x\n"
+                "smaller decision distance, visible as nonzero BER while the\n"
+                "equally-loud OOK link is still clean. PAM-4 buys ~2x line\n"
+                "rate on strong links; weak BiW links keep conservative\n"
+                "rates, matching the paper's design choice.\n\n");
+  }
+
+  // -------------------------------------------------------------- Ambient
+  std::printf("=== Extension 3: Ambient-Vibration Harvesting ===\n\n");
+  {
+    const energy::AmbientVibrationSource ambient;
+    std::printf("%-10s %14s %18s %18s\n", "state", "harvest (uA)",
+                "tag-11 charge (s)", "tag-4 charge (s)");
+    for (auto state :
+         {energy::DriveState::kParked, energy::DriveState::kIdle,
+          energy::DriveState::kCity, energy::DriveState::kHighway}) {
+      std::printf("%-10s %14.1f", std::string(to_string(state)).c_str(),
+                  ambient.current(state) * 1e6);
+      for (double vp : {0.303, 0.513}) {  // tag 11, tag 4 links
+        energy::Harvester h{energy::Harvester::Params{}};
+        h.set_pzt_peak_voltage(vp);
+        h.set_ambient_current(ambient.current(state));
+        std::printf(" %18.1f", h.charge_time(0.0, 2.306));
+      }
+      std::printf("\n");
+    }
+    std::printf("\ndriving vibration (< 0.1 kHz) is out of band for the\n"
+                "90 kHz link (paper Sec. 2.2), so it can only help: at\n"
+                "highway speeds the weakest tag charges ~1.5x faster, and\n"
+                "an already-charged tag stays powered through IDLE with\n"
+                "the reader off entirely (15 uA harvest vs 3.8 uA draw).\n");
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Reproduces Fig. 11: (a) amplified voltage per tag at stage numbers
+// 2/4/6/8 (amplification ratios 4x/8x/12x/16x), and (b) charging time
+// (0 V -> HTH) as a function of the 16x amplified voltage, with the
+// implied net charging power.
+#include <cstdio>
+
+#include "arachnet/acoustic/deployment.hpp"
+#include "arachnet/energy/harvester.hpp"
+
+using namespace arachnet;
+
+int main() {
+  const auto deployment = acoustic::Deployment::onvo_l60();
+
+  std::printf("=== Fig. 11(a): Amplified Voltage vs Stage Number ===\n\n");
+  std::printf("%-5s %10s %10s %10s %10s\n", "Tag", "2 (4x)", "4 (8x)",
+              "6 (12x)", "8 (16x)");
+  for (const auto& site : deployment.tags()) {
+    std::printf("%-5d", site.tid);
+    for (int stages : {2, 4, 6, 8}) {
+      energy::Harvester::Params hp;
+      hp.multiplier.stages = stages;
+      energy::Harvester h{hp};
+      h.set_pzt_peak_voltage(deployment.tag_pzt_peak_voltage(site.tid));
+      std::printf(" %9.2fV", h.amplified_voltage());
+    }
+    std::printf("\n");
+  }
+  std::printf("\npaper anchors: Tag 4 = 4.74 V and Tag 11 = 2.70 V at 16x;\n"
+              "all 12 tags exceed the 2.3 V activation threshold at 8 stages.\n\n");
+
+  std::printf("=== Fig. 11(b): Charging Time vs 16x Amplified Voltage ===\n\n");
+  std::printf("%-5s %12s %14s %18s %14s\n", "Tag", "16x V (V)",
+              "charge 0->HTH", "net power (uW)", "resume LTH->HTH");
+  double t_min = 1e18, t_max = 0.0;
+  for (const auto& site : deployment.tags()) {
+    energy::Harvester h{energy::Harvester::Params{}};
+    h.set_pzt_peak_voltage(deployment.tag_pzt_peak_voltage(site.tid));
+    const double hth = h.cutoff().high_threshold();
+    const double lth = h.cutoff().low_threshold();
+    const double t_cold = h.charge_time(0.0, hth);
+    const double t_resume = h.charge_time(lth, hth);
+    t_min = std::min(t_min, t_cold);
+    t_max = std::max(t_max, t_cold);
+    std::printf("%-5d %12.2f %13.1fs %18.1f %13.1fs\n", site.tid,
+                h.amplified_voltage(), t_cold,
+                h.net_charging_power(hth) * 1e6, t_resume);
+  }
+  std::printf("\nrange: %.1f s - %.1f s (paper: 4.5 s - 56.2 s)\n", t_min,
+              t_max);
+  std::printf("paper: net charging power 587.8 uW (fastest) to 47.1 uW\n"
+              "(slowest); thanks to the low-voltage cutoff, tags resume from\n"
+              "LTH and re-activate within ~10 s rather than recharging from 0.\n");
+  return 0;
+}

@@ -1,0 +1,164 @@
+// Reproduces Fig. 12: uplink SNR (a) and packet loss (b) versus bit rate
+// for Tags 8, 4, and 11, using the full 500 kS/s waveform simulation and
+// the reader's real receive chain. SNR is computed exactly as the paper
+// does: backscatter-band power over surrounding-band power via Welch PSD.
+//
+// Usage: bench_fig12_uplink [--full]
+//   default: 100 packets per point, loss scaled to /1000
+//   --full:  1000 packets per point (the paper's count; slower)
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "arachnet/acoustic/deployment.hpp"
+#include "arachnet/acoustic/waveform_channel.hpp"
+#include "arachnet/dsp/psd.hpp"
+#include "arachnet/phy/fm0.hpp"
+#include "arachnet/phy/packet.hpp"
+#include "arachnet/reader/rx_chain.hpp"
+#include "arachnet/sim/rng.hpp"
+
+using namespace arachnet;
+
+namespace {
+
+struct TagPoint {
+  int tid;
+  double amplitude;
+  double phase;
+};
+
+double measure_snr(const TagPoint& tag, double rate, sim::Rng& rng) {
+  // Continuous backscatter of random data for PSD estimation.
+  acoustic::UplinkWaveformSynth synth{acoustic::UplinkWaveformSynth::Params{}};
+  phy::BitVector data;
+  for (int i = 0; i < 512; ++i) data.push_back(rng.bernoulli(0.5));
+  acoustic::BackscatterSource src;
+  src.chips = phy::Fm0Encoder::encode(data);
+  src.chip_rate = rate;
+  src.start_s = 0.0;
+  src.amplitude = tag.amplitude;
+  src.phase_rad = tag.phase;
+  const double duration =
+      std::max(0.5, static_cast<double>(src.chips.size()) / rate);
+  const auto wave = synth.synthesize({src}, duration, rng);
+
+  // Long segments so even 93.75 bps sidebands resolve away from the
+  // carrier-leak bin (bin width 7.6 Hz).
+  dsp::WelchPsd psd{{.segment_size = 65536, .sample_rate_hz = 500e3}};
+  const auto spectrum = psd.estimate(wave);
+  const double bin = psd.bin_width();
+  const auto bin_of = [&](double hz) {
+    return static_cast<std::size_t>(hz / bin + 0.5);
+  };
+
+  // FM0's spectrum peaks near +/- chip_rate/2 around the carrier and has a
+  // null at the carrier itself; integrate the sidebands with a guard band
+  // around the leak, and reference against noise beyond the main lobe
+  // (the paper's "surrounding frequency power").
+  const double guard = std::max(0.25 * rate, 4.0 * bin);
+  const double sig_hi = 1.2 * rate;
+  double signal = 0.0;
+  std::size_t signal_bins = 0;
+  for (double side : {-1.0, 1.0}) {
+    const auto lo = bin_of(90e3 + side * sig_hi);
+    const auto hi = bin_of(90e3 + side * guard);
+    for (std::size_t k = std::min(lo, hi); k <= std::max(lo, hi); ++k) {
+      signal += spectrum[k];
+      ++signal_bins;
+    }
+  }
+  double noise = 0.0;
+  std::size_t noise_bins = 0;
+  for (double side : {-1.0, 1.0}) {
+    const auto lo = bin_of(90e3 + side * (3.0 * rate + 2e3));
+    const auto hi = bin_of(90e3 + side * (3.0 * rate + 6e3));
+    for (std::size_t k = std::min(lo, hi); k <= std::max(lo, hi); ++k) {
+      noise += spectrum[k];
+      ++noise_bins;
+    }
+  }
+  const double noise_density = noise / static_cast<double>(noise_bins);
+  return 10.0 *
+         std::log10(signal / (noise_density * static_cast<double>(signal_bins)));
+}
+
+int measure_loss(const TagPoint& tag, double rate, int packets,
+                 sim::Rng& rng) {
+  acoustic::UplinkWaveformSynth synth{acoustic::UplinkWaveformSynth::Params{}};
+  reader::RxChain::Params rp;
+  rp.chip_rate = rate;
+  reader::RxChain rx{rp};
+  // Warm the chain (leak estimate) before counting.
+  rx.process(synth.synthesize({}, 0.05, rng));
+
+  int received = 0;
+  for (int i = 0; i < packets; ++i) {
+    const phy::UlPacket pkt{
+        .tid = static_cast<std::uint8_t>(tag.tid & 0xF),
+        .payload = static_cast<std::uint16_t>(i & 0xFFF)};
+    acoustic::BackscatterSource src;
+    src.chips = phy::Fm0Encoder::encode_frame(pkt.serialize());
+    src.chip_rate = rate;
+    src.start_s = 0.01;
+    src.amplitude = tag.amplitude;
+    src.phase_rad = tag.phase;
+    const double duration = 0.02 + 84.0 / rate;
+    rx.clear_packets();
+    rx.process(synth.synthesize({src}, duration, rng));
+    for (const auto& p : rx.packets()) {
+      if (p.packet == pkt) {
+        ++received;
+        break;
+      }
+    }
+    rx.clear_iq_points();
+  }
+  return packets - received;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool full = argc > 1 && std::strcmp(argv[1], "--full") == 0;
+  const int packets = full ? 1000 : 100;
+
+  const auto deployment = acoustic::Deployment::onvo_l60();
+  const TagPoint tags[] = {
+      {8, deployment.backscatter_rx_amplitude(8), deployment.backscatter_phase(8)},
+      {4, deployment.backscatter_rx_amplitude(4), deployment.backscatter_phase(4)},
+      {11, deployment.backscatter_rx_amplitude(11),
+       deployment.backscatter_phase(11)},
+  };
+  const double rates[] = {93.75, 187.5, 375.0, 750.0, 1500.0, 3000.0};
+
+  std::printf("=== Fig. 12(a): Uplink SNR vs Bit Rate (dB) ===\n\n");
+  std::printf("%-9s %8s %8s %8s\n", "rate", "Tag 8", "Tag 4", "Tag 11");
+  sim::Rng rng{2025};
+  for (double rate : rates) {
+    std::printf("%-9.5g", rate);
+    for (const auto& tag : tags) {
+      std::printf(" %8.1f", measure_snr(tag, rate, rng));
+    }
+    std::printf("\n");
+  }
+  std::printf("\npaper anchors: SNR falls ~3 dB per rate doubling; Tag 8\n"
+              ">= 11.7 dB at 3000 bps; Tag 11 ~18.1 dB at <= 750 bps.\n\n");
+
+  std::printf("=== Fig. 12(b): Packet Loss per 1000 Sent ===\n");
+  std::printf("(%d packets per point%s)\n\n", packets,
+              full ? "" : ", scaled to /1000");
+  std::printf("%-9s %8s %8s %8s\n", "rate", "Tag 8", "Tag 4", "Tag 11");
+  for (double rate : rates) {
+    std::printf("%-9.5g", rate);
+    for (const auto& tag : tags) {
+      const int lost = measure_loss(tag, rate, packets, rng);
+      std::printf(" %8.0f", 1000.0 * lost / packets);
+    }
+    std::printf("\n");
+  }
+  std::printf("\npaper: loss grows slightly with bit rate; at the default\n"
+              "375 bps all three tags are near-lossless. Tag 11's link only\n"
+              "supports rates up to 750 bps (SNR-limited beyond).\n");
+  return 0;
+}

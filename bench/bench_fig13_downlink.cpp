@@ -1,0 +1,115 @@
+// Reproduces Fig. 13: (a) downlink packet loss per 1000 beacons versus
+// bit rate for Tags 8, 4 and 11 — showing the surge at 1000/2000 bps
+// caused by the 12 kHz VLO timer and the reader's software PIE jitter —
+// and (b) the beacon synchronization offset of each tag relative to Tag 6.
+#include <cstdio>
+
+#include "arachnet/acoustic/deployment.hpp"
+#include "arachnet/energy/harvester.hpp"
+#include "arachnet/mcu/dl_demodulator.hpp"
+#include "arachnet/mcu/envelope_frontend.hpp"
+#include "arachnet/reader/dl_tx.hpp"
+#include "arachnet/sim/rng.hpp"
+#include "arachnet/sim/stats.hpp"
+
+using namespace arachnet;
+
+int main() {
+  const auto deployment = acoustic::Deployment::onvo_l60();
+  sim::Rng rng{77};
+
+  // Tag supply voltages at reception: cap sits in the hysteresis band;
+  // use a mid-band value per tag (richer links idle slightly higher).
+  const auto supply_of = [&](int tid) {
+    energy::Harvester h{energy::Harvester::Params{}};
+    h.set_pzt_peak_voltage(deployment.tag_pzt_peak_voltage(tid));
+    const double voc = h.amplified_voltage();
+    // Strong links hold the cap near HTH; weak links hover above LTH.
+    return voc > 6.0 ? 2.25 : 2.05;
+  };
+
+  std::printf("=== Fig. 13(a): DL Packet Loss per 1000 Beacons ===\n\n");
+  std::printf("%-7s %8s %8s %8s\n", "rate", "Tag 8", "Tag 4", "Tag 11");
+  const phy::DlBeacon beacon{.cmd = {.ack = true, .empty = false}};
+  for (double rate : {125.0, 250.0, 500.0, 1000.0, 2000.0}) {
+    std::printf("%-7.0f", rate);
+    for (int tid : {8, 4, 11}) {
+      mcu::DlDemodulator::Params p;
+      p.chip_rate = rate;
+      mcu::DlDemodulator demod{p};
+      const double loss = demod.loss_rate(beacon, supply_of(tid), rng, 1000);
+      std::printf(" %8.0f", loss * 1000.0);
+    }
+    std::printf("\n");
+  }
+  std::printf("\npaper: near-zero loss at <= 500 bps, then a surge at\n"
+              "1000/2000 bps caused by hardware limits, not signal quality:\n"
+              "the 12 kHz supercap-powered VLO lacks timer precision, and\n"
+              "the reader software adds 0.1-0.3 ms offset per PIE symbol.\n"
+              "The default DL rate is therefore 250 bps.\n\n");
+
+  // ---- ring-effect ablation: why "FSK in, OOK out" (Sec. 4.1) ----------
+  std::printf("=== Ring-effect ablation: FSK-in/OOK-out vs pure OOK ===\n\n");
+  std::printf("%-7s %18s %18s\n", "rate", "FSK loss /1000", "OOK loss /1000");
+  mcu::VloClock vlo;
+  for (double rate : {125.0, 250.0, 500.0, 1000.0}) {
+    std::printf("%-7.0f", rate);
+    for (auto mode :
+         {reader::DlTxMode::kFskInOokOut, reader::DlTxMode::kPureOok}) {
+      reader::DlTransmitter::Params tp;
+      tp.mode = mode;
+      tp.chip_rate = rate;
+      reader::DlTransmitter tx{tp};
+      mcu::EnvelopeFrontend frontend;
+      int lost = 0;
+      const int rounds = 400;
+      for (int i = 0; i < rounds; ++i) {
+        const auto rx = frontend.demodulate(tx.segments(beacon, rng), rate,
+                                            2.05, vlo, rng);
+        if (!rx || !(*rx == beacon)) ++lost;
+      }
+      std::printf(" %18.0f", 1000.0 * lost / rounds);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nleaving the high-Q structure to ring down (pure OOK)\n"
+              "smears the PIE falling edges; driving off-resonance instead\n"
+              "(the paper's FSK-in/OOK-out, after EcoCapsule) actively\n"
+              "displaces the resonant energy and keeps edges sharp.\n\n");
+
+
+  // ---- (b) synchronization offset --------------------------------------
+  std::printf("=== Fig. 13(b): Beacon Sync Offset vs Tag 6 (ms) ===\n\n");
+  // A beacon's perceived arrival = propagation delay + last-edge timing
+  // error (VLO measurement of the final symbol) + ISR latency.
+  mcu::VloClock clock;
+  const double chip = 1.0 / 250.0;
+  const auto arrival_jitter = [&](int tid) {
+    const auto link = deployment.reader_link(tid);
+    sim::RunningStats stats;
+    for (int i = 0; i < 400; ++i) {
+      // Final-symbol timing: the tag stamps the slot boundary at the last
+      // falling edge it measures; clock error stretches that last chip.
+      const double measured =
+          clock.ticks_to_duration(static_cast<int>(chip * 12e3),
+                                  supply_of(tid), rng);
+      const double isr = rng.uniform(0.0, 2.0 / 12e3);  // wakeup granularity
+      stats.add(link.delay_s + (measured - chip) + isr);
+    }
+    return stats;
+  };
+
+  const auto ref = arrival_jitter(6);
+  std::printf("%-5s %12s %12s\n", "Tag", "mean (ms)", "stddev (ms)");
+  sim::RunningStats worst;
+  for (const auto& site : deployment.tags()) {
+    const auto s = arrival_jitter(site.tid);
+    const double mean_off = (s.mean() - ref.mean()) * 1e3;
+    std::printf("%-5d %+12.3f %12.3f\n", site.tid, mean_off, s.stddev() * 1e3);
+    worst.add(std::abs(mean_off) + 3.0 * s.stddev() * 1e3);
+  }
+  std::printf("\nworst-case offset (|mean| + 3 sigma): %.2f ms\n", worst.max());
+  std::printf("paper: all tags synchronize within 5.0 ms of Tag 6 — well\n"
+              "under the 1 s slot, so slot misalignment is negligible.\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Reproduces Table 3 and Fig. 15: first convergence time of the
+// distributed slot allocation for the nine transmission patterns.
+// Convergence = slots until the reader observes 32 consecutive
+// collision-free slots after broadcasting RESET.
+//
+// Usage: bench_fig15_convergence [seeds]   (default 25)
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "arachnet/core/experiment_configs.hpp"
+#include "arachnet/sim/stats.hpp"
+
+using namespace arachnet;
+using core::ExperimentConfig;
+using core::SlotNetwork;
+
+namespace {
+
+struct Result {
+  double p25, median, p75, max;
+  int failures;
+};
+
+Result measure(const ExperimentConfig& cfg, int seeds) {
+  std::vector<double> times;
+  int failures = 0;
+  for (int seed = 1; seed <= seeds; ++seed) {
+    SlotNetwork::Params p;
+    p.seed = static_cast<std::uint64_t>(seed) * 7919 + 13;
+    SlotNetwork net{p, cfg.tag_specs()};
+    net.run(3);  // settle the beacon pipeline before RESET
+    const auto conv = net.measure_convergence(40000);
+    if (conv) {
+      times.push_back(static_cast<double>(*conv));
+    } else {
+      ++failures;
+    }
+  }
+  if (times.empty()) return {0, 0, 0, 0, failures};
+  const sim::Percentiles p{times};
+  return {p.at(0.25), p.at(0.5), p.at(0.75), p.at(1.0), failures};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int seeds = argc > 1 ? std::atoi(argv[1]) : 25;
+
+  std::printf("=== Table 3: Tag Transmission Patterns ===\n\n");
+  std::printf("%-10s", "TX Period");
+  for (const auto& cfg : core::table3_configs()) {
+    std::printf("%6s", cfg.name.c_str());
+  }
+  std::printf("\n");
+  const auto per_row = [](const char* label, auto getter) {
+    std::printf("%-10s", label);
+    for (const auto& cfg : core::table3_configs()) {
+      std::printf("%6d", getter(cfg));
+    }
+    std::printf("\n");
+  };
+  per_row("4 slots", [](const ExperimentConfig& c) { return c.tags_period_4; });
+  per_row("8 slots", [](const ExperimentConfig& c) { return c.tags_period_8; });
+  per_row("16 slots",
+          [](const ExperimentConfig& c) { return c.tags_period_16; });
+  per_row("32 slots",
+          [](const ExperimentConfig& c) { return c.tags_period_32; });
+  per_row("Tag #", [](const ExperimentConfig& c) { return c.tag_count(); });
+  std::printf("%-10s", "Slot Util.");
+  for (const auto& cfg : core::table3_configs()) {
+    std::printf("%6.3g", cfg.utilization());
+  }
+  std::printf("\n\n");
+
+  std::printf("=== Fig. 15(a): First Convergence Time, Fixed 12 Tags ===\n");
+  std::printf("(%d seeds per configuration; slots)\n\n", seeds);
+  std::printf("%-5s %8s %8s %10s %10s %10s %8s\n", "cfg", "U", "tags",
+              "p25", "median", "p75", "max");
+  for (const char* name : {"c1", "c2", "c3", "c4", "c5"}) {
+    const auto& cfg = core::table3_config(name);
+    const auto r = measure(cfg, seeds);
+    std::printf("%-5s %8.4g %8d %10.0f %10.0f %10.0f %8.0f%s\n", name,
+                cfg.utilization(), cfg.tag_count(), r.p25, r.median, r.p75,
+                r.max, r.failures ? " (!)" : "");
+  }
+  std::printf("\npaper: median rises from 139 (c1, U=0.38) to 1712 (c5,\n"
+              "U=1.0) — convergence time grows sharply with utilization.\n\n");
+
+  std::printf("=== Fig. 15(b): First Convergence Time, Fixed U = 0.75 ===\n\n");
+  std::printf("%-5s %8s %8s %10s %10s %10s %8s\n", "cfg", "U", "tags",
+              "p25", "median", "p75", "max");
+  for (const char* name : {"c2", "c6", "c7", "c8", "c9"}) {
+    const auto& cfg = core::table3_config(name);
+    const auto r = measure(cfg, seeds);
+    std::printf("%-5s %8.4g %8d %10.0f %10.0f %10.0f %8.0f%s\n", name,
+                cfg.utilization(), cfg.tag_count(), r.p25, r.median, r.p75,
+                r.max, r.failures ? " (!)" : "");
+  }
+  std::printf("\npaper: at fixed utilization the spread across period mixes\n"
+              "is small — slot utilization, not the period mix, is the\n"
+              "predominant factor.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Reproduces Fig. 17: the metal strain-measurement case study. Three
+// strain-gauge tags (A, B, C) watch a metal sheet whose free end is
+// displaced from -10 cm to +10 cm; each tag reports the amplified bridge
+// voltage through its 12-bit UL payload, one sample per slot.
+#include <cmath>
+#include <cstdio>
+
+#include "arachnet/phy/packet.hpp"
+#include "arachnet/sensing/strain.hpp"
+#include "arachnet/sim/rng.hpp"
+
+using namespace arachnet;
+
+int main() {
+  sim::Rng rng{99};
+
+  // Tags A, B, C sit at slightly different positions along the sheet, so
+  // their sensitivities differ (as the three curves in Fig. 17b do).
+  sensing::StrainSensorModule::Params pa, pb, pc;
+  pa.beam.gauge_position_m = 0.04;
+  pb.beam.gauge_position_m = 0.08;
+  pc.beam.gauge_position_m = 0.12;
+  const sensing::StrainSensorModule tag_a{pa}, tag_b{pb}, tag_c{pc};
+
+  std::printf("=== Fig. 17: Metal Strain Measurement Case Study ===\n\n");
+  std::printf("%-14s %10s %10s %10s   %8s %8s %8s\n", "displacement",
+              "A (V)", "B (V)", "C (V)", "A code", "B code", "C code");
+  for (int mm = -100; mm <= 100; mm += 20) {
+    const double d = mm * 1e-3;
+    const double va = tag_a.analog_voltage(d, rng);
+    const double vb = tag_b.analog_voltage(d, rng);
+    const double vc = tag_c.analog_voltage(d, rng);
+    // Codes as they travel in the UL packet payload.
+    const auto ca = tag_a.sample(d, rng);
+    const auto cb = tag_b.sample(d, rng);
+    const auto cc = tag_c.sample(d, rng);
+    std::printf("%+10d mm  %10.3f %10.3f %10.3f   %8u %8u %8u\n", mm, va, vb,
+                vc, ca, cb, cc);
+  }
+
+  // Linearity check: correlation between displacement and voltage.
+  double sum_d = 0.0, sum_v = 0.0, sum_dd = 0.0, sum_vv = 0.0, sum_dv = 0.0;
+  int n = 0;
+  for (int mm = -100; mm <= 100; mm += 5) {
+    const double d = mm * 1e-3;
+    const double v = tag_a.analog_voltage(d, rng);
+    sum_d += d;
+    sum_v += v;
+    sum_dd += d * d;
+    sum_vv += v * v;
+    sum_dv += d * v;
+    ++n;
+  }
+  const double cov = sum_dv / n - (sum_d / n) * (sum_v / n);
+  const double var_d = sum_dd / n - (sum_d / n) * (sum_d / n);
+  const double var_v = sum_vv / n - (sum_v / n) * (sum_v / n);
+  const double corr = cov / std::sqrt(var_d * var_v);
+  std::printf("\ndisplacement-voltage correlation (tag A): %.4f\n", corr);
+  std::printf("\npaper: a clear correlation between voltage and displacement\n"
+              "confirms the system's potential for structural health\n"
+              "monitoring. The ADC+amplifier draw ~%.1f mW, so the tag takes\n"
+              "at most one sample per slot (Sec. 6.5).\n",
+              sensing::StrainSensorModule::kSamplePowerW * 1e3);
+  return 0;
+}

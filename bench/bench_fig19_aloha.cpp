@@ -1,0 +1,48 @@
+// Reproduces Fig. 19 (Appendix B): per-tag transmission and collision
+// statistics of a pure-ALOHA baseline under ARACHNET's hardware
+// constraints. Each battery-free tag transmits whenever it reaches HTH,
+// recharges from LTH (15.2% of the cold-start time, +2% Gaussian noise),
+// and collides whenever its 200 ms packet overlaps any other.
+#include <cstdio>
+
+#include "arachnet/acoustic/deployment.hpp"
+#include "arachnet/energy/harvester.hpp"
+#include "arachnet/net/aloha.hpp"
+
+using namespace arachnet;
+
+int main() {
+  // Per-tag cold-start charging times from the calibrated deployment.
+  const auto deployment = acoustic::Deployment::onvo_l60();
+  std::vector<net::AlohaSimulator::TagSpec> tags;
+  for (const auto& site : deployment.tags()) {
+    energy::Harvester h{energy::Harvester::Params{}};
+    h.set_pzt_peak_voltage(deployment.tag_pzt_peak_voltage(site.tid));
+    tags.push_back({site.tid, h.charge_time(0.0, h.cutoff().high_threshold())});
+  }
+
+  net::AlohaSimulator sim{{.seed = 11}, tags};
+  const auto stats = sim.run(10000.0);
+
+  std::printf("=== Fig. 19: ALOHA Baseline, 10,000 s Simulation ===\n\n");
+  std::printf("%-5s %12s %12s %12s %12s\n", "Tag", "charge (s)", "total TX",
+              "collided", "success");
+  for (std::size_t i = 0; i < stats.per_tag.size(); ++i) {
+    const auto& t = stats.per_tag[i];
+    std::printf("%-5d %12.1f %12lld %12lld %11.1f%%\n", t.tid,
+                tags[i].full_charge_s, static_cast<long long>(t.transmissions),
+                static_cast<long long>(t.collided),
+                100.0 * t.success_rate());
+  }
+  std::printf("\ntotal transmissions: %lld, collided: %lld\n",
+              static_cast<long long>(stats.total_transmissions()),
+              static_cast<long long>(stats.total_collided()));
+  std::printf("overall collision-free rate: %.1f%% (paper: 34.0%%)\n",
+              100.0 * stats.overall_success_rate());
+  std::printf("\npaper: fast-charging tags (Tag 8, 4.5 s) transmit >11,000\n"
+              "times yet collide in over 60%% of attempts; slow tags\n"
+              "(Tag 11, 56.2 s) transmit rarely and still collide >70%%.\n"
+              "ALOHA neither uses the channel well nor shares it fairly —\n"
+              "the case for the coordinated slot protocol.\n");
+  return 0;
+}

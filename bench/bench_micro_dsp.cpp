@@ -1,0 +1,172 @@
+// Micro-benchmarks for the reader's hot DSP path: FFT, Welch PSD, FIR
+// filtering, the full DDC, FM0 chip decoding, IQ k-means, and the SPSC
+// ring buffer — the blocks that must sustain 500 kS/s in real time.
+#include <benchmark/benchmark.h>
+
+#include <complex>
+#include <vector>
+
+#include "arachnet/dsp/cluster.hpp"
+#include "arachnet/dsp/ddc.hpp"
+#include "arachnet/dsp/fft.hpp"
+#include "arachnet/dsp/fir.hpp"
+#include "arachnet/dsp/psd.hpp"
+#include "arachnet/dsp/ring_buffer.hpp"
+#include "arachnet/dsp/slicer.hpp"
+#include "arachnet/phy/fm0.hpp"
+#include "arachnet/reader/rx_chain.hpp"
+#include "arachnet/sim/rng.hpp"
+
+using namespace arachnet;
+
+static void BM_Fft(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::Rng rng{1};
+  std::vector<dsp::cplx> data(n);
+  for (auto& x : data) x = {rng.normal(), rng.normal()};
+  for (auto _ : state) {
+    auto copy = data;
+    dsp::fft(copy);
+    benchmark::DoNotOptimize(copy);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_Fft)->Arg(1024)->Arg(4096)->Arg(16384);
+
+static void BM_WelchPsd(benchmark::State& state) {
+  sim::Rng rng{2};
+  std::vector<double> signal(100000);
+  for (auto& s : signal) s = rng.normal();
+  dsp::WelchPsd psd{{.segment_size = 4096, .sample_rate_hz = 500e3}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(psd.estimate(signal));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(signal.size()));
+}
+BENCHMARK(BM_WelchPsd);
+
+static void BM_FirFilter(benchmark::State& state) {
+  const auto taps = static_cast<std::size_t>(state.range(0));
+  dsp::FirFilter<double> lpf{dsp::design_lowpass(5e3, 500e3, taps)};
+  sim::Rng rng{3};
+  std::vector<double> block(8192);
+  for (auto& s : block) s = rng.normal();
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (double s : block) acc += lpf.push(s);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(block.size()));
+}
+BENCHMARK(BM_FirFilter)->Arg(65)->Arg(129)->Arg(257);
+
+static void BM_DdcFullRate(benchmark::State& state) {
+  dsp::Ddc ddc{dsp::Ddc::Params{}};
+  sim::Rng rng{4};
+  std::vector<double> block(16384);
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    block[i] = std::cos(2.0 * 3.14159 * 90e3 * i / 500e3) + rng.normal() * 0.01;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ddc.process(block));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(block.size()));
+}
+BENCHMARK(BM_DdcFullRate);
+
+static void BM_RxChainEndToEnd(benchmark::State& state) {
+  // Raw-sample throughput of the whole receive chain (must beat 500 kS/s
+  // for real-time operation).
+  sim::Rng rng{5};
+  std::vector<double> block(65536);
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    block[i] = std::cos(2.0 * 3.14159 * 90e3 * i / 500e3) + rng.normal() * 0.004;
+  }
+  reader::RxChain rx{reader::RxChain::Params{}};
+  for (auto _ : state) {
+    rx.process(block);
+    benchmark::DoNotOptimize(rx.packets());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(block.size()));
+}
+BENCHMARK(BM_RxChainEndToEnd);
+
+static void BM_Fm0Decode(benchmark::State& state) {
+  sim::Rng rng{6};
+  phy::BitVector data;
+  for (int i = 0; i < 512; ++i) data.push_back(rng.bernoulli(0.5));
+  const auto chips = phy::Fm0Encoder::encode(data);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(phy::Fm0Decoder::decode(chips));
+  }
+  state.SetItemsProcessed(state.iterations() * 512);
+}
+BENCHMARK(BM_Fm0Decode);
+
+static void BM_KMeansIq(benchmark::State& state) {
+  sim::Rng rng{7};
+  std::vector<std::complex<double>> points;
+  for (int c = 0; c < 4; ++c) {
+    for (int i = 0; i < 500; ++i) {
+      points.emplace_back(c * 0.5 + rng.normal() * 0.02,
+                          (c % 2) * 0.4 + rng.normal() * 0.02);
+    }
+  }
+  for (auto _ : state) {
+    sim::Rng krng{11};
+    benchmark::DoNotOptimize(dsp::kmeans(points, 4, krng));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(points.size()));
+}
+BENCHMARK(BM_KMeansIq);
+
+static void BM_CollisionDetector(benchmark::State& state) {
+  sim::Rng rng{8};
+  std::vector<std::complex<double>> points;
+  for (int c = 0; c < 2; ++c) {
+    for (int i = 0; i < 1000; ++i) {
+      points.emplace_back(1.0 + c * 0.3 + rng.normal() * 0.02,
+                          rng.normal() * 0.02);
+    }
+  }
+  for (auto _ : state) {
+    sim::Rng crng{13};
+    benchmark::DoNotOptimize(dsp::detect_collision_iq(points, crng));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(points.size()));
+}
+BENCHMARK(BM_CollisionDetector);
+
+static void BM_RingBufferThroughput(benchmark::State& state) {
+  dsp::RingBuffer<int> buf{1024};
+  for (auto _ : state) {
+    for (int i = 0; i < 512; ++i) buf.try_push(i);
+    while (buf.try_pop()) {
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 512);
+}
+BENCHMARK(BM_RingBufferThroughput);
+
+static void BM_AdaptiveSlicer(benchmark::State& state) {
+  dsp::AdaptiveSlicer slicer;
+  sim::Rng rng{9};
+  std::vector<double> env(8192);
+  for (std::size_t i = 0; i < env.size(); ++i) {
+    env[i] = ((i / 80) % 2 ? 0.1 : 0.0) + rng.normal() * 0.001;
+  }
+  for (auto _ : state) {
+    bool acc = false;
+    for (double e : env) acc ^= slicer.push(e);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(env.size()));
+}
+BENCHMARK(BM_AdaptiveSlicer);

@@ -1,0 +1,80 @@
+// Micro-benchmarks for the MAC layer: slot-network simulation rate, tag
+// state-machine stepping, reader slot closing, and the vanilla allocator.
+#include <benchmark/benchmark.h>
+
+#include "arachnet/core/experiment_configs.hpp"
+#include "arachnet/core/reader_controller.hpp"
+#include "arachnet/core/slot_network.hpp"
+#include "arachnet/core/tag_state_machine.hpp"
+#include "arachnet/net/aloha.hpp"
+#include "arachnet/net/vanilla.hpp"
+
+using namespace arachnet;
+
+static void BM_SlotNetworkStep(benchmark::State& state) {
+  core::SlotNetwork::Params params;
+  params.seed = 1;
+  core::SlotNetwork net{params, core::table3_config("c3").tag_specs()};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.step());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SlotNetworkStep);
+
+static void BM_ConvergenceC3(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    core::SlotNetwork::Params params;
+    params.seed = seed++;
+    core::SlotNetwork net{params, core::table3_config("c3").tag_specs()};
+    benchmark::DoNotOptimize(net.measure_convergence(40000));
+  }
+}
+BENCHMARK(BM_ConvergenceC3);
+
+static void BM_TagStateMachine(benchmark::State& state) {
+  core::TagStateMachine::Config cfg;
+  cfg.period = 8;
+  core::TagStateMachine sm{cfg, 3};
+  const phy::DlCommand cmd{.ack = false, .empty = true, .reset = false};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sm.on_beacon(cmd));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TagStateMachine);
+
+static void BM_ReaderCloseSlot(benchmark::State& state) {
+  core::ReaderController reader;
+  for (int tid = 1; tid <= 12; ++tid) reader.register_tag(tid, 8);
+  int tid = 1;
+  for (auto _ : state) {
+    core::SlotObservation obs;
+    obs.decoded_tid = tid;
+    tid = tid % 12 + 1;
+    benchmark::DoNotOptimize(reader.close_slot(obs));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReaderCloseSlot);
+
+static void BM_VanillaAllocate(benchmark::State& state) {
+  std::vector<std::pair<int, int>> tags;
+  for (int i = 0; i < 12; ++i) tags.push_back({i, i < 4 ? 8 : 32});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::vanilla_allocate(tags));
+  }
+}
+BENCHMARK(BM_VanillaAllocate);
+
+static void BM_Aloha1000s(benchmark::State& state) {
+  std::vector<net::AlohaSimulator::TagSpec> tags;
+  for (int i = 1; i <= 12; ++i) tags.push_back({i, 5.0 + i * 4.0});
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    net::AlohaSimulator sim{{.seed = seed++}, tags};
+    benchmark::DoNotOptimize(sim.run(1000.0));
+  }
+}
+BENCHMARK(BM_Aloha1000s);

@@ -1,0 +1,54 @@
+// Reproduces Table 1: illustrative vanilla slot allocation for four tags
+// with periods {2, 4, 8, 8} over one 8-slot hyperperiod, plus the paper's
+// "Comment": what beacon loss does to the static schedule (Fig. 8 lead-in).
+#include <cstdio>
+
+#include "arachnet/net/vanilla.hpp"
+
+int main() {
+  using namespace arachnet::net;
+
+  std::printf("=== Table 1: Illustrative Slot Allocation (vanilla, Sec. 5.2) ===\n\n");
+
+  const std::vector<std::pair<int, int>> tags{{0, 2}, {1, 4}, {2, 8}, {3, 8}};
+  const char* names = "ABCD";
+
+  const auto alloc = vanilla_allocate(tags);
+  if (!alloc) {
+    std::printf("allocation failed (should not happen: U = 1.0)\n");
+    return 1;
+  }
+
+  std::printf("%-8s", "Tag/Slot");
+  for (int s = 0; s < 8; ++s) std::printf("%3d", s);
+  std::printf("   Allocation\n");
+  for (const auto& a : *alloc) {
+    std::printf("t%c      ", names[a.tid]);
+    for (int s = 0; s < 8; ++s) {
+      std::printf("%3s", (s % a.period == a.offset) ? "T" : "");
+    }
+    std::printf("   p=%d a=%d\n", a.period, a.offset);
+  }
+
+  const auto grid = schedule_grid(*alloc);
+  int max_per_slot = 0, used = 0;
+  for (const auto& slot : grid) {
+    max_per_slot = std::max<int>(max_per_slot, static_cast<int>(slot.size()));
+    used += !slot.empty();
+  }
+  std::printf("\nnon-overlapping: %s; slot utilization: %d/%zu\n",
+              max_per_slot <= 1 ? "yes" : "NO", used, grid.size());
+
+  std::printf("\n--- fragility under beacon loss (motivates Sec. 5.3) ---\n");
+  std::printf("%-14s %-16s %-16s\n", "beacon loss", "collision ratio",
+              "non-empty ratio");
+  for (double loss : {0.0, 0.001, 0.01, 0.05}) {
+    VanillaSimulator sim{{.dl_loss = loss, .seed = 42}, *alloc};
+    const auto stats = sim.run(50000);
+    std::printf("%-14g %-16.4f %-16.4f\n", loss, stats.collision_ratio(),
+                static_cast<double>(stats.non_empty_slots) / stats.slots);
+  }
+  std::printf("\npaper: a single missed beacon silently shifts a tag's slot\n"
+              "(Eq. 3); with no feedback the static schedule cannot recover.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Reproduces Table 2: tag power consumption in RX / TX / IDLE modes
+// (model values), then validates them in the event-level firmware
+// co-simulation: a tag-8-class link runs the full protocol for several
+// minutes and the measured per-mode residency and average power are
+// reported against the harvesting budget.
+#include <cstdio>
+
+#include "arachnet/acoustic/deployment.hpp"
+#include "arachnet/core/tag_firmware.hpp"
+#include "arachnet/energy/tag_power.hpp"
+#include "arachnet/sim/event_queue.hpp"
+
+using namespace arachnet;
+
+int main() {
+  std::printf("=== Table 2: Tag Power Consumption in Different Modes ===\n\n");
+  const energy::TagPowerModel model;
+  std::printf("%-6s %14s %14s %10s %12s\n", "Mode", "MCU I (uA)",
+              "Total I (uA)", "V (V)", "Power (uW)");
+  for (auto mode : {energy::TagMode::kRx, energy::TagMode::kTx,
+                    energy::TagMode::kIdle}) {
+    std::printf("%-6s %14.1f %14.1f %10.1f %12.1f\n",
+                std::string(energy::to_string(mode)).c_str(),
+                model.mcu_current_ua(mode), model.total_current_ua(mode),
+                model.rail_voltage, model.power_uw(mode));
+  }
+  std::printf("\npaper:  RX 24.8 uW | TX 51.0 uW | IDLE 7.6 uW\n");
+  std::printf("interrupt-driven MCU saving vs continuous active (40-50 uA):\n");
+  std::printf("  RX %.0f%%, TX %.0f%% (paper: over 80%%)\n\n",
+              100.0 * model.mcu_saving_vs_active(energy::TagMode::kRx),
+              100.0 * model.mcu_saving_vs_active(energy::TagMode::kTx));
+
+  // ---- Firmware co-simulation validation -----------------------------
+  std::printf("--- co-simulation: tag 8 link, 180 slots of ACKed traffic ---\n");
+  const auto deployment = acoustic::Deployment::onvo_l60();
+  sim::EventQueue queue;
+  core::TagFirmware::Params params;
+  params.tid = 8;
+  params.protocol.period = 4;
+  params.protocol.empty_gating = false;
+  core::TagFirmware fw{&queue, params, 99};
+  fw.set_link(deployment.tag_pzt_peak_voltage(8));
+  fw.set_sensor([] { return 0x123; });
+  fw.start();
+
+  queue.run_until(10.0);  // charge
+  if (!fw.activated()) {
+    std::printf("tag failed to activate!\n");
+    return 1;
+  }
+  const double charged_at = queue.now();
+  for (int s = 0; s < 180; ++s) {
+    queue.schedule_in(0.01, [&] {
+      fw.deliver_beacon(phy::DlBeacon{{.ack = true, .empty = true}});
+    });
+    queue.run_until(queue.now() + 1.0);
+  }
+
+  auto& meter = fw.mcu().meter();
+  std::printf("activated after %.1f s; ran %.0f s of slots\n", charged_at,
+              meter.total_time());
+  std::printf("%-6s %12s %14s\n", "Mode", "time (s)", "energy (mJ)");
+  for (auto mode : {energy::TagMode::kRx, energy::TagMode::kTx,
+                    energy::TagMode::kIdle}) {
+    std::printf("%-6s %12.2f %14.4f\n",
+                std::string(energy::to_string(mode)).c_str(),
+                meter.time_in(mode), meter.energy_in(mode) * 1e3);
+  }
+  std::printf("duty-cycled average power: %.1f uW\n",
+              meter.average_power() * 1e6);
+  std::printf("packets sent: %lld, beacons decoded: %lld, brownouts: %lld\n",
+              static_cast<long long>(fw.packets_sent()),
+              static_cast<long long>(fw.beacons_decoded()),
+              static_cast<long long>(fw.brownouts()));
+  std::printf("\ncontext: weakest-link net charging power is ~47.1 uW; the\n"
+              "duty-cycled average must sit below it for sustained operation\n"
+              "(TX alone, 51.0 uW, exceeds it — hence the interrupt-driven\n"
+              "design, Sec. 6.2).\n");
+  return 0;
+}

@@ -1,0 +1,122 @@
+// BiW monitoring: the paper's headline scenario end to end.
+//
+// Twelve battery-free tags on the SUV body-in-white charge from the
+// reader's 90 kHz vibrations, activate at different times (4-58 s), join
+// the network as late arrivals, and settle into a collision-free schedule
+// with mixed reporting periods: battery-pack guards report every 4 slots,
+// structural-aging tags every 32. The event-driven co-simulation runs the
+// real firmware (interrupt-driven, duty-cycled, cutoff-gated), with the
+// slot protocol evaluated at the reader.
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "arachnet/acoustic/deployment.hpp"
+#include "arachnet/core/protocol.hpp"
+#include "arachnet/core/reader_controller.hpp"
+#include "arachnet/core/tag_firmware.hpp"
+#include "arachnet/sim/event_queue.hpp"
+
+using namespace arachnet;
+
+int main() {
+  const auto car = acoustic::Deployment::onvo_l60();
+  sim::EventQueue queue;
+  sim::Rng rng{2024};
+
+  // Monitoring plan (total utilization must respect Eq. 1: here 0.72):
+  // tags over the battery pack (second row) report every 8 slots; cargo
+  // and front structural tags every 16-32 slots.
+  const std::map<int, int> period_of{{1, 32}, {2, 32}, {3, 32}, {4, 8},
+                                     {5, 16}, {6, 8},  {7, 16}, {8, 8},
+                                     {9, 32}, {10, 32}, {11, 32}, {12, 32}};
+
+  std::vector<std::unique_ptr<core::TagFirmware>> tags;
+  core::ReaderController::Config rc;
+  core::ReaderController reader{rc};
+
+  struct SlotState {
+    std::vector<int> transmitters;
+  } slot;
+
+  for (const auto& site : car.tags()) {
+    core::TagFirmware::Params p;
+    p.tid = site.tid;
+    p.protocol.period = period_of.at(site.tid);
+    core::TagFirmware* fw =
+        tags.emplace_back(std::make_unique<core::TagFirmware>(
+                              &queue, p, 1000 + site.tid))
+            .get();
+    fw->set_link(car.tag_pzt_peak_voltage(site.tid));
+    fw->set_sensor([tid = site.tid] {
+      return static_cast<std::uint16_t>(0x100 + tid);
+    });
+    fw->on_transmit([&slot, tid = site.tid](const phy::UlPacket&, double) {
+      slot.transmitters.push_back(tid);
+    });
+    fw->start();
+    reader.register_tag(site.tid, p.protocol.period);
+  }
+
+  // Reader loop: one beacon per 1 s slot; reception is abstracted from the
+  // transmitter count (single transmitter decodes, overlap = collision).
+  phy::DlBeacon beacon{{.ack = false, .empty = true, .reset = false}};
+  std::int64_t total_slots = 0, busy = 0, collisions = 0;
+  std::map<int, int> delivered;
+
+  std::printf("t(s)  event\n");
+  const int kSlots = 900;
+  for (int s = 0; s < kSlots; ++s) {
+    slot.transmitters.clear();
+    for (auto& fw : tags) fw->deliver_beacon(beacon);
+    queue.run_until(queue.now() + core::kDefaultSlotSeconds);
+
+    core::SlotObservation obs;
+    obs.collision_detected = slot.transmitters.size() >= 2;
+    if (slot.transmitters.size() == 1) {
+      obs.decoded_tid = slot.transmitters.front();
+      ++delivered[*obs.decoded_tid];
+    }
+    beacon.cmd = reader.close_slot(obs);
+
+    ++total_slots;
+    busy += !slot.transmitters.empty();
+    collisions += slot.transmitters.size() >= 2;
+
+    if (s < 50 && !slot.transmitters.empty()) {
+      std::printf("%4.0f  slot %3d: tags [", queue.now(), s);
+      for (std::size_t i = 0; i < slot.transmitters.size(); ++i) {
+        std::printf("%s%d", i ? " " : "", slot.transmitters[i]);
+      }
+      std::printf("]%s\n", slot.transmitters.size() > 1 ? "  COLLISION" : "");
+    }
+  }
+
+  std::printf("\n--- after %lld slots ---\n",
+              static_cast<long long>(total_slots));
+  std::printf("%-5s %-8s %-9s %-10s %-9s %-8s\n", "tag",
+              "period", "state", "delivered", "beacons", "avg uW");
+  for (std::size_t i = 0; i < tags.size(); ++i) {
+    auto& fw = *tags[i];
+    const int tid = fw.params().tid;
+    std::printf("%-5d %-8d %-9s %-10d %-9lld %-8.1f\n", tid,
+                fw.params().protocol.period,
+                fw.protocol().state() == core::TagState::kSettle ? "SETTLE"
+                                                                 : "MIGRATE",
+                delivered[tid], static_cast<long long>(fw.beacons_decoded()),
+                fw.mcu().meter().average_power() * 1e6);
+  }
+  std::printf("\nchannel: busy %.1f%%, collisions %.1f%% of slots\n",
+              100.0 * busy / total_slots, 100.0 * collisions / total_slots);
+  std::printf("windowed non-empty %.3f, collision %.3f (reader view)\n",
+              reader.non_empty_ratio(), reader.collision_ratio());
+
+  int settled = 0;
+  for (auto& fw : tags) {
+    settled += fw->protocol().state() == core::TagState::kSettle;
+  }
+  std::printf("%d/12 tags settled, collision-free schedule %s\n", settled,
+              reader.collision_ratio() == 0.0 ? "steady" : "still converging");
+  return 0;
+}

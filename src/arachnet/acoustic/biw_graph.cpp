@@ -1,0 +1,120 @@
+#include "arachnet/acoustic/biw_graph.hpp"
+
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+#include "arachnet/sim/units.hpp"
+
+namespace arachnet::acoustic {
+
+double distance(const Vec3& a, const Vec3& b) noexcept {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  const double dz = a.z - b.z;
+  return std::sqrt(dx * dx + dy * dy + dz * dz);
+}
+
+EdgeAcoustics default_acoustics(EdgeKind kind) noexcept {
+  switch (kind) {
+    case EdgeKind::kContinuousPanel:
+      return {.propagation_loss_db_per_m = 2.6, .junction_loss_db = 0.0};
+    case EdgeKind::kSeamWeld:
+      return {.propagation_loss_db_per_m = 2.6, .junction_loss_db = 2.2};
+    case EdgeKind::kPerpendicularJunction:
+      return {.propagation_loss_db_per_m = 2.6, .junction_loss_db = 6.0};
+    case EdgeKind::kBoltedJoint:
+      return {.propagation_loss_db_per_m = 2.6, .junction_loss_db = 9.0};
+  }
+  return {};
+}
+
+NodeId BiwGraph::add_node(std::string name, Vec3 position, BiwArea area) {
+  nodes_.push_back(BiwNode{std::move(name), position, area});
+  adj_.emplace_back();
+  return nodes_.size() - 1;
+}
+
+double BiwGraph::edge_length(const BiwEdge& e) const {
+  if (e.length_m) return *e.length_m;
+  return distance(nodes_[e.a].position, nodes_[e.b].position);
+}
+
+void BiwGraph::add_edge(NodeId a, NodeId b, EdgeKind kind,
+                        std::optional<double> length_m) {
+  if (a >= nodes_.size() || b >= nodes_.size()) {
+    throw std::out_of_range("BiwGraph::add_edge: unknown node");
+  }
+  if (a == b) {
+    throw std::invalid_argument("BiwGraph::add_edge: self-loop");
+  }
+  const BiwEdge edge{a, b, kind, length_m};
+  const double len = edge_length(edge);
+  if (length_m && *length_m < distance(nodes_[a].position,
+                                       nodes_[b].position) - 1e-9) {
+    throw std::invalid_argument(
+        "BiwGraph::add_edge: metal path shorter than straight line");
+  }
+  edges_.push_back(edge);
+  const auto acoustics = default_acoustics(kind);
+  const double loss =
+      acoustics.propagation_loss_db_per_m * len + acoustics.junction_loss_db;
+  adj_[a].push_back({b, loss, len});
+  adj_[b].push_back({a, loss, len});
+}
+
+std::optional<NodeId> BiwGraph::find(const std::string& name) const {
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+PathBudget BiwGraph::path(NodeId from, NodeId to) const {
+  if (from >= nodes_.size() || to >= nodes_.size()) {
+    throw std::out_of_range("BiwGraph::path: unknown node");
+  }
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> loss(nodes_.size(), kInf);
+  std::vector<double> dist(nodes_.size(), 0.0);
+  std::vector<NodeId> prev(nodes_.size(), from);
+  using QItem = std::pair<double, NodeId>;  // (loss, node)
+  std::priority_queue<QItem, std::vector<QItem>, std::greater<>> q;
+  loss[from] = 0.0;
+  q.push({0.0, from});
+  while (!q.empty()) {
+    const auto [l, u] = q.top();
+    q.pop();
+    if (l > loss[u]) continue;
+    if (u == to) break;
+    for (const auto& edge : adj_[u]) {
+      const double candidate = l + edge.loss_db;
+      if (candidate < loss[edge.to]) {
+        loss[edge.to] = candidate;
+        dist[edge.to] = dist[u] + edge.length_m;
+        prev[edge.to] = u;
+        q.push({candidate, edge.to});
+      }
+    }
+  }
+
+  PathBudget budget;
+  if (loss[to] == kInf) return budget;  // unreachable
+  budget.loss_db = loss[to];
+  budget.distance_m = dist[to];
+  budget.delay_s = dist[to] / sim::kSteelGroupVelocityMps;
+  // Reconstruct route.
+  std::vector<NodeId> route;
+  for (NodeId v = to;; v = prev[v]) {
+    route.push_back(v);
+    if (v == from) break;
+  }
+  budget.nodes.assign(route.rbegin(), route.rend());
+  return budget;
+}
+
+double BiwGraph::path_loss_db(NodeId from, NodeId to) const {
+  return path(from, to).loss_db;
+}
+
+}  // namespace arachnet::acoustic

@@ -1,0 +1,129 @@
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace arachnet::acoustic {
+
+/// 3D position of a structural point on the BiW, metres. The vehicle frame
+/// axes: x forward (0 = front bumper line), y lateral (0 = left rocker),
+/// z up (0 = floor plane).
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  friend bool operator==(const Vec3&, const Vec3&) = default;
+};
+
+double distance(const Vec3& a, const Vec3& b) noexcept;
+
+/// Structural region a node belongs to (used for reporting and deployment
+/// bookkeeping; mirrors the paper's Fig. 10 areas).
+enum class BiwArea {
+  kFrontRow,
+  kSecondRow,
+  kCargoArea,
+  kFloor,
+  kPillar,
+  kRocker,
+  kBeam,
+  kOther,
+};
+
+/// How two structural members meet; junction geometry dominates acoustic
+/// loss (the paper calls out Tag 4's "geometric transition at the
+/// perpendicular junction").
+enum class EdgeKind {
+  kContinuousPanel,       ///< same sheet; distance loss only
+  kSeamWeld,              ///< spot-welded seam: mild extra loss
+  kPerpendicularJunction, ///< 90-degree geometric transition: strong loss
+  kBoltedJoint,           ///< bolted member: strongest loss
+};
+
+/// Per-kind acoustic properties at the 90 kHz carrier.
+struct EdgeAcoustics {
+  double propagation_loss_db_per_m = 2.6;  ///< dissipation + spreading
+  double junction_loss_db = 0.0;           ///< fixed loss crossing the joint
+};
+
+EdgeAcoustics default_acoustics(EdgeKind kind) noexcept;
+
+using NodeId = std::size_t;
+
+/// A node of the BiW structural graph: either a pure structural point or a
+/// device mount (reader / tag attachment).
+struct BiwNode {
+  std::string name;
+  Vec3 position;
+  BiwArea area = BiwArea::kOther;
+};
+
+/// An undirected structural connection.
+struct BiwEdge {
+  NodeId a = 0;
+  NodeId b = 0;
+  EdgeKind kind = EdgeKind::kContinuousPanel;
+  /// Path length along the metal; defaults to straight-line distance when
+  /// not provided (real panels curve, so it can exceed it).
+  std::optional<double> length_m;
+};
+
+/// Result of a path query: total loss and propagation delay along the
+/// best (minimum-loss) structural route.
+struct PathBudget {
+  double loss_db = std::numeric_limits<double>::infinity();
+  double distance_m = 0.0;
+  double delay_s = 0.0;
+  std::vector<NodeId> nodes;  ///< route, source first
+
+  bool reachable() const noexcept {
+    return loss_db != std::numeric_limits<double>::infinity();
+  }
+};
+
+/// The vehicle body-in-white as a weighted graph over which vibrations
+/// propagate. Minimum-loss routing (Dijkstra) yields the link budget
+/// between any two mount points; delays use the A0 Lamb-mode group
+/// velocity.
+class BiwGraph {
+ public:
+  /// Adds a node; returns its id.
+  NodeId add_node(std::string name, Vec3 position,
+                  BiwArea area = BiwArea::kOther);
+
+  /// Adds an undirected edge between existing nodes.
+  void add_edge(NodeId a, NodeId b, EdgeKind kind,
+                std::optional<double> length_m = std::nullopt);
+
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+  std::size_t edge_count() const noexcept { return edges_.size(); }
+  const BiwNode& node(NodeId id) const { return nodes_.at(id); }
+
+  /// Finds a node by name; nullopt when absent.
+  std::optional<NodeId> find(const std::string& name) const;
+
+  /// Minimum-loss route between two nodes.
+  PathBudget path(NodeId from, NodeId to) const;
+
+  /// Loss-only convenience (dB); +inf when unreachable.
+  double path_loss_db(NodeId from, NodeId to) const;
+
+ private:
+  struct Adjacency {
+    NodeId to;
+    double loss_db;
+    double length_m;
+  };
+
+  double edge_length(const BiwEdge& e) const;
+
+  std::vector<BiwNode> nodes_;
+  std::vector<BiwEdge> edges_;
+  std::vector<std::vector<Adjacency>> adj_;
+};
+
+}  // namespace arachnet::acoustic

@@ -1,0 +1,169 @@
+#include "arachnet/acoustic/deployment.hpp"
+
+#include <numbers>
+#include <stdexcept>
+
+#include "arachnet/sim/units.hpp"
+
+namespace arachnet::acoustic {
+
+Deployment Deployment::onvo_l60() {
+  Deployment d;
+  auto& g = d.graph_;
+
+  // ---- Structural spine (floor assembly, front -> rear). Coordinates in
+  // metres: x forward from the front bumper line, y from the left rocker,
+  // z from the floor plane. Vehicle ~4.8 m x 1.9 m.
+  const auto front_cross = g.add_node("front_crossmember", {0.9, 0.95, 0.1},
+                                      BiwArea::kBeam);
+  const auto dash = g.add_node("dashboard_panel", {1.3, 0.95, 0.6},
+                               BiwArea::kFrontRow);
+  const auto front_floor = g.add_node("front_floor", {1.7, 0.95, 0.0},
+                                      BiwArea::kFloor);
+  const auto mid_floor_front = g.add_node("middle_floor_front",
+                                          {2.2, 0.95, 0.0}, BiwArea::kFloor);
+  const auto mid_floor = g.add_node("middle_floor", {2.6, 0.95, 0.0},
+                                    BiwArea::kFloor);
+  const auto mid_floor_rear = g.add_node("middle_floor_rear",
+                                         {3.1, 0.95, 0.0}, BiwArea::kFloor);
+  const auto rear_floor_front = g.add_node("rear_floor_front",
+                                           {3.6, 0.95, 0.1}, BiwArea::kFloor);
+  const auto rear_floor = g.add_node("rear_floor", {4.1, 0.95, 0.2},
+                                     BiwArea::kCargoArea);
+  const auto rear_cross = g.add_node("rear_crossmember", {4.6, 0.95, 0.3},
+                                     BiwArea::kBeam);
+
+  // Rocker panels and pillars (left side used by odd structures).
+  const auto rocker_l = g.add_node("rocker_panel_left", {2.4, 0.05, 0.15},
+                                   BiwArea::kRocker);
+  const auto rocker_r = g.add_node("rocker_panel_right", {2.4, 1.85, 0.15},
+                                   BiwArea::kRocker);
+  const auto b_pillar_l = g.add_node("b_pillar_left", {2.3, 0.05, 0.9},
+                                     BiwArea::kPillar);
+  const auto b_pillar_r = g.add_node("b_pillar_right", {2.3, 1.85, 0.9},
+                                     BiwArea::kPillar);
+  const auto c_pillar_l = g.add_node("c_pillar_left", {3.7, 0.1, 0.9},
+                                     BiwArea::kPillar);
+  const auto c_pillar_r = g.add_node("c_pillar_right", {3.7, 1.8, 0.9},
+                                     BiwArea::kPillar);
+  const auto long_beam = g.add_node("longitudinal_beam", {1.4, 0.5, 0.05},
+                                    BiwArea::kBeam);
+  const auto threshold = g.add_node("threshold", {4.55, 0.95, 0.35},
+                                    BiwArea::kCargoArea);
+  const auto seat_cross = g.add_node("seat_crossmember", {2.35, 0.6, 0.25},
+                                     BiwArea::kBeam);
+
+  // Spine connectivity (the floor is increasingly a single mega-casting,
+  // hence continuous-panel links along it).
+  g.add_edge(front_cross, front_floor, EdgeKind::kSeamWeld);
+  g.add_edge(front_floor, mid_floor_front, EdgeKind::kContinuousPanel);
+  g.add_edge(mid_floor_front, mid_floor, EdgeKind::kContinuousPanel);
+  g.add_edge(mid_floor, mid_floor_rear, EdgeKind::kContinuousPanel);
+  g.add_edge(mid_floor_rear, rear_floor_front, EdgeKind::kSeamWeld);
+  g.add_edge(rear_floor_front, rear_floor, EdgeKind::kContinuousPanel);
+  g.add_edge(rear_floor, rear_cross, EdgeKind::kSeamWeld);
+  g.add_edge(rear_cross, threshold, EdgeKind::kSeamWeld);
+
+  // Dash / front structure.
+  g.add_edge(dash, front_floor, EdgeKind::kPerpendicularJunction);
+  g.add_edge(front_cross, long_beam, EdgeKind::kSeamWeld);
+  g.add_edge(long_beam, front_floor, EdgeKind::kContinuousPanel);
+
+  // Lateral structure.
+  g.add_edge(mid_floor, rocker_l, EdgeKind::kSeamWeld);
+  g.add_edge(mid_floor, rocker_r, EdgeKind::kSeamWeld);
+  g.add_edge(rocker_l, b_pillar_l, EdgeKind::kPerpendicularJunction);
+  g.add_edge(rocker_r, b_pillar_r, EdgeKind::kPerpendicularJunction);
+  g.add_edge(rear_floor, c_pillar_l, EdgeKind::kPerpendicularJunction);
+  g.add_edge(rear_floor, c_pillar_r, EdgeKind::kPerpendicularJunction);
+  g.add_edge(mid_floor_front, seat_cross, EdgeKind::kSeamWeld);
+
+  // ---- Devices. Reader centrally placed in the second row, above the
+  // battery pack (paper Fig. 10c).
+  d.reader_node_ = g.add_node("reader_mount", {2.55, 0.95, 0.05},
+                              BiwArea::kSecondRow);
+  g.add_edge(d.reader_node_, mid_floor, EdgeKind::kContinuousPanel);
+
+  const auto add_tag = [&](int tid, const char* name, Vec3 pos, BiwArea area,
+                           NodeId attach, EdgeKind kind,
+                           std::optional<double> length_m = std::nullopt,
+                           double coupling_loss_db = 0.0) {
+    const auto node = g.add_node(name, pos, area);
+    g.add_edge(node, attach, kind, length_m);
+    d.tags_.push_back(TagSite{tid, node, area, coupling_loss_db});
+  };
+
+  // Front row: tags 1-3 (Fig. 10b) — reach the reader through the front
+  // half of the floor; tag 1 is up on the dashboard.
+  add_tag(1, "tag01_dashboard", {1.25, 0.55, 0.55}, BiwArea::kFrontRow, dash,
+          EdgeKind::kSeamWeld);
+  add_tag(2, "tag02_front_floor", {1.65, 0.35, 0.0}, BiwArea::kFrontRow,
+          front_floor, EdgeKind::kContinuousPanel, std::nullopt, 11.3);
+  add_tag(3, "tag03_long_beam", {1.45, 0.5, 0.05}, BiwArea::kFrontRow,
+          long_beam, EdgeKind::kSeamWeld, std::nullopt, 8.5);
+
+  // Second row: tags 4-8 (Fig. 10c). Tag 4 sits on the vertical face of the
+  // seat crossmember — the "turning face" anchor. Tag 8 is closest to the
+  // reader on the same floor panel.
+  add_tag(4, "tag04_turning_face", {2.35, 0.6, 0.45}, BiwArea::kSecondRow,
+          seat_cross, EdgeKind::kPerpendicularJunction, 0.9);
+  add_tag(5, "tag05_rocker_left", {2.45, 0.08, 0.15}, BiwArea::kSecondRow,
+          rocker_l, EdgeKind::kContinuousPanel, std::nullopt, 10.9);
+  add_tag(6, "tag06_mid_floor", {2.5, 1.3, 0.0}, BiwArea::kSecondRow,
+          mid_floor, EdgeKind::kContinuousPanel, 0.75, 11.2);
+  add_tag(7, "tag07_rocker_right", {2.45, 1.82, 0.15}, BiwArea::kSecondRow,
+          rocker_r, EdgeKind::kContinuousPanel, std::nullopt, 11.1);
+  add_tag(8, "tag08_near_reader", {2.7, 0.95, 0.0}, BiwArea::kSecondRow,
+          mid_floor, EdgeKind::kContinuousPanel, 0.55);
+
+  // Cargo area: tags 9-12 (Fig. 10d). Tag 11 is deepest, behind the rear
+  // crossmember on the threshold.
+  add_tag(9, "tag09_rear_floor", {4.0, 0.5, 0.2}, BiwArea::kCargoArea,
+          rear_floor, EdgeKind::kContinuousPanel, std::nullopt, 8.1);
+  add_tag(10, "tag10_c_pillar", {3.72, 0.12, 0.8}, BiwArea::kCargoArea,
+          c_pillar_l, EdgeKind::kContinuousPanel);
+  add_tag(11, "tag11_threshold", {4.58, 1.3, 0.35}, BiwArea::kCargoArea,
+          threshold, EdgeKind::kSeamWeld, 1.18);
+  add_tag(12, "tag12_rear_cross", {4.55, 0.6, 0.3}, BiwArea::kCargoArea,
+          rear_cross, EdgeKind::kContinuousPanel, std::nullopt, 5.1);
+
+  return d;
+}
+
+const TagSite& Deployment::tag(int tid) const {
+  for (const auto& t : tags_) {
+    if (t.tid == tid) return t;
+  }
+  throw std::out_of_range("Deployment::tag: unknown tid");
+}
+
+double Deployment::injected_amplitude() const noexcept {
+  return drive_.amplifier_peak_v * drive_.tx_gain;
+}
+
+Link Deployment::reader_link(int tid) const {
+  Link link = channel().link(reader_node_, tag(tid).node);
+  const double extra = tag(tid).coupling_loss_db;
+  link.loss_db += extra;
+  link.gain *= sim::db_to_amplitude(-extra);
+  return link;
+}
+
+double Deployment::tag_pzt_peak_voltage(int tid) const {
+  const Link l = reader_link(tid);
+  return tag_pzt_.open_circuit_voltage(injected_amplitude() * l.gain,
+                                       channel_params_.carrier_hz);
+}
+
+double Deployment::backscatter_rx_amplitude(int tid) const {
+  const Link l = reader_link(tid);
+  return injected_amplitude() * l.gain * l.gain;
+}
+
+double Deployment::backscatter_phase(int tid) const {
+  const Link l = reader_link(tid);
+  return 2.0 * std::numbers::pi * channel_params_.carrier_hz * 2.0 *
+         l.delay_s;
+}
+
+}  // namespace arachnet::acoustic

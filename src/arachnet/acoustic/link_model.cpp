@@ -1,0 +1,37 @@
+#include "arachnet/acoustic/link_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "arachnet/sim/units.hpp"
+
+namespace arachnet::acoustic {
+
+ChannelModel::ChannelModel(const BiwGraph* graph, Params params)
+    : graph_(graph), params_(params) {
+  if (graph_ == nullptr) {
+    throw std::invalid_argument("ChannelModel: null graph");
+  }
+}
+
+Link ChannelModel::link(NodeId from, NodeId to) const {
+  const PathBudget budget = graph_->path(from, to);
+  Link link;
+  if (!budget.reachable()) return link;  // gain 0
+  link.loss_db = budget.loss_db + 2.0 * params_.mount_loss_db;
+  link.gain = sim::db_to_amplitude(-link.loss_db);
+  link.delay_s = budget.delay_s;
+  link.distance_m = budget.distance_m;
+  return link;
+}
+
+double ChannelModel::roundtrip_gain(NodeId reader, NodeId tag) const {
+  const Link one_way = link(reader, tag);
+  return one_way.gain * one_way.gain;
+}
+
+double ChannelModel::noise_rms(double bw) const {
+  return params_.noise_amplitude_density * std::sqrt(bw);
+}
+
+}  // namespace arachnet::acoustic

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <vector>
+
+#include "arachnet/acoustic/biw_graph.hpp"
+#include "arachnet/pzt/transducer.hpp"
+
+namespace arachnet::acoustic {
+
+/// One-way acoustic link between two mounts on the BiW.
+struct Link {
+  double gain = 0.0;        ///< amplitude gain (linear, <= 1)
+  double loss_db = 0.0;     ///< amplitude loss in dB (positive number)
+  double delay_s = 0.0;     ///< propagation delay along the metal route
+  double distance_m = 0.0;  ///< metal route length
+};
+
+/// Link-budget calculator for a deployed network: wraps the structural
+/// graph and adds the device-level terms (PZT coupling/mounting loss).
+class ChannelModel {
+ public:
+  struct Params {
+    /// Epoxy-mount + bonding interface loss applied once per device
+    /// (amplitude dB).
+    double mount_loss_db = 5.0;
+    /// Carrier frequency the links are evaluated at.
+    double carrier_hz = 90e3;
+    /// Background acoustic noise amplitude density at the RX PZT output,
+    /// per sqrt(Hz) — sets the SNR scale of the waveform experiments.
+    double noise_amplitude_density = 3.2e-5;
+    /// Vehicle self-vibration: below 0.1 kHz per the paper, modelled as a
+    /// strong low-frequency tone.
+    double ambient_vibration_hz = 35.0;
+    double ambient_vibration_amplitude = 0.5;
+  };
+
+  ChannelModel(const BiwGraph* graph, Params params);
+
+  /// One-way link between two device mount nodes; includes both devices'
+  /// mount losses.
+  Link link(NodeId from, NodeId to) const;
+
+  /// Round-trip amplitude gain for backscatter reader->tag->reader.
+  double roundtrip_gain(NodeId reader, NodeId tag) const;
+
+  /// RMS noise amplitude in a bandwidth of `bw` Hz.
+  double noise_rms(double bw) const;
+
+  const Params& params() const noexcept { return params_; }
+  const BiwGraph& graph() const noexcept { return *graph_; }
+
+ private:
+  const BiwGraph* graph_;
+  Params params_;
+};
+
+}  // namespace arachnet::acoustic

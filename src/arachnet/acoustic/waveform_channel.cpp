@@ -1,0 +1,57 @@
+#include "arachnet/acoustic/waveform_channel.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace arachnet::acoustic {
+
+std::vector<double> UplinkWaveformSynth::synthesize(
+    const std::vector<BackscatterSource>& sources, double duration_s,
+    sim::Rng& rng) {
+  const auto n = static_cast<std::size_t>(duration_s * params_.sample_rate_hz);
+  std::vector<double> out(n, 0.0);
+  const double dt = 1.0 / params_.sample_rate_hz;
+  const double w_carrier = 2.0 * std::numbers::pi * params_.carrier_hz;
+  const double w_ambient = 2.0 * std::numbers::pi * params_.ambient_hz;
+  // One-pole smoothing coefficient for the mechanical ring.
+  const double alpha =
+      params_.ring_tau_s > 0.0 ? std::exp(-dt / params_.ring_tau_s) : 0.0;
+
+  // Per-source smoothed reflection state, seeded at the absorptive level.
+  std::vector<double> smoothed(sources.size());
+  for (std::size_t s = 0; s < sources.size(); ++s) {
+    smoothed[s] = sources[s].absorb_coeff;
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t_local = static_cast<double>(i) * dt;
+    const double t = t0_ + t_local;  // absolute: phases continue over calls
+    double sample = params_.carrier_leak_amplitude * std::cos(w_carrier * t);
+    for (std::size_t s = 0; s < sources.size(); ++s) {
+      const auto& src = sources[s];
+      // Chip value at time t: absorptive outside the burst.
+      double target = src.absorb_coeff;
+      const double rel = t_local - src.start_s;
+      if (rel >= 0.0 && src.chip_rate > 0.0) {
+        const auto chip_idx = static_cast<std::size_t>(rel * src.chip_rate);
+        if (!src.levels.empty()) {
+          if (chip_idx < src.levels.size()) target = src.levels[chip_idx];
+        } else if (chip_idx < src.chips.size()) {
+          target = src.chips[chip_idx] ? src.reflect_coeff : src.absorb_coeff;
+        }
+      }
+      smoothed[s] = alpha * smoothed[s] + (1.0 - alpha) * target;
+      sample += src.amplitude * smoothed[s] *
+                std::cos(w_carrier * t + src.phase_rad);
+    }
+    if (params_.ambient_amplitude != 0.0) {
+      sample += params_.ambient_amplitude * std::sin(w_ambient * t);
+    }
+    sample += rng.normal(0.0, params_.noise_sigma);
+    out[i] = sample;
+  }
+  t0_ += static_cast<double>(n) * dt;
+  return out;
+}
+
+}  // namespace arachnet::acoustic

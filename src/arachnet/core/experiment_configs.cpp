@@ -1,0 +1,48 @@
+#include "arachnet/core/experiment_configs.hpp"
+
+#include <stdexcept>
+
+namespace arachnet::core {
+
+std::vector<SlotNetwork::TagSpec> ExperimentConfig::tag_specs() const {
+  std::vector<SlotNetwork::TagSpec> specs;
+  int tid = 1;
+  const auto add = [&](int count, int period) {
+    for (int i = 0; i < count; ++i) {
+      SlotNetwork::TagSpec spec;
+      spec.tid = tid++;
+      spec.period = period;
+      specs.push_back(spec);
+    }
+  };
+  add(tags_period_4, 4);
+  add(tags_period_8, 8);
+  add(tags_period_16, 16);
+  add(tags_period_32, 32);
+  return specs;
+}
+
+const std::vector<ExperimentConfig>& table3_configs() {
+  static const std::vector<ExperimentConfig> configs{
+      //        name  p4 p8 p16 p32
+      {"c1", 0, 0, 0, 12},   // U = 0.375
+      {"c2", 0, 0, 12, 0},   // U = 0.75
+      {"c3", 1, 2, 2, 7},    // U = 0.84375 (Fig. 16 upper bound)
+      {"c4", 0, 6, 0, 6},    // U = 0.9375
+      {"c5", 1, 3, 4, 4},    // U = 1.0
+      {"c6", 0, 1, 10, 0},   // U = 0.75, 11 tags
+      {"c7", 1, 1, 4, 4},    // U = 0.75, 10 tags
+      {"c8", 1, 1, 6, 0},    // U = 0.75, 8 tags
+      {"c9", 2, 0, 4, 0},    // U = 0.75, 6 tags
+  };
+  return configs;
+}
+
+const ExperimentConfig& table3_config(const std::string& name) {
+  for (const auto& cfg : table3_configs()) {
+    if (cfg.name == name) return cfg;
+  }
+  throw std::out_of_range("unknown Table-3 config: " + name);
+}
+
+}  // namespace arachnet::core

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arachnet/core/slot_network.hpp"
+
+namespace arachnet::core {
+
+/// One of the paper's Table-3 transmission patterns.
+struct ExperimentConfig {
+  std::string name;        ///< "c1" .. "c9"
+  int tags_period_4 = 0;   ///< tag counts per permissible period
+  int tags_period_8 = 0;
+  int tags_period_16 = 0;
+  int tags_period_32 = 0;
+
+  int tag_count() const noexcept {
+    return tags_period_4 + tags_period_8 + tags_period_16 + tags_period_32;
+  }
+  double utilization() const noexcept {
+    return tags_period_4 / 4.0 + tags_period_8 / 8.0 + tags_period_16 / 16.0 +
+           tags_period_32 / 32.0;
+  }
+
+  /// Expands into tag specs with TIDs 1..N, shortest periods first.
+  std::vector<SlotNetwork::TagSpec> tag_specs() const;
+};
+
+/// The nine patterns of Table 3. The per-period counts are reconstructed
+/// from the printed tag totals and slot utilizations (uniquely determined;
+/// the OCR of the paper dropped one entry). c1-c5 fix 12 tags and sweep
+/// utilization 0.375 -> 1.0; c2, c6-c9 fix utilization 0.75 and sweep the
+/// period mix.
+const std::vector<ExperimentConfig>& table3_configs();
+
+/// Lookup by name ("c1".."c9"); throws on unknown name.
+const ExperimentConfig& table3_config(const std::string& name);
+
+}  // namespace arachnet::core

@@ -1,0 +1,253 @@
+#include "arachnet/core/markov_theory.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+#include "arachnet/core/protocol.hpp"
+#include "arachnet/sim/linalg.hpp"
+
+namespace arachnet::core {
+
+MarkovAnalysis::MarkovAnalysis(Config config) : config_(config) {
+  if (config_.periods.empty() || config_.periods.size() > 4) {
+    throw std::invalid_argument("MarkovAnalysis: 1-4 tags supported");
+  }
+  if (config_.nack_threshold < 1) {
+    throw std::invalid_argument("MarkovAnalysis: N must be >= 1");
+  }
+  state_count_ = 1;
+  for (int p : config_.periods) {
+    require_permissible(p);
+    hyperperiod_ = std::max(hyperperiod_, p);
+    // Canonical per-tag states: MIGRATE x offset, SETTLE x offset x counter.
+    const std::size_t per_tag =
+        static_cast<std::size_t>(p) * (1 + config_.nack_threshold);
+    state_count_ *= per_tag;
+  }
+  state_count_ *= static_cast<std::size_t>(hyperperiod_);
+  if (state_count_ > 200000) {
+    throw std::invalid_argument("MarkovAnalysis: state space too large");
+  }
+}
+
+MarkovAnalysis::StateView MarkovAnalysis::decode(std::size_t state) const {
+  StateView view;
+  view.phase = static_cast<int>(state % static_cast<std::size_t>(hyperperiod_));
+  state /= static_cast<std::size_t>(hyperperiod_);
+  for (int p : config_.periods) {
+    const std::size_t per_tag =
+        static_cast<std::size_t>(p) * (1 + config_.nack_threshold);
+    const std::size_t code = state % per_tag;
+    state /= per_tag;
+    TagView tag;
+    if (code < static_cast<std::size_t>(p)) {
+      tag.settled = false;
+      tag.offset = static_cast<int>(code);
+      tag.counter = 0;
+    } else {
+      const std::size_t s = code - static_cast<std::size_t>(p);
+      tag.settled = true;
+      tag.offset = static_cast<int>(s / config_.nack_threshold);
+      tag.counter = static_cast<int>(s % config_.nack_threshold);
+    }
+    view.tags.push_back(tag);
+  }
+  return view;
+}
+
+std::size_t MarkovAnalysis::encode(const StateView& view) const {
+  std::size_t state = 0;
+  std::size_t radix = 1;
+  std::size_t acc = 0;
+  for (std::size_t i = 0; i < config_.periods.size(); ++i) {
+    const int p = config_.periods[i];
+    const std::size_t per_tag =
+        static_cast<std::size_t>(p) * (1 + config_.nack_threshold);
+    const auto& tag = view.tags[i];
+    std::size_t code;
+    if (!tag.settled) {
+      code = static_cast<std::size_t>(tag.offset);
+    } else {
+      code = static_cast<std::size_t>(p) +
+             static_cast<std::size_t>(tag.offset) * config_.nack_threshold +
+             static_cast<std::size_t>(tag.counter);
+    }
+    acc += code * radix;
+    radix *= per_tag;
+  }
+  state = static_cast<std::size_t>(view.phase) +
+          static_cast<std::size_t>(hyperperiod_) * acc;
+  (void)radix;
+  return state;
+}
+
+bool MarkovAnalysis::is_absorbing(std::size_t state) const {
+  const auto view = decode(state);
+  for (const auto& tag : view.tags) {
+    if (!tag.settled || tag.counter != 0) return false;
+  }
+  for (std::size_t a = 0; a < view.tags.size(); ++a) {
+    for (std::size_t b = a + 1; b < view.tags.size(); ++b) {
+      const int m = std::min(config_.periods[a], config_.periods[b]);
+      if ((view.tags[a].offset % m) == (view.tags[b].offset % m)) return false;
+    }
+  }
+  return true;
+}
+
+std::size_t MarkovAnalysis::absorbing_count() const {
+  std::size_t count = 0;
+  for (std::size_t s = 0; s < state_count_; ++s) {
+    if (is_absorbing(s)) ++count;
+  }
+  return count;
+}
+
+std::vector<MarkovAnalysis::Transition> MarkovAnalysis::transitions_from(
+    std::size_t state) const {
+  const auto view = decode(state);
+  const int next_phase = (view.phase + 1) % hyperperiod_;
+
+  // Who transmits in this slot?
+  std::vector<std::size_t> transmitters;
+  for (std::size_t i = 0; i < view.tags.size(); ++i) {
+    if (view.phase % config_.periods[i] == view.tags[i].offset) {
+      transmitters.push_back(i);
+    }
+  }
+
+  StateView base = view;
+  base.phase = next_phase;
+
+  if (transmitters.size() <= 1) {
+    if (transmitters.size() == 1) {
+      auto& tag = base.tags[transmitters.front()];
+      tag.settled = true;  // ACK: migrate settles, settled resets counter
+      tag.counter = 0;
+    }
+    return {{encode(base), 1.0}};
+  }
+
+  // Collision: every transmitter gets a NACK. Tags that end up re-picking
+  // offsets do so uniformly and independently -> enumerate the product.
+  std::vector<std::size_t> repickers;
+  for (std::size_t i : transmitters) {
+    auto& tag = base.tags[i];
+    if (!tag.settled) {
+      repickers.push_back(i);
+    } else if (tag.counter + 1 >= config_.nack_threshold) {
+      tag.settled = false;
+      tag.counter = 0;
+      repickers.push_back(i);
+    } else {
+      ++tag.counter;
+    }
+  }
+
+  std::vector<Transition> out;
+  std::vector<int> choice(repickers.size(), 0);
+  double probability = 1.0;
+  for (std::size_t i : repickers) {
+    probability /= static_cast<double>(config_.periods[i]);
+  }
+  for (;;) {
+    StateView next = base;
+    for (std::size_t k = 0; k < repickers.size(); ++k) {
+      next.tags[repickers[k]].offset = choice[k];
+    }
+    out.push_back({encode(next), probability});
+    // Advance the mixed-radix counter over offset choices.
+    std::size_t k = 0;
+    for (; k < repickers.size(); ++k) {
+      if (++choice[k] < config_.periods[repickers[k]]) break;
+      choice[k] = 0;
+    }
+    if (k == repickers.size()) break;
+    if (repickers.empty()) break;
+  }
+  if (repickers.empty()) out = {{encode(base), 1.0}};
+  return out;
+}
+
+bool MarkovAnalysis::is_absorbing_chain() const {
+  // Reverse BFS from the absorbing class: every state must be marked.
+  std::vector<std::vector<std::size_t>> reverse(state_count_);
+  std::deque<std::size_t> frontier;
+  std::vector<char> reaches(state_count_, 0);
+  for (std::size_t s = 0; s < state_count_; ++s) {
+    if (is_absorbing(s)) {
+      reaches[s] = 1;
+      frontier.push_back(s);
+      continue;
+    }
+    for (const auto& t : transitions_from(s)) {
+      reverse[t.to].push_back(s);
+    }
+  }
+  while (!frontier.empty()) {
+    const auto s = frontier.front();
+    frontier.pop_front();
+    for (auto prev : reverse[s]) {
+      if (!reaches[prev]) {
+        reaches[prev] = 1;
+        frontier.push_back(prev);
+      }
+    }
+  }
+  return std::all_of(reaches.begin(), reaches.end(),
+                     [](char c) { return c != 0; });
+}
+
+void MarkovAnalysis::ensure_solved() const {
+  if (solved_) return;
+  constexpr auto npos = static_cast<std::size_t>(-1);
+  transient_index_.assign(state_count_, npos);
+  std::vector<std::size_t> transient;
+  for (std::size_t s = 0; s < state_count_; ++s) {
+    if (!is_absorbing(s)) {
+      transient_index_[s] = transient.size();
+      transient.push_back(s);
+    }
+  }
+  const std::size_t n = transient.size();
+  // (I - Q) t = 1  with Q the transient-to-transient transition block.
+  sim::Matrix a{n, n};
+  std::vector<double> rhs(n, 1.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    a.at(r, r) = 1.0;
+    for (const auto& t : transitions_from(transient[r])) {
+      if (transient_index_[t.to] != npos) {
+        a.at(r, transient_index_[t.to]) -= t.probability;
+      }
+    }
+  }
+  const auto t = sim::solve(std::move(a), std::move(rhs));
+  absorption_time_.assign(state_count_, 0.0);
+  for (std::size_t r = 0; r < n; ++r) absorption_time_[transient[r]] = t[r];
+  solved_ = true;
+}
+
+double MarkovAnalysis::expected_absorption_from(std::size_t state) const {
+  ensure_solved();
+  return absorption_time_.at(state);
+}
+
+double MarkovAnalysis::expected_absorption_time() const {
+  ensure_solved();
+  // Uniform over phase-0 states with every tag in MIGRATE (fresh start).
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (std::size_t s = 0; s < state_count_; ++s) {
+    const auto view = decode(s);
+    if (view.phase != 0) continue;
+    bool all_migrate = true;
+    for (const auto& tag : view.tags) all_migrate &= !tag.settled;
+    if (!all_migrate) continue;
+    sum += absorption_time_[s];
+    ++count;
+  }
+  return count ? sum / static_cast<double>(count) : 0.0;
+}
+
+}  // namespace arachnet::core

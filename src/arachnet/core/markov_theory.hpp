@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace arachnet::core {
+
+/// Exact Appendix-C analysis for small networks: constructs the absorbing
+/// Markov chain of the distributed slot allocation (state = global slot
+/// phase + each tag's {MIGRATE/SETTLE, offset, NACK counter}), verifies
+/// absorption, and computes expected slots-to-absorption in closed form
+/// via the fundamental matrix.
+///
+/// Modelling assumptions mirror Appendix C: no beacon loss, no capture,
+/// perfect collision detection, no EMPTY gating — the idealized chain
+/// whose absorption the paper proves. State spaces grow as
+/// (2 * p * N)^tags * hyperperiod, so this is for 2-4 small-period tags;
+/// the simulator covers the rest.
+class MarkovAnalysis {
+ public:
+  struct Config {
+    std::vector<int> periods;  ///< power-of-two period per tag
+    int nack_threshold = 3;    ///< N
+  };
+
+  explicit MarkovAnalysis(Config config);
+
+  /// Total number of states (phase x per-tag product).
+  std::size_t state_count() const noexcept { return state_count_; }
+
+  /// Number of absorbing states (all settled, pairwise conflict-free, with
+  /// zeroed counters).
+  std::size_t absorbing_count() const;
+
+  /// True when every state can reach an absorbing state (the chain is
+  /// absorbing — Lemma 3 / Theorem 4).
+  bool is_absorbing_chain() const;
+
+  /// Expected slots to absorption starting from the uniform distribution
+  /// over phase-0 all-MIGRATE states (a fresh contention start).
+  double expected_absorption_time() const;
+
+  /// Expected slots to absorption from one specific transient start
+  /// (index into the internal state enumeration).
+  double expected_absorption_from(std::size_t state) const;
+
+  /// Decoded view of a state for tests/diagnostics.
+  struct TagView {
+    bool settled;
+    int offset;
+    int counter;
+  };
+  struct StateView {
+    int phase;
+    std::vector<TagView> tags;
+  };
+  StateView decode(std::size_t state) const;
+  bool is_absorbing(std::size_t state) const;
+
+  const Config& config() const noexcept { return config_; }
+
+ private:
+  struct Transition {
+    std::size_t to;
+    double probability;
+  };
+
+  std::size_t encode(const StateView& view) const;
+  std::vector<Transition> transitions_from(std::size_t state) const;
+  void ensure_solved() const;
+
+  Config config_;
+  int hyperperiod_ = 1;
+  std::size_t per_tag_states_ = 0;
+  std::size_t state_count_ = 0;
+
+  // Lazily computed expected absorption times for all transient states.
+  mutable std::vector<double> absorption_time_;
+  mutable std::vector<std::size_t> transient_index_;  // state -> row or npos
+  mutable bool solved_ = false;
+};
+
+}  // namespace arachnet::core

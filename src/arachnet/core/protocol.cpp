@@ -1,0 +1,14 @@
+#include "arachnet/core/protocol.hpp"
+
+namespace arachnet::core {
+
+double slot_utilization(const std::vector<int>& periods) {
+  double u = 0.0;
+  for (int p : periods) {
+    require_permissible(p);
+    u += 1.0 / static_cast<double>(p);
+  }
+  return u;
+}
+
+}  // namespace arachnet::core

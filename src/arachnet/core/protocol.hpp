@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace arachnet::core {
+
+/// Default MAC timing: the paper sets the slot duration empirically to 1 s
+/// (Sec. 6.4) and the consecutive-NACK threshold N to 3 (Sec. 5.3).
+inline constexpr double kDefaultSlotSeconds = 1.0;
+inline constexpr int kDefaultNackThreshold = 3;
+
+/// The reader declares convergence after this many consecutive
+/// collision-free slots (Sec. 6.4, "first convergence time").
+inline constexpr int kConvergenceWindow = 32;
+
+/// Tag waits this long after a beacon before backscattering its packet
+/// (visible in the Fig. 14 waveform).
+inline constexpr double kTagReplyDelay = 20e-3;
+
+/// True if `p` is a permissible transmission period (a power of two,
+/// Sec. 5.2: P = {2^k}).
+constexpr bool is_permissible_period(int p) noexcept {
+  return p > 0 && (p & (p - 1)) == 0;
+}
+
+/// Slot utilization of a set of tag periods (Eq. 1): U = sum 1/p_i.
+double slot_utilization(const std::vector<int>& periods);
+
+/// Validates a period or throws.
+inline void require_permissible(int period) {
+  if (!is_permissible_period(period)) {
+    throw std::invalid_argument("period must be a power of two");
+  }
+}
+
+}  // namespace arachnet::core

@@ -1,0 +1,227 @@
+#include "arachnet/core/reader_controller.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace arachnet::core {
+
+ReaderController::ReaderController() : ReaderController(Config{}) {}
+
+ReaderController::ReaderController(Config config) : config_(config) {}
+
+void ReaderController::register_tag(int tid, int period) {
+  require_permissible(period);
+  tags_[tid] = TagInfo{period, std::nullopt, 0};
+  history_capacity_ = std::max<std::size_t>(
+      history_capacity_, 2 * static_cast<std::size_t>(period));
+}
+
+bool ReaderController::offset_conflicts(int period_a, int offset_a,
+                                        int period_b, int offset_b) const {
+  // Periods are powers of two, so residue classes nest: two schedules
+  // collide iff their offsets agree modulo the smaller period.
+  const int m = std::min(period_a, period_b);
+  return (offset_a % m) == (offset_b % m);
+}
+
+bool ReaderController::belief_live(const TagInfo& info) const {
+  if (!info.settled_offset) return false;
+  return slot_ - info.last_seen_slot <=
+         static_cast<std::int64_t>(kBeliefExpiryPeriods) * info.period;
+}
+
+std::vector<int> ReaderController::viable_offsets(int tid) const {
+  const auto it = tags_.find(tid);
+  if (it == tags_.end()) return {};
+  const int period = it->second.period;
+  std::vector<int> viable;
+  for (int b = 0; b < period; ++b) {
+    bool ok = true;
+    for (const auto& [other_tid, info] : tags_) {
+      if (other_tid == tid || !belief_live(info)) continue;
+      if (offset_conflicts(period, b, info.period, *info.settled_offset)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) viable.push_back(b);
+  }
+  return viable;
+}
+
+void ReaderController::update_future_collision_avoidance(int tid,
+                                                         std::int64_t slot) {
+  auto& info = tags_.at(tid);
+  const int candidate =
+      static_cast<int>(slot % static_cast<std::int64_t>(info.period));
+  const auto viable = viable_offsets(tid);
+  if (!viable.empty()) return;  // the tag can still find a free offset
+
+  // Sec. 5.6: no viable option for the new tag. Pick the offset whose
+  // conflicting settled tags are fewest (the "less crowded" choice) and
+  // force those partially settled tags to migrate with successive NACKs.
+  int best_offset = candidate;
+  std::size_t best_conflicts = std::numeric_limits<std::size_t>::max();
+  std::vector<int> best_victims;
+  for (int b = 0; b < info.period; ++b) {
+    std::vector<int> victims;
+    for (const auto& [other_tid, other] : tags_) {
+      if (other_tid == tid || !belief_live(other)) continue;
+      if (offset_conflicts(info.period, b, other.period,
+                           *other.settled_offset)) {
+        victims.push_back(other_tid);
+      }
+    }
+    if (victims.size() < best_conflicts) {
+      best_conflicts = victims.size();
+      best_offset = b;
+      best_victims = victims;
+    }
+  }
+  (void)best_offset;
+  for (int victim : best_victims) {
+    auto& v = tags_.at(victim);
+    v.force_nacks = config_.nack_threshold;
+  }
+}
+
+phy::DlCommand ReaderController::close_slot(const SlotObservation& obs) {
+  const bool collision = obs.collision_detected;
+  const bool decoded = obs.decoded_tid.has_value();
+
+  // ---- Feedback decision -------------------------------------------
+  bool ack = decoded && !collision;
+  if (ack) {
+    const int tid = *obs.decoded_tid;
+    const auto it = tags_.find(tid);
+    if (it != tags_.end()) {
+      auto& info = it->second;
+      const int candidate =
+          static_cast<int>(slot_ % static_cast<std::int64_t>(info.period));
+      if (info.force_nacks > 0) {
+        // Sec. 5.6: forced migration of a victim tag.
+        ack = false;
+        if (--info.force_nacks == 0) info.settled_offset.reset();
+      } else if (info.settled_offset && *info.settled_offset == candidate) {
+        // Steady settled transmission.
+        info.last_seen_slot = slot_;
+      } else {
+        // New or migrated tag: only admit it to a viable offset.
+        bool viable = true;
+        for (const auto& [other_tid, other] : tags_) {
+          if (other_tid == tid || !belief_live(other)) continue;
+          if (offset_conflicts(info.period, candidate, other.period,
+                               *other.settled_offset)) {
+            viable = false;
+            break;
+          }
+        }
+        if (viable) {
+          info.settled_offset = candidate;
+          info.last_seen_slot = slot_;
+        } else if (config_.future_collision_avoidance) {
+          ack = false;
+          // Victim eviction (Sec. 5.6) targets the late-arrival case: a
+          // stable schedule with no room. During initial contention the
+          // allocation map is churning anyway, and evicting settled tags
+          // would only prolong convergence — so only act on a quiet
+          // channel.
+          if (clean_streak_ >= config_.convergence_window / 4) {
+            update_future_collision_avoidance(tid, slot_);
+          }
+        } else {
+          // Without the refinement the reader trusts the capture-effect
+          // decode and acks anyway (the future collision will occur).
+          info.settled_offset = candidate;
+        }
+      }
+    }
+  }
+
+  // ---- History and statistics ----------------------------------------
+  received_history_.push_back(decoded ? *obs.decoded_tid : -1);
+  while (received_history_.size() > history_capacity_) {
+    received_history_.pop_front();
+  }
+  const bool non_empty = decoded || collision;
+  window_non_empty_.push_back(non_empty);
+  window_collision_.push_back(collision);
+  while (window_non_empty_.size() >
+         static_cast<std::size_t>(config_.stats_window)) {
+    window_non_empty_.pop_front();
+    window_collision_.pop_front();
+  }
+  total_non_empty_ += non_empty ? 1 : 0;
+  total_collisions_ += collision ? 1 : 0;
+  clean_streak_ = collision ? 0 : clean_streak_ + 1;
+  if (converged_at_ < 0 && clean_streak_ >= config_.convergence_window) {
+    converged_at_ = slot_ + 1;
+  }
+
+  ++slot_;
+
+  // ---- Next beacon ---------------------------------------------------
+  phy::DlCommand cmd;
+  if (send_reset_) {
+    send_reset_ = false;
+    cmd.reset = true;
+    cmd.ack = false;
+    cmd.empty = true;  // the schedule is empty after a reset
+    // Clear reader state.
+    for (auto& [tid, info] : tags_) {
+      info.settled_offset.reset();
+      info.force_nacks = 0;
+      info.last_seen_slot = -1;
+    }
+    received_history_.clear();
+    window_non_empty_.clear();
+    window_collision_.clear();
+    total_non_empty_ = 0;
+    total_collisions_ = 0;
+    clean_streak_ = 0;
+    converged_at_ = -1;
+    slot_ = 0;
+    return cmd;
+  }
+  cmd.ack = ack;
+  cmd.empty = predict_empty_next_slot();
+  return cmd;
+}
+
+bool ReaderController::predict_empty_next_slot() const {
+  // Eq. 4: EMPTY = prod_i 1(no packet received in slot (s+1) - p_i),
+  // where s+1 is the slot the beacon opens (slot_ after the increment).
+  // The probe is per tag: tag i recurs at s+1 exactly when TAG i's packet
+  // arrived at (s+1) - p_i. Probing for "any" packet would mark nearly
+  // every slot occupied on a busy channel and starve late arrivals.
+  const std::int64_t next = slot_;
+  for (const auto& [tid, info] : tags_) {
+    const std::int64_t probe = next - info.period;
+    if (probe < 0) continue;  // before history: nothing received
+    // received_history_ back() corresponds to slot (slot_ - 1).
+    const std::int64_t oldest =
+        slot_ - static_cast<std::int64_t>(received_history_.size());
+    if (probe < oldest) continue;  // aged out: assume free
+    const auto idx = static_cast<std::size_t>(probe - oldest);
+    if (received_history_[idx] == tid) return false;
+  }
+  return true;
+}
+
+void ReaderController::request_reset() { send_reset_ = true; }
+
+double ReaderController::non_empty_ratio() const {
+  if (window_non_empty_.empty()) return 0.0;
+  const auto count = std::count(window_non_empty_.begin(),
+                                window_non_empty_.end(), true);
+  return static_cast<double>(count) / window_non_empty_.size();
+}
+
+double ReaderController::collision_ratio() const {
+  if (window_collision_.empty()) return 0.0;
+  const auto count =
+      std::count(window_collision_.begin(), window_collision_.end(), true);
+  return static_cast<double>(count) / window_collision_.size();
+}
+
+}  // namespace arachnet::core

@@ -1,0 +1,118 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "arachnet/core/protocol.hpp"
+#include "arachnet/phy/packet.hpp"
+
+namespace arachnet::core {
+
+/// What the reader observed during one uplink slot.
+struct SlotObservation {
+  /// TID of a successfully decoded packet, if any (capture effect may
+  /// yield one even during collisions).
+  std::optional<int> decoded_tid;
+  /// IQ-cluster collision detector verdict for the slot (Sec. 5.3).
+  bool collision_detected = false;
+};
+
+/// Reader-side MAC logic (Sec. 5.3-5.6): slot bookkeeping, ACK/NACK
+/// decisions, the EMPTY-flag predictor of Eq. 4, future-collision
+/// avoidance for late-arriving tags, and convergence / utilization
+/// statistics.
+///
+/// The reader knows every deployed tag's transmission period (Sec. 5.5:
+/// "All tags periods are known to the reader").
+class ReaderController {
+ public:
+  struct Config {
+    bool future_collision_avoidance = true;
+    int nack_threshold = kDefaultNackThreshold;
+    int convergence_window = kConvergenceWindow;
+    int stats_window = 32;  ///< window for non-empty / collision ratios
+  };
+
+  ReaderController();  // default config
+  explicit ReaderController(Config config);
+
+  /// Declares a deployed tag and its period.
+  void register_tag(int tid, int period);
+
+  /// Closes slot `slot_index` with what was received and returns the
+  /// beacon command to broadcast for the next slot.
+  phy::DlCommand close_slot(const SlotObservation& obs);
+
+  /// Commands a protocol reset: the next beacon carries RESET and all
+  /// reader-side state restarts (used at the start of each convergence
+  /// measurement).
+  void request_reset();
+
+  /// Current slot index (number of slots closed since start/reset).
+  std::int64_t slot_index() const noexcept { return slot_; }
+
+  /// True once `convergence_window` consecutive collision-free slots have
+  /// been observed since the last reset.
+  bool converged() const noexcept {
+    return clean_streak_ >= config_.convergence_window;
+  }
+
+  /// Slots from reset until convergence (valid once converged()).
+  std::int64_t convergence_slots() const noexcept { return converged_at_; }
+
+  /// Windowed statistics (Sec. 6.4 Fig. 16).
+  double non_empty_ratio() const;
+  double collision_ratio() const;
+
+  /// Cumulative statistics since reset.
+  std::int64_t slots_with_packet() const noexcept { return total_non_empty_; }
+  std::int64_t slots_with_collision() const noexcept { return total_collisions_; }
+
+  const Config& config() const noexcept { return config_; }
+
+ private:
+  struct TagInfo {
+    int period = 0;
+    std::optional<int> settled_offset;  ///< offset the reader believes settled
+    int force_nacks = 0;  ///< pending forced NACKs (Sec. 5.6 victim logic)
+    std::int64_t last_seen_slot = -1;   ///< last clean decode at that offset
+  };
+
+  /// A settled belief is trusted only while the owner keeps showing up;
+  /// a tag silent for this many of its periods is treated as migrated and
+  /// its entry expires.
+  static constexpr int kBeliefExpiryPeriods = 2;
+
+  bool belief_live(const TagInfo& info) const;
+
+  bool predict_empty_next_slot() const;
+  void update_future_collision_avoidance(int tid, std::int64_t slot);
+  bool offset_conflicts(int period_a, int offset_a, int period_b,
+                        int offset_b) const;
+  std::vector<int> viable_offsets(int tid) const;
+
+  Config config_;
+  std::map<int, TagInfo> tags_;
+  std::int64_t slot_ = 0;
+  bool send_reset_ = false;
+
+  // Reception history: for Eq. 4 we must answer "did tag i's packet
+  // arrive in slot s - p_i?" for p up to the largest period. Stores the
+  // decoded TID per slot (-1 = none).
+  std::deque<int> received_history_;  // front = oldest
+  std::size_t history_capacity_ = 64;
+
+  // Statistics.
+  std::deque<bool> window_non_empty_;
+  std::deque<bool> window_collision_;
+  std::int64_t total_non_empty_ = 0;
+  std::int64_t total_collisions_ = 0;
+  std::int64_t clean_streak_ = 0;
+  std::int64_t converged_at_ = -1;
+};
+
+}  // namespace arachnet::core

@@ -1,0 +1,125 @@
+#include "arachnet/core/slot_network.hpp"
+
+#include <stdexcept>
+
+namespace arachnet::core {
+
+SlotNetwork::SlotNetwork(Params params, std::vector<TagSpec> tags)
+    : params_(params), rng_(params.seed), reader_(params.reader) {
+  tags_.reserve(tags.size());
+  for (const auto& spec : tags) {
+    TagStateMachine::Config cfg;
+    cfg.period = spec.period;
+    cfg.nack_threshold = params_.nack_threshold;
+    cfg.beacon_loss_migrate = params_.beacon_loss_migrate;
+    cfg.empty_gating = params_.empty_gating;
+    tags_.push_back(TagRuntime{spec, TagStateMachine{cfg, rng_.next_u64()},
+                               spec.activation_slot <= 0});
+    reader_.register_tag(spec.tid, spec.period);
+  }
+  // The very first beacon: nothing to acknowledge, schedule empty.
+  current_beacon_ = phy::DlCommand{.ack = false, .empty = true, .reset = false};
+}
+
+const TagStateMachine& SlotNetwork::tag_machine(int tid) const {
+  for (const auto& t : tags_) {
+    if (t.spec.tid == tid) return t.machine;
+  }
+  throw std::out_of_range("SlotNetwork::tag_machine: unknown tid");
+}
+
+SlotNetwork::SlotRecord SlotNetwork::step() {
+  SlotRecord record;
+  record.slot = slot_;
+
+  // Activate late arrivals at their slot.
+  for (auto& tag : tags_) {
+    if (!tag.active && slot_ >= tag.spec.activation_slot) {
+      tag.active = true;
+      tag.machine.reset();
+    }
+  }
+
+  // Beacon broadcast: each active tag independently decodes or misses it.
+  for (auto& tag : tags_) {
+    if (!tag.active) continue;
+    if (rng_.bernoulli(tag.spec.dl_loss)) {
+      // Missed beacon: local timer fires, no transmission this slot.
+      tag.machine.on_beacon_loss();
+      continue;
+    }
+    if (tag.machine.on_beacon(current_beacon_)) {
+      record.transmitters.push_back(tag.spec.tid);
+    }
+  }
+
+  record.collision_truth = record.transmitters.size() >= 2;
+
+  // Reception.
+  if (record.transmitters.size() == 1) {
+    const int tid = record.transmitters.front();
+    double ul_loss = 0.0;
+    for (const auto& t : tags_) {
+      if (t.spec.tid == tid) ul_loss = t.spec.ul_loss;
+    }
+    if (!rng_.bernoulli(ul_loss)) record.decoded_tid = tid;
+    record.collision_detected = rng_.bernoulli(params_.false_collision_prob);
+  } else if (record.collision_truth) {
+    if (rng_.bernoulli(params_.capture_prob)) {
+      const auto pick = rng_.uniform_int(record.transmitters.size());
+      record.decoded_tid = record.transmitters[pick];
+    }
+    record.collision_detected = rng_.bernoulli(params_.collision_detect_prob);
+  }
+
+  SlotObservation obs;
+  obs.decoded_tid = record.decoded_tid;
+  obs.collision_detected = record.collision_detected;
+  record.beacon = reader_.close_slot(obs);
+  current_beacon_ = record.beacon;
+  ++slot_;
+  return record;
+}
+
+std::vector<SlotNetwork::SlotRecord> SlotNetwork::run(std::int64_t n) {
+  std::vector<SlotRecord> records;
+  records.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) records.push_back(step());
+  return records;
+}
+
+std::optional<std::int64_t> SlotNetwork::measure_convergence(
+    std::int64_t max_slots) {
+  reader_.request_reset();
+  step();  // slot carrying the RESET beacon out
+  for (std::int64_t i = 0; i < max_slots; ++i) {
+    step();
+    if (reader_.converged()) return reader_.convergence_slots();
+  }
+  return std::nullopt;
+}
+
+bool SlotNetwork::all_settled_collision_free() const {
+  for (std::size_t i = 0; i < tags_.size(); ++i) {
+    if (!tags_[i].active) continue;
+    if (tags_[i].machine.state() != TagState::kSettle) return false;
+    for (std::size_t j = i + 1; j < tags_.size(); ++j) {
+      if (!tags_[j].active) continue;
+      const int pi = tags_[i].machine.config().period;
+      const int pj = tags_[j].machine.config().period;
+      const int m = pi < pj ? pi : pj;
+      // Compare in ground-truth slot terms: offsets are relative to each
+      // tag's local index, which may be shifted by missed beacons; the
+      // effective residue is (offset - slot_index + global_slot) mod p.
+      const auto residue = [&](const TagRuntime& t) {
+        const std::int64_t shift =
+            slot_ - 1 - t.machine.slot_index();  // missed-beacon shift
+        return static_cast<int>(((t.machine.offset() + shift) % m + m) % m);
+      };
+      if (residue(tags_[i]) == residue(tags_[j])) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace arachnet::core

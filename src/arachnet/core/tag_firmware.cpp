@@ -1,0 +1,118 @@
+#include "arachnet/core/tag_firmware.hpp"
+
+#include <utility>
+
+namespace arachnet::core {
+
+TagFirmware::TagFirmware(sim::EventQueue* queue, Params params,
+                         std::uint64_t seed)
+    : queue_(queue),
+      params_(params),
+      rng_(seed),
+      harvester_(params.harvester),
+      mcu_(queue, params.mcu, sim::Rng{seed ^ 0x9e3779b97f4a7c15ULL}),
+      dl_demod_(params.dl),
+      protocol_(params.protocol, seed ^ 0xdeadbeefULL) {}
+
+void TagFirmware::set_link(double pzt_peak_voltage) {
+  harvester_.set_pzt_peak_voltage(pzt_peak_voltage);
+}
+
+double TagFirmware::mcu_load_amps() {
+  if (!mcu_.powered()) return 0.0;
+  const auto& power = mcu_.meter().model();
+  return power.total_current_ua(mcu_.mode()) * 1e-6;
+}
+
+void TagFirmware::start() {
+  queue_->schedule_in(params_.energy_step_s, [this] { energy_tick(); });
+}
+
+void TagFirmware::energy_tick() {
+  harvester_.set_mcu_load(mcu_load_amps());
+  harvester_.step(params_.energy_step_s);
+  mcu_.set_supply(harvester_.cap_voltage());
+
+  const bool powered = harvester_.mcu_powered();
+  if (powered && !was_powered_) {
+    // Activation (or re-activation after a brownout): the protocol state
+    // machine restarts as a newly arriving tag (Sec. 5.5).
+    mcu_.power_up();
+    protocol_.reset();
+    arm_beacon_timeout();
+  } else if (!powered && was_powered_) {
+    ++brownouts_;
+    mcu_.power_down();
+    transmitting_ = false;
+    queue_->cancel(beacon_timeout_);
+  }
+  was_powered_ = powered;
+
+  queue_->schedule_in(params_.energy_step_s, [this] { energy_tick(); });
+}
+
+void TagFirmware::arm_beacon_timeout() {
+  queue_->cancel(beacon_timeout_);
+  beacon_timeout_ =
+      mcu_.schedule_timeout(params_.beacon_timeout_s, [this] {
+        on_beacon_timeout();
+      });
+}
+
+void TagFirmware::on_beacon_timeout() {
+  if (!mcu_.powered()) return;
+  protocol_.on_beacon_loss();
+  arm_beacon_timeout();
+}
+
+void TagFirmware::deliver_beacon(const phy::DlBeacon& beacon) {
+  if (!mcu_.powered() || transmitting_) return;
+
+  // Every DL bit edge wakes the CPU: the whole beacon is RX time.
+  const double rx_duration = dl_demod_.beacon_duration(beacon);
+  mcu_.set_mode(energy::TagMode::kRx);
+  queue_->schedule_in(rx_duration, [this, beacon] {
+    if (!mcu_.powered()) return;
+    mcu_.set_mode(energy::TagMode::kIdle);
+
+    const auto decoded =
+        dl_demod_.demodulate(beacon, harvester_.cap_voltage(), rng_);
+    if (!decoded || !(*decoded == beacon)) {
+      ++beacons_lost_;
+      // A lost beacon is handled by the timeout, not here: the firmware
+      // simply never sees it.
+      return;
+    }
+    ++beacons_decoded_;
+    arm_beacon_timeout();
+
+    const bool transmit = protocol_.on_beacon(decoded->cmd);
+    if (transmit) {
+      // Politely wait 20 ms after the beacon before replying (Fig. 14).
+      queue_->schedule_in(kTagReplyDelay, [this] { begin_transmission(); });
+    }
+  });
+}
+
+void TagFirmware::begin_transmission() {
+  if (!mcu_.powered()) return;
+  transmitting_ = true;
+  mcu_.set_mode(energy::TagMode::kTx);
+
+  phy::UlPacket pkt;
+  pkt.tid = static_cast<std::uint8_t>(params_.tid & 0x0F);
+  pkt.payload = sensor_ ? (sensor_() & 0x0FFF) : 0;
+  const double duration = phy::ul_packet_duration(params_.ul_chip_rate);
+  ++packets_sent_;
+  if (transmit_) transmit_(pkt, duration);
+
+  queue_->schedule_in(duration, [this] { end_transmission(); });
+}
+
+void TagFirmware::end_transmission() {
+  transmitting_ = false;
+  if (!mcu_.powered()) return;
+  mcu_.set_mode(energy::TagMode::kIdle);
+}
+
+}  // namespace arachnet::core

@@ -1,0 +1,99 @@
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "arachnet/core/protocol.hpp"
+#include "arachnet/core/tag_state_machine.hpp"
+#include "arachnet/energy/harvester.hpp"
+#include "arachnet/mcu/dl_demodulator.hpp"
+#include "arachnet/mcu/msp430.hpp"
+#include "arachnet/phy/packet.hpp"
+#include "arachnet/sim/event_queue.hpp"
+
+namespace arachnet::core {
+
+/// A complete battery-free tag in the event-driven co-simulation: the
+/// harvesting chain charges the supercap from the acoustic link, the
+/// cutoff gates the MCU rail, and the interrupt-driven firmware runs the
+/// network state machine, waking only for DL bits (RX), UL chips (TX), or
+/// the beacon-loss timeout — reproducing the duty-cycled power profile of
+/// Table 2.
+class TagFirmware {
+ public:
+  struct Params {
+    int tid = 1;
+    TagStateMachine::Config protocol{};
+    double ul_chip_rate = phy::kDefaultUlRawBitRate;
+    mcu::DlDemodulator::Params dl{};
+    energy::Harvester::Params harvester{};
+    mcu::Msp430::Params mcu{};
+    /// Harvester integration step.
+    double energy_step_s = 10e-3;
+    /// Beacon-loss timeout: expected slot period plus margin.
+    double beacon_timeout_s = 1.5 * kDefaultSlotSeconds;
+  };
+
+  /// Sensor callback supplying the 12-bit payload for a transmission.
+  using SensorFn = std::function<std::uint16_t()>;
+  /// Callback when the tag backscatters a packet (start time, packet).
+  using TransmitFn = std::function<void(const phy::UlPacket&, double duration)>;
+
+  TagFirmware(sim::EventQueue* queue, Params params, std::uint64_t seed);
+
+  /// Sets the PZT open-circuit voltage from the deployment link budget.
+  void set_link(double pzt_peak_voltage);
+
+  /// Installs the sensing and transmit hooks.
+  void on_transmit(TransmitFn fn) { transmit_ = std::move(fn); }
+  void set_sensor(SensorFn fn) { sensor_ = std::move(fn); }
+
+  /// Starts the energy loop (charging from t = now).
+  void start();
+
+  /// Delivers a reader beacon broadcast. The firmware spends the beacon's
+  /// on-air time in RX mode (every DL bit wakes the CPU), then runs the
+  /// network operation. Does nothing while the MCU rail is down.
+  void deliver_beacon(const phy::DlBeacon& beacon);
+
+  bool activated() const noexcept { return harvester_.mcu_powered(); }
+  double cap_voltage() const noexcept { return harvester_.cap_voltage(); }
+  const TagStateMachine& protocol() const noexcept { return protocol_; }
+  mcu::Msp430& mcu() noexcept { return mcu_; }
+  const energy::Harvester& harvester() const noexcept { return harvester_; }
+
+  /// Count of beacons decoded / lost and packets sent (diagnostics).
+  std::int64_t beacons_decoded() const noexcept { return beacons_decoded_; }
+  std::int64_t beacons_lost() const noexcept { return beacons_lost_; }
+  std::int64_t packets_sent() const noexcept { return packets_sent_; }
+  std::int64_t brownouts() const noexcept { return brownouts_; }
+
+  const Params& params() const noexcept { return params_; }
+
+ private:
+  void energy_tick();
+  void arm_beacon_timeout();
+  void on_beacon_timeout();
+  void begin_transmission();
+  void end_transmission();
+  double mcu_load_amps();
+
+  sim::EventQueue* queue_;
+  Params params_;
+  sim::Rng rng_;
+  energy::Harvester harvester_;
+  mcu::Msp430 mcu_;
+  mcu::DlDemodulator dl_demod_;
+  TagStateMachine protocol_;
+  TransmitFn transmit_;
+  SensorFn sensor_;
+  sim::EventId beacon_timeout_{};
+  bool transmitting_ = false;
+  bool was_powered_ = false;
+  std::int64_t beacons_decoded_ = 0;
+  std::int64_t beacons_lost_ = 0;
+  std::int64_t packets_sent_ = 0;
+  std::int64_t brownouts_ = 0;
+};
+
+}  // namespace arachnet::core

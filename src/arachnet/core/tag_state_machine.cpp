@@ -1,0 +1,82 @@
+#include "arachnet/core/tag_state_machine.hpp"
+
+namespace arachnet::core {
+
+TagStateMachine::TagStateMachine(Config config, std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  require_permissible(config_.period);
+  pick_new_offset();
+}
+
+void TagStateMachine::pick_new_offset() {
+  offset_ = static_cast<int>(rng_.uniform_int(
+      static_cast<std::uint64_t>(config_.period)));
+}
+
+void TagStateMachine::reset() {
+  reset_protocol();
+  fresh_ = true;
+}
+
+void TagStateMachine::reset_protocol() {
+  state_ = TagState::kMigrate;
+  slot_index_ = -1;
+  nack_count_ = 0;
+  transmitted_last_ = false;
+  fresh_ = false;
+  pick_new_offset();
+}
+
+bool TagStateMachine::on_beacon(const phy::DlCommand& cmd) {
+  if (cmd.reset) {
+    reset_protocol();
+    // The RESET beacon still opens a slot; fall through to the transmit
+    // decision with the fresh state.
+  } else if (transmitted_last_) {
+    // Feedback applies only to tags that transmitted in the closed slot
+    // (Sec. 5.3: others disregard ACK/NACK).
+    if (cmd.ack) {
+      state_ = TagState::kSettle;
+      nack_count_ = 0;
+      fresh_ = false;
+    } else {
+      if (state_ == TagState::kMigrate) {
+        pick_new_offset();
+      } else if (++nack_count_ >= config_.nack_threshold) {
+        state_ = TagState::kMigrate;
+        nack_count_ = 0;
+        pick_new_offset();
+      }
+    }
+  }
+
+  // The beacon opens the next slot: advance the local index (Sec. 5.2).
+  ++slot_index_;
+
+  bool transmit =
+      (slot_index_ % config_.period) == offset_;
+  // Sec. 5.5: a tag that has never settled may only use slots the reader
+  // predicts empty. When its slot turns out occupied it re-picks an offset
+  // right away — waiting would deadlock, since without transmitting it can
+  // never receive the NACK that normally drives migration.
+  if (transmit && fresh_ && config_.empty_gating && !cmd.empty) {
+    transmit = false;
+    pick_new_offset();
+  }
+  transmitted_last_ = transmit;
+  return transmit;
+}
+
+void TagStateMachine::on_beacon_loss() {
+  // The slot boundary was never observed: s_i is not incremented, which is
+  // exactly the desynchronization of Sec. 5.4. The refined protocol reacts
+  // by re-entering MIGRATE with a fresh offset before a collision happens.
+  transmitted_last_ = false;
+  if (config_.beacon_loss_migrate) {
+    state_ = TagState::kMigrate;
+    nack_count_ = 0;
+    pick_new_offset();
+  }
+}
+
+}  // namespace arachnet::core

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstdint>
+
+#include "arachnet/core/protocol.hpp"
+#include "arachnet/phy/packet.hpp"
+#include "arachnet/sim/rng.hpp"
+
+namespace arachnet::core {
+
+/// Primary protocol state of a tag (paper Fig. 7).
+enum class TagState {
+  kMigrate,  ///< hunting for a collision-free slot offset
+  kSettle,   ///< found one; transmitting steadily
+};
+
+/// The tag-side distributed slot-allocation state machine (Sec. 5.3, with
+/// the Sec. 5.4 beacon-loss refinement and the Sec. 5.5 EMPTY gating for
+/// newly arriving tags; transition rules follow Appendix C.1).
+///
+/// Inputs are protocol events: a decoded beacon (which both closes the
+/// previous slot and opens the next) or a locally detected beacon loss.
+/// The output of on_beacon() is the transmit decision for the slot that
+/// just began.
+class TagStateMachine {
+ public:
+  struct Config {
+    int period = 4;                          ///< p_i, a power of two
+    int nack_threshold = kDefaultNackThreshold;  ///< N
+    /// Sec. 5.4 refinement: a missed beacon sends the tag to MIGRATE
+    /// immediately instead of waiting for NACKs.
+    bool beacon_loss_migrate = true;
+    /// Sec. 5.5 refinement: a tag that has never settled transmits only in
+    /// slots the reader marks EMPTY.
+    bool empty_gating = true;
+  };
+
+  TagStateMachine(Config config, std::uint64_t seed);
+
+  /// Processes a decoded beacon. The beacon's feedback flags apply to the
+  /// tag only if it transmitted in the slot the beacon closes. Returns
+  /// true if the tag must transmit in the slot now beginning.
+  bool on_beacon(const phy::DlCommand& cmd);
+
+  /// Local timer expired without a beacon: the slot index is NOT
+  /// incremented (the tag never saw the boundary); with the refinement
+  /// enabled the tag re-enters MIGRATE with a fresh offset.
+  void on_beacon_loss();
+
+  /// Power-on / activation: full reset, and the tag counts as "newly
+  /// arriving" for the Sec. 5.5 EMPTY gating until its first ACK.
+  void reset();
+
+  /// Protocol reset via the RESET command: clears slot/offset/state but
+  /// does NOT make the tag "newly arriving" — a reset restarts contention
+  /// for every tag at once, which is not the late-arrival situation the
+  /// EMPTY refinement addresses.
+  void reset_protocol();
+
+  TagState state() const noexcept { return state_; }
+  int offset() const noexcept { return offset_; }
+  int slot_index() const noexcept { return slot_index_; }
+  int nack_count() const noexcept { return nack_count_; }
+  bool transmitted_last_slot() const noexcept { return transmitted_last_; }
+  /// True until the tag receives its first ACK after (re)activation —
+  /// the population the EMPTY flag applies to.
+  bool fresh() const noexcept { return fresh_; }
+
+  const Config& config() const noexcept { return config_; }
+
+ private:
+  void pick_new_offset();
+
+  Config config_;
+  sim::Rng rng_;
+  TagState state_ = TagState::kMigrate;
+  int offset_ = 0;
+  int slot_index_ = -1;  // first beacon brings it to 0
+  int nack_count_ = 0;
+  bool transmitted_last_ = false;
+  bool fresh_ = true;
+};
+
+}  // namespace arachnet::core

@@ -1,0 +1,190 @@
+#include "arachnet/dsp/cluster.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace arachnet::dsp {
+namespace {
+
+double dist2(std::complex<double> a, std::complex<double> b) noexcept {
+  return std::norm(a - b);
+}
+
+}  // namespace
+
+KMeansResult kmeans(const std::vector<std::complex<double>>& points,
+                    std::size_t k, sim::Rng& rng, std::size_t max_iter) {
+  if (k == 0 || points.empty()) {
+    throw std::invalid_argument("kmeans: need k >= 1 and non-empty points");
+  }
+  k = std::min(k, points.size());
+
+  // k-means++ seeding: first centroid uniform, then proportional to the
+  // squared distance to the nearest chosen centroid.
+  std::vector<std::complex<double>> centroids;
+  centroids.reserve(k);
+  centroids.push_back(points[rng.uniform_int(points.size())]);
+  std::vector<double> d2(points.size());
+  while (centroids.size() < k) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      double best = std::numeric_limits<double>::max();
+      for (const auto& c : centroids) best = std::min(best, dist2(points[i], c));
+      d2[i] = best;
+      total += best;
+    }
+    if (total <= 0.0) {
+      // All remaining points coincide with a centroid; duplicate one.
+      centroids.push_back(centroids.front());
+      continue;
+    }
+    double r = rng.uniform() * total;
+    std::size_t pick = points.size() - 1;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      r -= d2[i];
+      if (r <= 0.0) {
+        pick = i;
+        break;
+      }
+    }
+    centroids.push_back(points[pick]);
+  }
+
+  KMeansResult result;
+  result.assignment.assign(points.size(), 0);
+  for (std::size_t iter = 0; iter < max_iter; ++iter) {
+    bool changed = false;
+    // Assign.
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      std::size_t best = 0;
+      double best_d = std::numeric_limits<double>::max();
+      for (std::size_t c = 0; c < centroids.size(); ++c) {
+        const double d = dist2(points[i], centroids[c]);
+        if (d < best_d) {
+          best_d = d;
+          best = c;
+        }
+      }
+      if (result.assignment[i] != best) {
+        result.assignment[i] = best;
+        changed = true;
+      }
+    }
+    // Update.
+    std::vector<std::complex<double>> sums(centroids.size(), {0.0, 0.0});
+    std::vector<std::size_t> counts(centroids.size(), 0);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      sums[result.assignment[i]] += points[i];
+      ++counts[result.assignment[i]];
+    }
+    for (std::size_t c = 0; c < centroids.size(); ++c) {
+      if (counts[c] > 0) {
+        centroids[c] = sums[c] / static_cast<double>(counts[c]);
+      }
+    }
+    if (!changed && iter > 0) break;
+  }
+
+  result.centroids = centroids;
+  result.inertia = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    result.inertia += dist2(points[i], centroids[result.assignment[i]]);
+  }
+  return result;
+}
+
+namespace {
+
+/// Trimmed RMS radius of each cluster; returns the largest.
+double max_cluster_rms(const std::vector<std::complex<double>>& points,
+                       const KMeansResult& result, double trim_fraction) {
+  const std::size_t k = result.centroids.size();
+  double worst = 0.0;
+  for (std::size_t c = 0; c < k; ++c) {
+    std::vector<double> d2;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      if (result.assignment[i] == c) {
+        d2.push_back(dist2(points[i], result.centroids[c]));
+      }
+    }
+    if (d2.empty()) continue;
+    std::sort(d2.begin(), d2.end());
+    const auto keep = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               static_cast<double>(d2.size()) * (1.0 - trim_fraction)));
+    double sum = 0.0;
+    for (std::size_t i = 0; i < keep; ++i) sum += d2[i];
+    worst = std::max(worst, std::sqrt(sum / static_cast<double>(keep)));
+  }
+  return worst;
+}
+
+}  // namespace
+
+std::size_t estimate_cluster_count(
+    const std::vector<std::complex<double>>& points, sim::Rng& rng,
+    const ClusterCountParams& params) {
+  if (points.empty()) return 0;
+  if (points.size() < 8) return 1;
+
+  for (std::size_t k = params.k_max; k >= 2; --k) {
+    const auto result = kmeans(points, k, rng);
+    if (result.centroids.size() < k) continue;
+
+    // Population check: every cluster must hold a real share of points.
+    std::vector<std::size_t> counts(k, 0);
+    for (auto a : result.assignment) ++counts[a];
+    const auto min_count = static_cast<std::size_t>(
+        params.min_cluster_fraction * static_cast<double>(points.size()));
+    bool populated = true;
+    for (auto c : counts) {
+      if (c < std::max<std::size_t>(3, min_count)) {
+        populated = false;
+        break;
+      }
+    }
+    if (!populated) continue;
+
+    // Separation check: blobs must be far apart relative to their size.
+    double min_sep = std::numeric_limits<double>::max();
+    for (std::size_t a = 0; a < k; ++a) {
+      for (std::size_t b = a + 1; b < k; ++b) {
+        min_sep = std::min(min_sep, std::sqrt(dist2(result.centroids[a],
+                                                    result.centroids[b])));
+      }
+    }
+    const double rms = max_cluster_rms(points, result, params.trim_fraction);
+    if (rms <= 0.0) return k;  // degenerate: identical points per cluster
+    if (min_sep >= params.separation_ratio * rms) return k;
+  }
+  return 1;
+}
+
+std::vector<std::complex<double>> filter_transitions(
+    const std::vector<std::complex<double>>& points, double factor) {
+  if (points.size() < 3) return points;
+  std::vector<double> steps(points.size() - 1);
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    steps[i - 1] = std::abs(points[i] - points[i - 1]);
+  }
+  std::vector<double> sorted = steps;
+  std::nth_element(sorted.begin(), sorted.begin() + sorted.size() / 2,
+                   sorted.end());
+  const double median = sorted[sorted.size() / 2];
+  const double limit = factor * (median > 0.0 ? median : 1e-12);
+  std::vector<std::complex<double>> kept;
+  kept.reserve(points.size());
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    if (steps[i - 1] <= limit) kept.push_back(points[i]);
+  }
+  return kept.empty() ? points : kept;
+}
+
+bool detect_collision_iq(const std::vector<std::complex<double>>& points,
+                         sim::Rng& rng, const ClusterCountParams& params) {
+  return estimate_cluster_count(filter_transitions(points), rng, params) > 2;
+}
+
+}  // namespace arachnet::dsp

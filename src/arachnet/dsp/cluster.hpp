@@ -1,0 +1,68 @@
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "arachnet/sim/rng.hpp"
+
+namespace arachnet::dsp {
+
+/// Result of a k-means run over IQ points.
+struct KMeansResult {
+  std::vector<std::complex<double>> centroids;
+  std::vector<std::size_t> assignment;  ///< per point, centroid index
+  double inertia = 0.0;                 ///< sum of squared distances
+};
+
+/// Lloyd's k-means over complex (IQ) points with k-means++-style seeding.
+/// Deterministic given the rng seed.
+KMeansResult kmeans(const std::vector<std::complex<double>>& points,
+                    std::size_t k, sim::Rng& rng, std::size_t max_iter = 50);
+
+/// Estimates the number of distinct IQ clusters in a slot's baseband
+/// samples — the reader's capture-effect collision detector (Sec. 5.3):
+/// one backscattering tag yields 2 clusters (absorb/reflect states around
+/// the leak phasor); more than 2 means overlapping transmissions.
+///
+/// Method: backscatter IQ states are tight blobs (channel-noise sigma)
+/// separated by the modulation depth, so a candidate clustering is valid
+/// only when every pair of centroids is separated by several times the
+/// largest intra-cluster RMS and no cluster is a sliver. The estimate is
+/// the largest valid k in 2..k_max, else 1. (An inertia "elbow" cannot be
+/// used: k-means keeps reducing the inertia of a single Gaussian blob.)
+struct ClusterCountParams {
+  std::size_t k_max = 6;
+  /// Required ratio of minimum centroid separation to the largest
+  /// intra-cluster RMS radius.
+  double separation_ratio = 2.5;
+  /// Minimum fraction of points per cluster (rejects sliver clusters made
+  /// of transition samples).
+  double min_cluster_fraction = 0.05;
+  /// Fraction of farthest points ignored when computing a cluster's RMS
+  /// radius. Ring-limited transitions smear samples between states — with
+  /// two overlapping tags they can exceed 10%% of a slot — so the trim
+  /// must cover them.
+  double trim_fraction = 0.25;
+};
+
+std::size_t estimate_cluster_count(
+    const std::vector<std::complex<double>>& points, sim::Rng& rng,
+    const ClusterCountParams& params = {});
+
+/// Removes inter-state transition samples before clustering: reflection
+/// states are quasi-static (successive IQ samples move only by noise)
+/// while ring-limited transitions sweep arcs between states. Keeps points
+/// whose step to the previous sample is <= `factor` times the median step.
+/// Without this, a strong tag's transition arcs inflate cluster radii and
+/// mask a weak tag's states.
+std::vector<std::complex<double>> filter_transitions(
+    const std::vector<std::complex<double>>& points, double factor = 4.0);
+
+/// Convenience: collision when more than two clusters are present among
+/// the quasi-static (velocity-gated) samples.
+bool detect_collision_iq(const std::vector<std::complex<double>>& points,
+                         sim::Rng& rng,
+                         const ClusterCountParams& params = {});
+
+}  // namespace arachnet::dsp

@@ -1,0 +1,82 @@
+#include "arachnet/dsp/ddc.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace arachnet::dsp {
+
+Ddc::Ddc(Params params)
+    : params_(params),
+      lpf_(design_lowpass(params.cutoff_hz, params.sample_rate_hz,
+                          params.taps)) {
+  if (params_.decimation == 0) {
+    throw std::invalid_argument("Ddc: decimation must be >= 1");
+  }
+  set_carrier(params_.carrier_hz);
+}
+
+void Ddc::set_carrier(double hz) noexcept {
+  params_.carrier_hz = hz;
+  phase_step_ = 2.0 * std::numbers::pi * hz / params_.sample_rate_hz;
+}
+
+std::optional<std::complex<double>> Ddc::push(double sample) {
+  // Mix with e^{-j w t}: shifts the 90 kHz band to DC.
+  const std::complex<double> mixed{sample * std::cos(phase_),
+                                   -sample * std::sin(phase_)};
+  phase_ += phase_step_;
+  if (phase_ > 2.0 * std::numbers::pi) phase_ -= 2.0 * std::numbers::pi;
+  const auto filtered = lpf_.push(mixed);
+  if (++decim_count_ >= params_.decimation) {
+    decim_count_ = 0;
+    return filtered;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::complex<double>> Ddc::process(
+    const std::vector<double>& block) {
+  std::vector<std::complex<double>> out;
+  out.reserve(block.size() / params_.decimation + 1);
+  for (double s : block) {
+    if (const auto iq = push(s)) out.push_back(*iq);
+  }
+  return out;
+}
+
+void Ddc::reset() {
+  lpf_.reset();
+  phase_ = 0.0;
+  decim_count_ = 0;
+}
+
+double estimate_frequency_offset(const std::vector<std::complex<double>>& iq,
+                                 double iq_rate_hz) {
+  if (iq.size() < 2) return 0.0;
+  // Mean of the one-lag phase increments, weighted by magnitude product —
+  // robust to the modulation because the leak dominates.
+  std::complex<double> acc{0.0, 0.0};
+  for (std::size_t i = 1; i < iq.size(); ++i) {
+    acc += iq[i] * std::conj(iq[i - 1]);
+  }
+  const double dphi = std::arg(acc);
+  return dphi * iq_rate_hz / (2.0 * std::numbers::pi);
+}
+
+std::vector<std::complex<double>> derotate(
+    const std::vector<std::complex<double>>& iq, double iq_rate_hz,
+    double offset_hz) {
+  std::vector<std::complex<double>> out(iq.size());
+  const double step = -2.0 * std::numbers::pi * offset_hz / iq_rate_hz;
+  double phase = 0.0;
+  for (std::size_t i = 0; i < iq.size(); ++i) {
+    out[i] = iq[i] * std::complex<double>{std::cos(phase), std::sin(phase)};
+    phase += step;
+    if (phase > 2.0 * std::numbers::pi) phase -= 2.0 * std::numbers::pi;
+    if (phase < -2.0 * std::numbers::pi) phase += 2.0 * std::numbers::pi;
+  }
+  return out;
+}
+
+}  // namespace arachnet::dsp

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "arachnet/dsp/fir.hpp"
+
+namespace arachnet::dsp {
+
+/// Digital down-converter: mixes the real 500 kS/s DAQ stream with a
+/// numerically controlled oscillator at the carrier frequency, low-pass
+/// filters the product, and decimates. Output is complex baseband IQ at
+/// sample_rate / decimation.
+///
+/// This is the first block of the paper's reader software chain
+/// ("down conversion, ... filtering, decimation", Sec. 6.1).
+class Ddc {
+ public:
+  struct Params {
+    double sample_rate_hz = 500e3;
+    double carrier_hz = 90e3;
+    std::size_t decimation = 16;   ///< output rate 31.25 kS/s by default
+    double cutoff_hz = 6e3;        ///< anti-alias + modulation bandwidth
+    std::size_t taps = 129;
+  };
+
+  explicit Ddc(Params params);
+
+  /// Processes a block of real samples; returns the decimated IQ samples
+  /// produced (0 or more per call).
+  std::vector<std::complex<double>> process(const std::vector<double>& block);
+
+  /// Pushes a single sample; yields an IQ sample every `decimation` inputs.
+  std::optional<std::complex<double>> push(double sample);
+
+  double output_rate_hz() const noexcept {
+    return params_.sample_rate_hz / static_cast<double>(params_.decimation);
+  }
+
+  /// Adjusts the NCO (e.g. after frequency-offset calibration).
+  void set_carrier(double hz) noexcept;
+
+  void reset();
+
+  const Params& params() const noexcept { return params_; }
+
+ private:
+  Params params_;
+  FirFilter<std::complex<double>> lpf_;
+  double phase_ = 0.0;
+  double phase_step_ = 0.0;
+  std::size_t decim_count_ = 0;
+};
+
+/// Estimates a small carrier-frequency offset from decimated IQ: the slope
+/// of the unwrapped phase of the (DC-dominated) leak component. Returns Hz.
+double estimate_frequency_offset(const std::vector<std::complex<double>>& iq,
+                                 double iq_rate_hz);
+
+/// Derotates IQ by `-offset_hz` (frequency-offset calibration block).
+std::vector<std::complex<double>> derotate(
+    const std::vector<std::complex<double>>& iq, double iq_rate_hz,
+    double offset_hz);
+
+}  // namespace arachnet::dsp

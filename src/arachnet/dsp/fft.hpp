@@ -1,0 +1,25 @@
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace arachnet::dsp {
+
+using cplx = std::complex<double>;
+
+/// In-place iterative radix-2 Cooley-Tukey FFT. `data.size()` must be a
+/// power of two. `inverse` applies the conjugate transform and 1/N scaling.
+void fft(std::vector<cplx>& data, bool inverse = false);
+
+/// Forward FFT of a real signal (zero-padded to the next power of two when
+/// needed). Returns the full complex spectrum.
+std::vector<cplx> fft_real(const std::vector<double>& signal);
+
+/// True if n is a power of two (and nonzero).
+bool is_pow2(std::size_t n) noexcept;
+
+/// Smallest power of two >= n.
+std::size_t next_pow2(std::size_t n) noexcept;
+
+}  // namespace arachnet::dsp

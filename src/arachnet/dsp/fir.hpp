@@ -1,0 +1,75 @@
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace arachnet::dsp {
+
+/// Windowed-sinc low-pass FIR design (Hamming window).
+/// `cutoff_hz` is the -6 dB edge; `taps` must be odd for a symmetric,
+/// linear-phase filter.
+std::vector<double> design_lowpass(double cutoff_hz, double sample_rate_hz,
+                                   std::size_t taps);
+
+/// Streaming FIR filter over real or complex samples.
+template <typename Sample>
+class FirFilter {
+ public:
+  explicit FirFilter(std::vector<double> coeffs)
+      : coeffs_(std::move(coeffs)), history_(coeffs_.size(), Sample{}) {}
+
+  /// Pushes one sample, returns the filtered output.
+  Sample push(Sample x) {
+    history_[pos_] = x;
+    Sample acc{};
+    std::size_t idx = pos_;
+    for (double c : coeffs_) {
+      acc += history_[idx] * c;
+      idx = (idx == 0) ? history_.size() - 1 : idx - 1;
+    }
+    pos_ = (pos_ + 1) % history_.size();
+    return acc;
+  }
+
+  void reset() {
+    std::fill(history_.begin(), history_.end(), Sample{});
+    pos_ = 0;
+  }
+
+  std::size_t taps() const noexcept { return coeffs_.size(); }
+  /// Group delay in samples (symmetric linear-phase filter).
+  double group_delay() const noexcept {
+    return static_cast<double>(coeffs_.size() - 1) / 2.0;
+  }
+
+ private:
+  std::vector<double> coeffs_;
+  std::vector<Sample> history_;
+  std::size_t pos_ = 0;
+};
+
+/// One-pole DC blocker: y[n] = x[n] - x[n-1] + r * y[n-1]. Removes the
+/// static carrier-leak component from the demodulated envelope while
+/// passing the FM0 modulation (which has no DC content by construction).
+class DcBlocker {
+ public:
+  /// `r` close to 1 gives a lower cutoff.
+  explicit DcBlocker(double r = 0.999) : r_(r) {}
+
+  double push(double x) noexcept {
+    const double y = x - prev_x_ + r_ * prev_y_;
+    prev_x_ = x;
+    prev_y_ = y;
+    return y;
+  }
+
+  void reset() noexcept { prev_x_ = prev_y_ = 0.0; }
+
+ private:
+  double r_;
+  double prev_x_ = 0.0;
+  double prev_y_ = 0.0;
+};
+
+}  // namespace arachnet::dsp

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace arachnet::dsp {
+
+/// Welch power-spectral-density estimate of a real signal.
+///
+/// Hann-windowed segments with 50% overlap, periodogram-averaged. Used by
+/// the reader to compute backscatter SNR exactly the way the paper does
+/// (Sec. 6.3: "dividing the backscattering frequency power by the
+/// surrounding frequency power via PSD").
+class WelchPsd {
+ public:
+  struct Params {
+    std::size_t segment_size = 4096;  ///< must be a power of two
+    double sample_rate_hz = 500e3;
+  };
+
+  explicit WelchPsd(Params params);
+
+  /// PSD estimate; bin i covers frequency i * bin_width().
+  std::vector<double> estimate(const std::vector<double>& signal) const;
+
+  double bin_width() const noexcept;
+  std::size_t bins() const noexcept;  ///< one-sided bin count
+
+  /// Frequency of a bin centre.
+  double bin_frequency(std::size_t bin) const noexcept;
+
+  const Params& params() const noexcept { return params_; }
+
+ private:
+  Params params_;
+};
+
+/// Backscatter SNR metric from a PSD: total power in
+/// [centre - signal_bw/2, centre + signal_bw/2] over the mean power density
+/// of the surrounding band of width `noise_bw` (signal band excluded),
+/// scaled to the same bandwidth. Returns the ratio in dB.
+double band_snr_db(const std::vector<double>& psd, double bin_width,
+                   double centre_hz, double signal_bw_hz, double noise_bw_hz);
+
+}  // namespace arachnet::dsp

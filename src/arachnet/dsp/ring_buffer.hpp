@@ -1,0 +1,103 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace arachnet::dsp {
+
+/// Bounded single-producer/single-consumer queue with back-pressure.
+///
+/// The paper's reader software connects adjacent processing blocks with
+/// "a buffer with a back-pressure mechanism to manage data flow"
+/// (Sec. 6.1); this is that buffer. `push` blocks while the queue is full
+/// (back-pressure on the producer); `pop` blocks while it is empty.
+/// `close()` wakes everyone and makes further pushes fail and pops drain
+/// then return nullopt — the shutdown path.
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// Blocking push; returns false if the buffer was closed.
+  bool push(T value) {
+    std::unique_lock lock{mutex_};
+    not_full_.wait(lock, [&] { return queue_.size() < capacity_ || closed_; });
+    if (closed_) return false;
+    queue_.push_back(std::move(value));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push; returns false when full or closed.
+  bool try_push(T value) {
+    {
+      std::lock_guard lock{mutex_};
+      if (closed_ || queue_.size() >= capacity_) return false;
+      queue_.push_back(std::move(value));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocking pop; returns nullopt once closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock lock{mutex_};
+    not_empty_.wait(lock, [&] { return !queue_.empty() || closed_; });
+    if (queue_.empty()) return std::nullopt;  // closed and drained
+    T value = std::move(queue_.front());
+    queue_.erase(queue_.begin());
+    lock.unlock();
+    not_full_.notify_one();
+    return value;
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> try_pop() {
+    std::optional<T> value;
+    {
+      std::lock_guard lock{mutex_};
+      if (queue_.empty()) return std::nullopt;
+      value = std::move(queue_.front());
+      queue_.erase(queue_.begin());
+    }
+    not_full_.notify_one();
+    return value;
+  }
+
+  /// Closes the buffer: producers fail fast, consumers drain then stop.
+  void close() {
+    {
+      std::lock_guard lock{mutex_};
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard lock{mutex_};
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock{mutex_};
+    return queue_.size();
+  }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::vector<T> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace arachnet::dsp

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstddef>
+
+namespace arachnet::dsp {
+
+/// Decision-directed two-level slicer for OOK envelopes.
+///
+/// Tracks the high and low signal levels directly (whichever the sample is
+/// closer to, with fast capture for samples outside the current band) and
+/// slices at their midpoint with hysteresis proportional to the level
+/// separation. Unlike AC-coupling + fixed-threshold slicing this has no
+/// settling transient at packet start and no droop on long runs, so it
+/// works unchanged from 93.75 to 3000 chips/s.
+///
+/// A squelch keeps the output frozen while the level separation is below
+/// `floor` (channel noise between packets), and both levels leak slowly
+/// toward the input so a strong packet's levels do not mask a following
+/// weak one.
+class AdaptiveSlicer {
+ public:
+  struct Params {
+    double track_alpha = 0.05;  ///< in-band level tracking rate
+    double capture_alpha = 0.5; ///< out-of-band fast capture rate
+    double leak_alpha = 0.002;  ///< always-on decay toward the input
+    double hysteresis = 0.25;   ///< band half-width as fraction of separation
+    double floor = 0.002;       ///< minimum separation for slicing (squelch)
+  };
+
+  AdaptiveSlicer();  // default params
+  explicit AdaptiveSlicer(Params params) : params_(params) {}
+
+  /// Feeds one envelope sample; returns the sliced level.
+  bool push(double x) noexcept;
+
+  bool level() const noexcept { return level_; }
+  double high() const noexcept { return hi_; }
+  double low() const noexcept { return lo_; }
+  double separation() const noexcept { return hi_ - lo_; }
+  bool squelched() const noexcept { return separation() < params_.floor; }
+
+  void reset() noexcept;
+
+  const Params& params() const noexcept { return params_; }
+
+ private:
+  Params params_;
+  double hi_ = 0.0;
+  double lo_ = 0.0;
+  bool primed_ = false;
+  bool level_ = false;
+};
+
+/// Debouncer: a level transition is accepted only after `hold` consecutive
+/// samples of the new level. Suppresses noise glitches shorter than a
+/// fraction of a chip; both edges shift by the same `hold` samples, so run
+/// durations are preserved.
+class Debouncer {
+ public:
+  explicit Debouncer(std::size_t hold = 1);
+
+  /// Feeds one raw level; returns the debounced level.
+  bool push(bool level) noexcept;
+
+  bool level() const noexcept { return stable_; }
+  void reset() noexcept;
+
+ private:
+  std::size_t hold_;
+  bool stable_ = false;
+  bool candidate_ = false;
+  std::size_t count_ = 0;
+  bool primed_ = false;
+};
+
+}  // namespace arachnet::dsp

@@ -1,0 +1,48 @@
+#include "arachnet/energy/ambient.hpp"
+
+namespace arachnet::energy {
+
+std::string_view to_string(DriveState state) noexcept {
+  switch (state) {
+    case DriveState::kParked:
+      return "parked";
+    case DriveState::kIdle:
+      return "idle";
+    case DriveState::kCity:
+      return "city";
+    case DriveState::kHighway:
+      return "highway";
+  }
+  return "?";
+}
+
+double AmbientVibrationSource::dominant_frequency_hz(
+    DriveState state) noexcept {
+  switch (state) {
+    case DriveState::kParked:
+      return 0.0;
+    case DriveState::kIdle:
+      return 25.0;  // idle hum
+    case DriveState::kCity:
+      return 12.0;  // suspension / road input
+    case DriveState::kHighway:
+      return 18.0;
+  }
+  return 0.0;
+}
+
+double AmbientVibrationSource::current(DriveState state) const noexcept {
+  switch (state) {
+    case DriveState::kParked:
+      return 0.0;
+    case DriveState::kIdle:
+      return params_.idle_current_a;
+    case DriveState::kCity:
+      return params_.city_current_a;
+    case DriveState::kHighway:
+      return params_.highway_current_a;
+  }
+  return 0.0;
+}
+
+}  // namespace arachnet::energy

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <string_view>
+
+namespace arachnet::energy {
+
+/// Vehicle operating state, determining the ambient vibration environment
+/// (road and powertrain excitation sits below 0.1 kHz — paper Sec. 2.2).
+enum class DriveState {
+  kParked,   ///< no excitation
+  kIdle,     ///< engine/compressor idle: weak narrowband hum
+  kCity,     ///< stop-and-go: broadband, moderate
+  kHighway,  ///< sustained speed: strongest broadband excitation
+};
+
+std::string_view to_string(DriveState state) noexcept;
+
+/// Ambient-vibration energy source (the paper's future-work enhancement:
+/// "harvesting ambient vibrations remains a promising enhancement").
+///
+/// The communication PZT is resonant at 90 kHz and rejects sub-100 Hz
+/// excitation (which is why driving does not disturb the link), so
+/// ambient harvesting needs its own low-frequency harvester — modelled
+/// here as a small cantilever PZT tuned near the dominant road-input
+/// frequency, delivering a state-dependent DC charging current.
+class AmbientVibrationSource {
+ public:
+  struct Params {
+    /// Harvested DC current per state (A), after rectification. Orders of
+    /// magnitude follow published low-frequency automotive PZT harvesters
+    /// (tens of uW at highway speeds).
+    double idle_current_a = 1.5e-6;
+    double city_current_a = 6.0e-6;
+    double highway_current_a = 15.0e-6;
+  };
+
+  AmbientVibrationSource() : AmbientVibrationSource(Params{}) {}
+  explicit AmbientVibrationSource(Params p) : params_(p) {}
+
+  /// Dominant excitation frequency of the state (for documentation and
+  /// the out-of-band check against the 90 kHz link).
+  static double dominant_frequency_hz(DriveState state) noexcept;
+
+  /// Harvested DC current in the given state.
+  double current(DriveState state) const noexcept;
+
+  const Params& params() const noexcept { return params_; }
+
+ private:
+  Params params_{};
+};
+
+}  // namespace arachnet::energy

@@ -1,0 +1,28 @@
+#include "arachnet/energy/cutoff.hpp"
+
+namespace arachnet::energy {
+
+double CutoffCircuit::high_threshold() const noexcept {
+  return params_.vref * (params_.r1_ohm + params_.r2_ohm + params_.r3_ohm) /
+         params_.r3_ohm;
+}
+
+double CutoffCircuit::low_threshold() const noexcept {
+  return params_.vref * (params_.r1_ohm + params_.r2_ohm + params_.r3_ohm) /
+         (params_.r2_ohm + params_.r3_ohm);
+}
+
+bool CutoffCircuit::update(double cap_voltage) noexcept {
+  if (!engaged_ && cap_voltage >= high_threshold()) {
+    engaged_ = true;
+  } else if (engaged_ && cap_voltage <= low_threshold()) {
+    engaged_ = false;
+  }
+  return engaged_;
+}
+
+double CutoffCircuit::quiescent_power(double cap_voltage) const noexcept {
+  return params_.quiescent_current_a * cap_voltage;
+}
+
+}  // namespace arachnet::energy

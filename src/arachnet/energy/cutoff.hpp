@@ -1,0 +1,52 @@
+#pragma once
+
+namespace arachnet::energy {
+
+/// Low-voltage cutoff circuit with hysteresis (paper Appendix A).
+///
+/// A comparator watches the supercapacitor through a three-resistor divider;
+/// its open-drain output switches R2 in or out of the lower divider leg,
+/// yielding two thresholds:
+///   HTH = VREF * (R1 + R2 + R3) / R3          (connect at 2.3 V)
+///   LTH = VREF * (R1 + R2 + R3) / (R2 + R3)   (disconnect at 1.95 V)
+/// Power flows to the MCU only between those thresholds (hysteresis band).
+class CutoffCircuit {
+ public:
+  struct Params {
+    double vref = 1.24;
+    double r1_ohm = 680e3;
+    double r2_ohm = 180e3;
+    double r3_ohm = 1e6;
+    /// Quiescent draw of the comparator + divider; the paper keeps this
+    /// below 1 uA.
+    double quiescent_current_a = 0.8e-6;
+  };
+
+  CutoffCircuit() = default;
+  explicit CutoffCircuit(Params p) : params_(p) {}
+
+  /// High (connect) threshold derived from the divider equations.
+  double high_threshold() const noexcept;
+
+  /// Low (disconnect) threshold derived from the divider equations.
+  double low_threshold() const noexcept;
+
+  /// Advances the hysteresis state machine with the current cap voltage;
+  /// returns true when the MCU rail is energized.
+  bool update(double cap_voltage) noexcept;
+
+  /// Current output state without advancing.
+  bool engaged() const noexcept { return engaged_; }
+
+  /// Quiescent power draw at the given cap voltage (always present — this
+  /// is the "always watching" cost the charging-time experiment includes).
+  double quiescent_power(double cap_voltage) const noexcept;
+
+  const Params& params() const noexcept { return params_; }
+
+ private:
+  Params params_{};
+  bool engaged_ = false;
+};
+
+}  // namespace arachnet::energy

@@ -1,0 +1,19 @@
+#include "arachnet/energy/diode.hpp"
+
+#include <cmath>
+
+namespace arachnet::energy {
+
+double SchottkyDiode::forward_drop(double current_a) const {
+  if (current_a <= 0.0) return 0.0;
+  return params_.ideality_thermal_v *
+         std::log1p(current_a / params_.saturation_current_a);
+}
+
+double SchottkyDiode::forward_current(double voltage_v) const {
+  if (voltage_v <= 0.0) return 0.0;
+  return params_.saturation_current_a *
+         std::expm1(voltage_v / params_.ideality_thermal_v);
+}
+
+}  // namespace arachnet::energy

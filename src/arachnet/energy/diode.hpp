@@ -1,0 +1,31 @@
+#pragma once
+
+namespace arachnet::energy {
+
+/// Shockley-style diode model tuned to a small-signal Schottky
+/// (CDBU0130L-class): forward drop ~0.15 V at 1 mA, well under 0.1 V in the
+/// microamp regime that the multiplier stages see.
+class SchottkyDiode {
+ public:
+  struct Params {
+    double saturation_current_a = 4e-6;  ///< Is
+    double ideality_thermal_v = 0.0271;  ///< n * Vt at room temperature
+  };
+
+  SchottkyDiode() = default;
+  explicit SchottkyDiode(Params p) : params_(p) {}
+
+  /// Forward voltage drop at the given forward current (A). Clamped to 0
+  /// for non-positive currents.
+  double forward_drop(double current_a) const;
+
+  /// Forward current at the given applied voltage (V).
+  double forward_current(double voltage_v) const;
+
+  const Params& params() const noexcept { return params_; }
+
+ private:
+  Params params_{};
+};
+
+}  // namespace arachnet::energy

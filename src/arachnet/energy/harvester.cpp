@@ -1,0 +1,72 @@
+#include "arachnet/energy/harvester.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace arachnet::energy {
+
+Harvester::Harvester(Params p)
+    : params_(p),
+      multiplier_(p.multiplier),
+      cap_(p.cap),
+      cutoff_(p.cutoff) {}
+
+void Harvester::set_pzt_peak_voltage(double vp_open) { vp_open_ = vp_open; }
+
+double Harvester::amplified_voltage() const {
+  return multiplier_.output_voltage(vp_open_);
+}
+
+double Harvester::charge_current() const {
+  const double voc = amplified_voltage();
+  return std::max(0.0, (voc - cap_.voltage()) / params_.output_impedance_ohm);
+}
+
+double Harvester::net_current_at(double cap_voltage,
+                                 double extra_load_a) const {
+  const double voc = amplified_voltage();
+  const double i_charge =
+      std::max(0.0, (voc - cap_voltage) / params_.output_impedance_ohm);
+  const double drain_a = params_.frontend_current_a +
+                         cutoff_.params().quiescent_current_a + extra_load_a;
+  // Cap self-leakage is handled inside Supercapacitor::apply_current.
+  return i_charge + ambient_a_ - drain_a;
+}
+
+void Harvester::step(double dt) {
+  const double extra = cutoff_.engaged() ? mcu_load_a_ : 0.0;
+  cap_.apply_current(net_current_at(cap_.voltage(), extra), dt);
+  if (cap_.voltage() > params_.clamp_voltage) {
+    cap_.set_voltage(params_.clamp_voltage);  // shunt clamp burns the excess
+  }
+  cutoff_.update(cap_.voltage());
+}
+
+double Harvester::charge_time(double v_start, double v_target,
+                              double dt) const {
+  Supercapacitor cap{params_.cap};
+  cap.set_voltage(v_start);
+  double t = 0.0;
+  const double t_max = 3600.0;  // give up after an hour of simulated time
+  while (cap.voltage() < v_target) {
+    const double i = net_current_at(cap.voltage(), 0.0);
+    const double before = cap.voltage();
+    cap.apply_current(i, dt);
+    t += dt;
+    if (t > t_max) return -1.0;
+    if (i <= 0.0 && cap.voltage() <= before && before < v_target) {
+      return -1.0;  // stalled below target
+    }
+  }
+  return t;
+}
+
+double Harvester::net_charging_power(double v_target) const {
+  const double t = charge_time(0.0, v_target);
+  if (t <= 0.0) return 0.0;
+  Supercapacitor cap{params_.cap};
+  cap.set_voltage(v_target);
+  return cap.energy() / t;
+}
+
+}  // namespace arachnet::energy

@@ -1,0 +1,92 @@
+#pragma once
+
+#include "arachnet/energy/cutoff.hpp"
+#include "arachnet/energy/multiplier.hpp"
+#include "arachnet/energy/supercap.hpp"
+
+namespace arachnet::energy {
+
+/// The tag's complete harvesting chain: PZT open-circuit voltage ->
+/// multi-stage multiplier -> supercapacitor behind the low-voltage cutoff.
+///
+/// Electrically the pump behaves as a DC source of `Voc` (the multiplied
+/// open-circuit voltage) behind an output impedance `Rout` (the classic
+/// Dickson N/(f C) plus reflected source impedance), charging the cap as an
+/// RC circuit. Leakage from the cap itself, the cutoff divider, and the
+/// always-on DL envelope-detector frontend is subtracted — the paper's
+/// charging-time experiment explicitly includes the latter two.
+class Harvester {
+ public:
+  struct Params {
+    VoltageMultiplier::Params multiplier{};
+    Supercapacitor::Params cap{};
+    CutoffCircuit::Params cutoff{};
+    /// Pump output impedance seen by the storage cap.
+    double output_impedance_ohm = 33e3;
+    /// Always-on DL demodulation frontend draw (envelope detector bias +
+    /// comparator).
+    double frontend_current_a = 1.0e-6;
+    /// Overvoltage clamp (shunt zener): strong links would otherwise pump
+    /// the cap far beyond the MCU's rating and detune the VLO; the paper's
+    /// tags operate in the 1.95-2.3 V band.
+    double clamp_voltage = 2.5;
+  };
+
+  Harvester() = default;
+  explicit Harvester(Params p);
+
+  /// Sets the PZT open-circuit peak voltage (from the acoustic link budget).
+  void set_pzt_peak_voltage(double vp_open);
+  double pzt_peak_voltage() const noexcept { return vp_open_; }
+
+  /// The multiplied open-circuit voltage currently available (Fig. 11a's
+  /// quantity).
+  double amplified_voltage() const;
+
+  /// Instantaneous charging current into the cap at its present voltage.
+  double charge_current() const;
+
+  /// Advances the chain by `dt` seconds (charging minus leakage), updating
+  /// the cutoff state machine.
+  void step(double dt);
+
+  /// Additional load on the cap while the MCU rail is engaged, in amps
+  /// (set by the firmware according to its operating mode).
+  void set_mcu_load(double amps) noexcept { mcu_load_a_ = amps; }
+
+  /// Additional charging current from an ambient-vibration harvester
+  /// (paper Sec. 2.2 future work; see energy/ambient.hpp).
+  void set_ambient_current(double amps) noexcept { ambient_a_ = amps; }
+  double ambient_current() const noexcept { return ambient_a_; }
+
+  double cap_voltage() const noexcept { return cap_.voltage(); }
+  bool mcu_powered() const noexcept { return cutoff_.engaged(); }
+
+  Supercapacitor& cap() noexcept { return cap_; }
+  const CutoffCircuit& cutoff() const noexcept { return cutoff_; }
+  const VoltageMultiplier& multiplier() const noexcept { return multiplier_; }
+
+  /// Simulated time to charge the cap from `v_start` to `v_target` with the
+  /// MCU rail unloaded (the Fig. 11b experiment: 0 V -> HTH). Returns a
+  /// negative value if the target is unreachable (insufficient Voc).
+  double charge_time(double v_start, double v_target, double dt = 1e-3) const;
+
+  /// Net charging power implied by charging from 0 to `v_target`:
+  /// cap energy at target divided by charge time (the paper's metric).
+  double net_charging_power(double v_target) const;
+
+  const Params& params() const noexcept { return params_; }
+
+ private:
+  double net_current_at(double cap_voltage, double extra_load_a) const;
+
+  Params params_{};
+  VoltageMultiplier multiplier_{};
+  Supercapacitor cap_{};
+  CutoffCircuit cutoff_{};
+  double vp_open_ = 0.0;
+  double mcu_load_a_ = 0.0;
+  double ambient_a_ = 0.0;
+};
+
+}  // namespace arachnet::energy

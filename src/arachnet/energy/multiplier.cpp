@@ -1,0 +1,50 @@
+#include "arachnet/energy/multiplier.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace arachnet::energy {
+
+VoltageMultiplier::VoltageMultiplier(Params p) : params_(p) {
+  if (p.stages < 1) {
+    throw std::invalid_argument("VoltageMultiplier: stages must be >= 1");
+  }
+}
+
+double VoltageMultiplier::effective_input_peak(double vp_open) const {
+  // The pump's input impedance scales as 1/(N f C): every stage transfers
+  // one capacitor charge per cycle. The PZT source impedance forms a
+  // divider with it.
+  const double zin = 1.0 / (static_cast<double>(params_.stages) *
+                            params_.carrier_hz * params_.stage_capacitance_f);
+  return vp_open * zin / (zin + params_.source_impedance_ohm);
+}
+
+double VoltageMultiplier::output_voltage(double vp_open,
+                                         double load_current_a) const {
+  const double vp = effective_input_peak(vp_open);
+  // Each diode conducts the load current (steady state): per-stage current
+  // equals the DC load current in a Dickson pump.
+  const double von = params_.diode.forward_drop(std::max(load_current_a, 0.0));
+  const double per_stage = vp - von;
+  if (per_stage <= 0.0) return 0.0;
+  return 2.0 * static_cast<double>(params_.stages) * per_stage;
+}
+
+double VoltageMultiplier::efficiency(double vp_open,
+                                     double load_current_a) const {
+  const double vp = effective_input_peak(vp_open);
+  if (vp <= 0.0 || load_current_a <= 0.0) return 0.0;
+  const double von = params_.diode.forward_drop(load_current_a);
+  const double per_stage = vp - von;
+  if (per_stage <= 0.0) return 0.0;
+  // Output power: Vout * Iload. Input power: output plus the 2N diode-drop
+  // losses carrying the same current.
+  const double vout = 2.0 * params_.stages * per_stage;
+  const double p_out = vout * load_current_a;
+  const double p_loss = 2.0 * params_.stages * von * load_current_a;
+  return p_out / (p_out + p_loss);
+}
+
+}  // namespace arachnet::energy

@@ -1,0 +1,51 @@
+#pragma once
+
+#include "arachnet/energy/diode.hpp"
+
+namespace arachnet::energy {
+
+/// Multi-stage voltage multiplier (Dickson charge pump) fed by the tag PZT.
+///
+/// Ideal output is Vdd = 2N(Vp - Von) (paper Sec. 3.2). Two real effects are
+/// modelled on top:
+///  * diode drop Von depends on the per-stage charging current, and
+///  * each additional stage loads the PZT source harder (the pump's input
+///    impedance falls as ~1/(N f C)), drooping the effective peak voltage —
+///    which is why the measured curve in Fig. 11(a) rises sub-linearly.
+class VoltageMultiplier {
+ public:
+  struct Params {
+    int stages = 8;                       ///< N (8 by default, 16x ratio)
+    double stage_capacitance_f = 100e-12; ///< pump capacitor per stage
+    double source_impedance_ohm = 8e3;    ///< PZT + matching source impedance
+    double carrier_hz = 90e3;
+    SchottkyDiode diode{};
+  };
+
+  VoltageMultiplier() = default;
+  explicit VoltageMultiplier(Params p);
+
+  /// Open-circuit (light-load) output voltage for a PZT open-circuit peak
+  /// voltage `vp_open`. This is what Fig. 11(a) reports: the multiplied
+  /// voltage with only the measurement load attached.
+  /// `load_current_a` models the light DC load (defaults to ~2 uA).
+  double output_voltage(double vp_open, double load_current_a = 2e-6) const;
+
+  /// Effective peak voltage seen by the pump after source droop.
+  double effective_input_peak(double vp_open) const;
+
+  /// Power conversion efficiency at the given operating point: output DC
+  /// power over power drawn from the PZT. Falls with stage count because of
+  /// cumulative diode losses.
+  double efficiency(double vp_open, double load_current_a) const;
+
+  /// Voltage amplification ratio relative to the PZT peak (2N ideally).
+  double nominal_ratio() const noexcept { return 2.0 * params_.stages; }
+
+  const Params& params() const noexcept { return params_; }
+
+ private:
+  Params params_{};
+};
+
+}  // namespace arachnet::energy

@@ -1,0 +1,71 @@
+#include "arachnet/energy/supercap.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace arachnet::energy {
+
+Supercapacitor::Supercapacitor(Params p) : params_(p) {
+  if (p.capacitance_f <= 0.0) {
+    throw std::invalid_argument("Supercapacitor: capacitance must be > 0");
+  }
+}
+
+void Supercapacitor::set_voltage(double v) {
+  if (v < 0.0) throw std::invalid_argument("Supercapacitor: negative voltage");
+  voltage_ = v;
+}
+
+double Supercapacitor::energy() const noexcept {
+  return 0.5 * params_.capacitance_f * voltage_ * voltage_;
+}
+
+double Supercapacitor::energy_to(double target_v) const {
+  return 0.5 * params_.capacitance_f *
+         (target_v * target_v - voltage_ * voltage_);
+}
+
+double Supercapacitor::leakage_current() const noexcept {
+  const double c_uf = params_.capacitance_f * 1e6;
+  return params_.leakage_coeff_ua * c_uf * voltage_ * 1e-6;
+}
+
+void Supercapacitor::apply_power(double watts, double dt) {
+  // dE/dt = P_net - V * I_leak; integrate with sub-steps small relative to
+  // the charging dynamics for accuracy at large dt.
+  const int substeps = std::max(1, static_cast<int>(dt / 0.01));
+  const double h = dt / substeps;
+  double energy_j = energy();
+  for (int i = 0; i < substeps; ++i) {
+    const double v = std::sqrt(2.0 * energy_j / params_.capacitance_f);
+    const double leak_w = v * (params_.leakage_coeff_ua *
+                               params_.capacitance_f * 1e6 * v * 1e-6);
+    energy_j = std::max(0.0, energy_j + (watts - leak_w) * h);
+  }
+  voltage_ = std::sqrt(2.0 * energy_j / params_.capacitance_f);
+}
+
+void Supercapacitor::apply_current(double amps, double dt) {
+  const int substeps = std::max(1, static_cast<int>(dt / 0.01));
+  const double h = dt / substeps;
+  double v = voltage_;
+  for (int i = 0; i < substeps; ++i) {
+    const double leak_a =
+        params_.leakage_coeff_ua * params_.capacitance_f * 1e6 * v * 1e-6;
+    v = std::max(0.0, v + (amps - leak_a) * h / params_.capacitance_f);
+  }
+  voltage_ = v;
+}
+
+bool Supercapacitor::draw_energy(double joules) {
+  const double available = energy();
+  if (joules > available) {
+    voltage_ = 0.0;
+    return false;
+  }
+  voltage_ = std::sqrt(2.0 * (available - joules) / params_.capacitance_f);
+  return true;
+}
+
+}  // namespace arachnet::energy

@@ -1,0 +1,53 @@
+#pragma once
+
+namespace arachnet::energy {
+
+/// Energy-storage capacitor (the paper uses a 1 mF KEMET T491 tantalum).
+/// Tracks voltage as energy flows in/out and models the datasheet-style
+/// leakage current proportional to C*V.
+class Supercapacitor {
+ public:
+  struct Params {
+    double capacitance_f = 1e-3;
+    /// Leakage coefficient k in I_leak = k * C(uF) * V, in microamps.
+    /// The T491 datasheet bounds leakage at 0.01 CV uA at rated voltage
+    /// after 5 minutes; sustained leakage at ~2 V is far lower, so the
+    /// default is one decade below the datasheet bound.
+    double leakage_coeff_ua = 0.001;
+  };
+
+  Supercapacitor() = default;
+  explicit Supercapacitor(Params p);
+
+  double voltage() const noexcept { return voltage_; }
+  void set_voltage(double v);
+
+  /// Stored energy in joules: C V^2 / 2.
+  double energy() const noexcept;
+
+  /// Energy needed to go from the current voltage to `target_v` (>= 0).
+  double energy_to(double target_v) const;
+
+  /// Leakage current (A) at the current voltage.
+  double leakage_current() const noexcept;
+
+  /// Applies a net power flow for `dt` seconds: positive charges, negative
+  /// discharges. Leakage is accounted internally. Voltage floors at zero.
+  void apply_power(double watts, double dt);
+
+  /// Applies a net current for `dt` seconds (dV/dt = I/C). Positive charges.
+  /// Self-leakage is accounted internally. Voltage floors at zero.
+  void apply_current(double amps, double dt);
+
+  /// Removes `joules` instantly (e.g. a packet transmission burst).
+  /// Returns false (and drains to zero) if insufficient energy is stored.
+  bool draw_energy(double joules);
+
+  const Params& params() const noexcept { return params_; }
+
+ private:
+  Params params_{};
+  double voltage_ = 0.0;
+};
+
+}  // namespace arachnet::energy

@@ -1,0 +1,95 @@
+#include "arachnet/energy/tag_power.hpp"
+
+#include <stdexcept>
+
+namespace arachnet::energy {
+
+std::string_view to_string(TagMode mode) noexcept {
+  switch (mode) {
+    case TagMode::kIdle:
+      return "IDLE";
+    case TagMode::kRx:
+      return "RX";
+    case TagMode::kTx:
+      return "TX";
+  }
+  return "?";
+}
+
+double TagPowerModel::mcu_current_ua(TagMode mode) const noexcept {
+  switch (mode) {
+    case TagMode::kIdle:
+      return mcu_idle_ua;
+    case TagMode::kRx:
+      return mcu_rx_ua;
+    case TagMode::kTx:
+      return mcu_tx_ua;
+  }
+  return 0.0;
+}
+
+double TagPowerModel::analog_current_ua(TagMode mode) const noexcept {
+  switch (mode) {
+    case TagMode::kIdle:
+      return analog_idle_ua;
+    case TagMode::kRx:
+      return analog_rx_ua;
+    case TagMode::kTx:
+      return analog_tx_ua;
+  }
+  return 0.0;
+}
+
+double TagPowerModel::total_current_ua(TagMode mode) const noexcept {
+  return mcu_current_ua(mode) + analog_current_ua(mode);
+}
+
+double TagPowerModel::power_w(TagMode mode) const noexcept {
+  return total_current_ua(mode) * 1e-6 * rail_voltage;
+}
+
+double TagPowerModel::power_uw(TagMode mode) const noexcept {
+  return power_w(mode) * 1e6;
+}
+
+double TagPowerModel::mcu_saving_vs_active(TagMode mode) const noexcept {
+  return 1.0 - mcu_current_ua(mode) / mcu_active_ua;
+}
+
+void PowerMeter::accumulate(TagMode mode, double duration) {
+  if (duration < 0.0) {
+    throw std::invalid_argument("PowerMeter: negative duration");
+  }
+  seconds_[static_cast<std::size_t>(mode)] += duration;
+}
+
+double PowerMeter::time_in(TagMode mode) const noexcept {
+  return seconds_[static_cast<std::size_t>(mode)];
+}
+
+double PowerMeter::energy_in(TagMode mode) const noexcept {
+  return time_in(mode) * model_.power_w(mode);
+}
+
+double PowerMeter::total_time() const noexcept {
+  double total = 0.0;
+  for (double s : seconds_) total += s;
+  return total;
+}
+
+double PowerMeter::total_energy() const noexcept {
+  double total = 0.0;
+  for (std::size_t i = 0; i < kTagModeCount; ++i) {
+    total += seconds_[i] * model_.power_w(static_cast<TagMode>(i));
+  }
+  return total;
+}
+
+double PowerMeter::average_power() const noexcept {
+  const double t = total_time();
+  return t > 0.0 ? total_energy() / t : 0.0;
+}
+
+void PowerMeter::reset() noexcept { seconds_.fill(0.0); }
+
+}  // namespace arachnet::energy

@@ -1,0 +1,50 @@
+#include "arachnet/mcu/dl_demodulator.hpp"
+
+#include <cmath>
+
+namespace arachnet::mcu {
+
+int DlDemodulator::threshold_ticks() const {
+  const double chip_s = 1.0 / params_.chip_rate;
+  return static_cast<int>(std::round(1.5 * chip_s * clock_.params().nominal_hz));
+}
+
+double DlDemodulator::pulse_duration(bool bit, sim::Rng& rng) const {
+  const double chip_s = 1.0 / params_.chip_rate;
+  const double nominal = bit ? 2.0 * chip_s : chip_s;
+  // The reader's software pause/resume places BOTH pulse edges over USB,
+  // each with its own 0.1-0.3 ms scheduling offset of random sign; the
+  // two can add up, which is what breaks PIE at 1000/2000 bps (Fig. 13a).
+  double duration = nominal;
+  for (int edge = 0; edge < 2; ++edge) {
+    const double jitter = rng.uniform(params_.reader_jitter_min_s,
+                                      params_.reader_jitter_max_s);
+    duration += rng.bernoulli(0.5) ? jitter : -jitter;
+  }
+  return duration;
+}
+
+std::optional<phy::DlBeacon> DlDemodulator::demodulate(
+    const phy::DlBeacon& sent, double supply_v, sim::Rng& rng) const {
+  const auto bits = sent.serialize();
+  const int threshold = threshold_ticks();
+  phy::BitVector decoded;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    const double duration = pulse_duration(bits[i], rng);
+    const int ticks = clock_.measure_ticks(duration, supply_v, rng);
+    decoded.push_back(ticks > threshold);
+  }
+  return phy::DlBeacon::parse(decoded);
+}
+
+double DlDemodulator::loss_rate(const phy::DlBeacon& sent, double supply_v,
+                                sim::Rng& rng, int trials) const {
+  int lost = 0;
+  for (int i = 0; i < trials; ++i) {
+    const auto rx = demodulate(sent, supply_v, rng);
+    if (!rx || !(*rx == sent)) ++lost;
+  }
+  return static_cast<double>(lost) / trials;
+}
+
+}  // namespace arachnet::mcu

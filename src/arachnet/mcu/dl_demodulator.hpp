@@ -1,0 +1,64 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "arachnet/mcu/vlo_clock.hpp"
+#include "arachnet/phy/packet.hpp"
+#include "arachnet/sim/rng.hpp"
+
+namespace arachnet::mcu {
+
+/// Tag-side downlink demodulation as the firmware performs it (paper
+/// Fig. 6a): a rising edge resets the timer, a falling edge captures it,
+/// and the captured tick count against a threshold decides PIE 0 vs 1.
+///
+/// Because the counter runs on the supply-sensitive 12 kHz VLO and the
+/// reader's software PIE adds 0.1-0.3 ms of jitter per symbol, high DL bit
+/// rates misclassify pulses — this is the mechanism behind the loss surge
+/// at 1000/2000 bps in Fig. 13(a).
+class DlDemodulator {
+ public:
+  struct Params {
+    VloClock::Params clock{};
+    double chip_rate = phy::kDefaultDlRawBitRate;
+    /// Reader software modulates PIE by pausing/resuming the carrier over
+    /// USB; each pulse EDGE carries this much uniform timing offset (s),
+    /// the paper's "about 0.1-0.3 ms time offset to each PIE symbol".
+    double reader_jitter_min_s = 0.1e-3;
+    double reader_jitter_max_s = 0.3e-3;
+  };
+
+  explicit DlDemodulator(Params params) : params_(params), clock_(params.clock) {}
+
+  /// The firmware's decision threshold in ticks for the current rate:
+  /// pulses longer than 1.5 nominal chips decode as 1.
+  int threshold_ticks() const;
+
+  /// Demodulates one beacon broadcast. `supply_v` is the tag's rail
+  /// voltage at reception time. Returns the beacon if the preamble
+  /// matched, nullopt otherwise (a lost beacon).
+  std::optional<phy::DlBeacon> demodulate(const phy::DlBeacon& sent,
+                                          double supply_v, sim::Rng& rng) const;
+
+  /// Probability estimate of beacon loss at the configured rate/supply,
+  /// by Monte-Carlo over `trials` beacons.
+  double loss_rate(const phy::DlBeacon& sent, double supply_v, sim::Rng& rng,
+                   int trials = 1000) const;
+
+  /// On-air duration of a beacon at this chip rate (for timing).
+  double beacon_duration(const phy::DlBeacon& beacon) const {
+    return phy::dl_beacon_duration(beacon, params_.chip_rate);
+  }
+
+  const Params& params() const noexcept { return params_; }
+
+ private:
+  /// True high-pulse duration of one PIE bit including reader jitter.
+  double pulse_duration(bool bit, sim::Rng& rng) const;
+
+  Params params_;
+  VloClock clock_;
+};
+
+}  // namespace arachnet::mcu

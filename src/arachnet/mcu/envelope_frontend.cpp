@@ -1,0 +1,77 @@
+#include "arachnet/mcu/envelope_frontend.hpp"
+
+#include <cmath>
+
+#include "arachnet/mcu/vlo_clock.hpp"
+#include "arachnet/phy/pie.hpp"
+
+namespace arachnet::mcu {
+
+std::vector<double> EnvelopeFrontend::pulse_durations(
+    const std::vector<reader::DlSegment>& segments) const {
+  // Simulate the resonant-mode envelope: each drive segment pulls the
+  // envelope toward its steady-state excitation level with a tau that
+  // depends on how the energy is displaced (drive change vs free ring).
+  const double dt = params_.time_step_s;
+  double envelope = 0.0;
+  bool level = false;
+  double last_rise = 0.0;
+  double t = 0.0;
+  std::vector<double> pulses;
+
+  for (const auto& seg : segments) {
+    const double target =
+        seg.frequency_hz > 0.0 ? pzt_.frequency_response(seg.frequency_hz)
+                               : 0.0;
+    // Pure stop -> slow structural ring-down; any active drive (on- or
+    // off-resonance) displaces the resonant energy faster.
+    const double tau = seg.frequency_hz > 0.0
+                           ? params_.fsk_displacement_tau_s
+                           : params_.structure_ring_tau_s;
+    const double alpha = 1.0 - std::exp(-dt / tau);
+    const auto steps = static_cast<long>(seg.duration_s / dt);
+    for (long i = 0; i < steps; ++i) {
+      envelope += alpha * (target - envelope);
+      t += dt;
+      if (!level && envelope >= params_.comparator_high) {
+        level = true;
+        last_rise = t;
+      } else if (level && envelope <= params_.comparator_low) {
+        level = false;
+        pulses.push_back(t - last_rise);
+      }
+    }
+  }
+  // Let the envelope settle after the last segment so the final falling
+  // edge is observed.
+  for (int i = 0; i < 2000 && level; ++i) {
+    envelope += (1.0 - std::exp(-dt / params_.structure_ring_tau_s)) *
+                (0.0 - envelope);
+    t += dt;
+    if (envelope <= params_.comparator_low) {
+      level = false;
+      pulses.push_back(t - last_rise);
+    }
+  }
+  return pulses;
+}
+
+std::optional<phy::DlBeacon> EnvelopeFrontend::demodulate(
+    const std::vector<reader::DlSegment>& segments, double chip_rate,
+    double supply_v, const VloClock& clock, sim::Rng& rng) const {
+  const auto pulses = pulse_durations(segments);
+  if (pulses.size() != static_cast<std::size_t>(phy::kDlPacketBits)) {
+    return std::nullopt;  // merged or lost pulses: framing is gone
+  }
+  const double chip_s = 1.0 / chip_rate;
+  const int threshold =
+      static_cast<int>(std::lround(1.5 * chip_s * clock.params().nominal_hz));
+  phy::BitVector bits;
+  for (double p : pulses) {
+    const int ticks = clock.measure_ticks(p, supply_v, rng);
+    bits.push_back(ticks > threshold);
+  }
+  return phy::DlBeacon::parse(bits);
+}
+
+}  // namespace arachnet::mcu

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <vector>
+
+#include "arachnet/phy/packet.hpp"
+#include "arachnet/pzt/transducer.hpp"
+#include "arachnet/reader/dl_tx.hpp"
+#include "arachnet/sim/rng.hpp"
+
+namespace arachnet::mcu {
+
+/// The tag's analog downlink frontend (paper Fig. 3 / Fig. 6a): the
+/// resonant PZT turns the structural vibration into an electrical
+/// envelope, the envelope detector + comparator produce a binary signal,
+/// and the MCU timestamps its edges to measure PIE pulse intervals.
+///
+/// The structural "ring effect" is first order here: the BiW is a high-Q
+/// resonator, so when the reader simply stops driving (pure OOK), the
+/// envelope decays with the structure's ring time constant and the
+/// comparator's falling edge lands late. The paper's FSK-in/OOK-out drive
+/// keeps exciting the structure off-resonance, actively displacing the
+/// resonant energy, which shortens the effective tail (Sec. 4.1).
+class EnvelopeFrontend {
+ public:
+  struct Params {
+    pzt::Transducer::Params pzt{};
+    /// Ring-down time constant of the whole structure+PZT path when the
+    /// drive stops entirely (pure OOK low).
+    double structure_ring_tau_s = 1.6e-3;
+    /// Effective tail when the drive moves off-resonance instead: the
+    /// off-resonant excitation damps the resonant mode.
+    double fsk_displacement_tau_s = 0.25e-3;
+    /// Comparator hysteresis as fractions of the on-resonance envelope.
+    double comparator_high = 0.55;
+    double comparator_low = 0.40;
+    /// Envelope integration step.
+    double time_step_s = 10e-6;
+  };
+
+  EnvelopeFrontend() : EnvelopeFrontend(Params{}) {}
+  explicit EnvelopeFrontend(Params p) : params_(p), pzt_(p.pzt) {}
+
+  /// Converts a reader drive (sequence of frequency segments) into the
+  /// high-pulse durations the MCU would measure between comparator edges.
+  std::vector<double> pulse_durations(
+      const std::vector<reader::DlSegment>& segments) const;
+
+  /// Full tag-side decode of one broadcast: frontend -> VLO tick
+  /// measurement -> PIE classification -> beacon parse. Returns nullopt
+  /// on preamble mismatch (lost beacon).
+  std::optional<phy::DlBeacon> demodulate(
+      const std::vector<reader::DlSegment>& segments, double chip_rate,
+      double supply_v, const class VloClock& clock, sim::Rng& rng) const;
+
+  const Params& params() const noexcept { return params_; }
+
+ private:
+  Params params_;
+  pzt::Transducer pzt_;
+};
+
+}  // namespace arachnet::mcu

@@ -1,0 +1,92 @@
+#include "arachnet/mcu/msp430.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace arachnet::mcu {
+
+Msp430::Msp430(sim::EventQueue* queue, Params params, sim::Rng rng)
+    : queue_(queue),
+      clock_(params.clock),
+      meter_(params.power),
+      rng_(rng) {
+  if (queue_ == nullptr) {
+    throw std::invalid_argument("Msp430: null event queue");
+  }
+  last_flush_ = queue_->now();
+}
+
+void Msp430::flush_residency() {
+  const double now = queue_->now();
+  if (powered_ && now > last_flush_) {
+    meter_.accumulate(mode_, now - last_flush_);
+  }
+  last_flush_ = now;
+}
+
+void Msp430::set_mode(energy::TagMode mode) {
+  flush_residency();
+  mode_ = mode;
+}
+
+const energy::PowerMeter& Msp430::meter() {
+  flush_residency();
+  return meter_;
+}
+
+void Msp430::power_up() {
+  flush_residency();
+  powered_ = true;
+  mode_ = energy::TagMode::kIdle;
+}
+
+void Msp430::power_down() {
+  flush_residency();
+  powered_ = false;
+  stop_periodic();
+}
+
+void Msp430::inject_edge(bool rising) {
+  if (!powered_ || !edge_handler_) return;
+  edge_handler_(rising);
+}
+
+void Msp430::fire_periodic() {
+  if (!powered_ || periodic_ticks_ <= 0) return;
+  const std::uint64_t generation = periodic_generation_;
+  const double interval =
+      clock_.ticks_to_duration(periodic_ticks_, supply_v_, rng_);
+  periodic_event_ = queue_->schedule_in(interval, [this, generation] {
+    if (generation != periodic_generation_) return;  // stale timer
+    if (periodic_cb_) periodic_cb_();
+    fire_periodic();
+  });
+}
+
+void Msp430::start_periodic(int ticks, Callback cb) {
+  if (ticks <= 0) {
+    throw std::invalid_argument("Msp430::start_periodic: ticks must be > 0");
+  }
+  stop_periodic();
+  periodic_ticks_ = ticks;
+  periodic_cb_ = std::move(cb);
+  fire_periodic();
+}
+
+void Msp430::stop_periodic() {
+  ++periodic_generation_;
+  queue_->cancel(periodic_event_);
+  periodic_ticks_ = 0;
+  periodic_cb_ = nullptr;
+}
+
+sim::EventId Msp430::schedule_timeout(double seconds, Callback cb) {
+  // Software timeouts count VLO ticks, so they stretch with the clock.
+  const double nominal_ticks = seconds / clock_.nominal_tick();
+  const double actual =
+      clock_.ticks_to_duration(static_cast<int>(nominal_ticks), supply_v_,
+                               rng_);
+  return queue_->schedule_in(actual, std::move(cb));
+}
+
+}  // namespace arachnet::mcu

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <functional>
+
+#include "arachnet/energy/tag_power.hpp"
+#include "arachnet/mcu/vlo_clock.hpp"
+#include "arachnet/sim/event_queue.hpp"
+#include "arachnet/sim/rng.hpp"
+
+namespace arachnet::mcu {
+
+/// Interrupt-driven MSP430-like MCU shell running on the discrete-event
+/// kernel. Implements the three mechanisms the tag firmware is built on
+/// (paper Sec. 4.3):
+///  * GPIO edge interrupts (DL demodulation wake-ups),
+///  * periodic timer interrupts (UL modulation),
+///  * one-shot software timeouts (beacon-loss detection),
+/// plus operating-mode residency accounting against the Table-2 power
+/// model. The CPU is presumed in LPM3 between interrupts; each interrupt
+/// costs a brief active burst already folded into the per-mode currents.
+class Msp430 {
+ public:
+  struct Params {
+    VloClock::Params clock{};
+    energy::TagPowerModel power{};
+  };
+
+  using Callback = std::function<void()>;
+  using EdgeHandler = std::function<void(bool rising)>;
+
+  Msp430(sim::EventQueue* queue, Params params, sim::Rng rng);
+
+  // ---- Power / mode management -------------------------------------
+  /// Switches the operating mode, accounting residency of the previous
+  /// mode up to the current simulation time.
+  void set_mode(energy::TagMode mode);
+  energy::TagMode mode() const noexcept { return mode_; }
+
+  /// Flushes residency accounting up to now and returns the meter.
+  const energy::PowerMeter& meter();
+
+  /// Supply voltage (from the harvester); shifts the VLO.
+  void set_supply(double volts) noexcept { supply_v_ = volts; }
+  double supply() const noexcept { return supply_v_; }
+
+  /// True while the cutoff has the rail energized. When powered off, all
+  /// interrupts are disabled and pending timers are cancelled.
+  void power_up();
+  void power_down();
+  bool powered() const noexcept { return powered_; }
+
+  // ---- GPIO edge interrupts ------------------------------------------
+  /// Installs the edge ISR for the DL comparator pin.
+  void on_edge(EdgeHandler handler) { edge_handler_ = std::move(handler); }
+
+  /// Injects a pin transition from the analog frontend.
+  void inject_edge(bool rising);
+
+  // ---- Timers ---------------------------------------------------------
+  /// Starts a repeating timer firing every `ticks` VLO ticks (the UL
+  /// modulation clock). Replaces any running periodic timer.
+  void start_periodic(int ticks, Callback cb);
+  void stop_periodic();
+
+  /// One-shot software timeout after `seconds` (scheduled through the VLO,
+  /// so it inherits clock error). Returns an id usable with cancel().
+  sim::EventId schedule_timeout(double seconds, Callback cb);
+  bool cancel(sim::EventId id) { return queue_->cancel(id); }
+
+  /// Timer capture: measure a duration in VLO ticks (PIE demodulation).
+  int measure_ticks(double duration_s) {
+    return clock_.measure_ticks(duration_s, supply_v_, rng_);
+  }
+
+  const VloClock& clock() const noexcept { return clock_; }
+  sim::EventQueue& queue() noexcept { return *queue_; }
+  double now() const noexcept { return queue_->now(); }
+
+ private:
+  void flush_residency();
+  void fire_periodic();
+
+  sim::EventQueue* queue_;
+  VloClock clock_;
+  energy::PowerMeter meter_;
+  sim::Rng rng_;
+  EdgeHandler edge_handler_;
+  energy::TagMode mode_ = energy::TagMode::kIdle;
+  double supply_v_ = 2.0;
+  bool powered_ = false;
+  double last_flush_ = 0.0;
+  int periodic_ticks_ = 0;
+  Callback periodic_cb_;
+  sim::EventId periodic_event_{};
+  std::uint64_t periodic_generation_ = 0;
+};
+
+}  // namespace arachnet::mcu

@@ -1,0 +1,30 @@
+#include "arachnet/mcu/vlo_clock.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace arachnet::mcu {
+
+double VloClock::frequency(double supply_v) const noexcept {
+  const double dv = supply_v - params_.reference_supply_v;
+  return params_.nominal_hz * (1.0 + params_.supply_coeff_per_v * dv);
+}
+
+int VloClock::measure_ticks(double duration_s, double supply_v,
+                            sim::Rng& rng) const {
+  const double f = frequency(supply_v) * (1.0 + rng.normal(0.0, params_.jitter_frac));
+  // The counter captures whole elapsed ticks; the phase of the first tick
+  // relative to the pulse start is uniform.
+  const double ticks = duration_s * f;
+  const double phase = rng.uniform();
+  return std::max(0, static_cast<int>(std::floor(ticks + phase)));
+}
+
+double VloClock::ticks_to_duration(int ticks, double supply_v,
+                                   sim::Rng& rng) const {
+  const double f =
+      frequency(supply_v) * (1.0 + rng.normal(0.0, params_.jitter_frac));
+  return static_cast<double>(ticks) / f;
+}
+
+}  // namespace arachnet::mcu

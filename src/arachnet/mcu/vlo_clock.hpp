@@ -1,0 +1,53 @@
+#pragma once
+
+#include "arachnet/sim/rng.hpp"
+
+namespace arachnet::mcu {
+
+/// The MSP430's very-low-power oscillator (VLO), the tag's only timebase.
+///
+/// The paper runs it at a nominal 12 kHz and powers the MCU from a varying
+/// supercapacitor voltage instead of an LDO, so the timer "lacks precision"
+/// (Sec. 6.3). Modelled effects:
+///  * supply sensitivity — frequency shifts with supply voltage away from
+///    the 2.0 V reference;
+///  * cycle jitter — white phase noise on each tick;
+///  * quantization — durations are measured in whole ticks.
+class VloClock {
+ public:
+  struct Params {
+    double nominal_hz = 12e3;
+    /// Fractional frequency change per volt of supply deviation.
+    double supply_coeff_per_v = 0.035;
+    double reference_supply_v = 2.0;
+    /// Standard deviation of per-measurement fractional frequency error
+    /// (cycle jitter aggregated over a measurement).
+    double jitter_frac = 0.004;
+  };
+
+  VloClock() = default;
+  explicit VloClock(Params p) : params_(p) {}
+
+  /// Actual oscillator frequency at the given supply voltage.
+  double frequency(double supply_v) const noexcept;
+
+  /// Nominal tick period (what the firmware believes).
+  double nominal_tick() const noexcept { return 1.0 / params_.nominal_hz; }
+
+  /// Measures a duration with the timer: whole ticks of the *actual*
+  /// (supply-shifted, jittered) clock.
+  int measure_ticks(double duration_s, double supply_v,
+                    sim::Rng& rng) const;
+
+  /// Generates an interval of `ticks` timer ticks as real seconds (the
+  /// dual of measure_ticks: used when the firmware *produces* timing,
+  /// e.g. the UL modulation timer).
+  double ticks_to_duration(int ticks, double supply_v, sim::Rng& rng) const;
+
+  const Params& params() const noexcept { return params_; }
+
+ private:
+  Params params_{};
+};
+
+}  // namespace arachnet::mcu

@@ -1,0 +1,72 @@
+#include "arachnet/net/aloha.hpp"
+
+#include <algorithm>
+
+namespace arachnet::net {
+
+std::int64_t AlohaSimulator::Stats::total_transmissions() const {
+  std::int64_t total = 0;
+  for (const auto& t : per_tag) total += t.transmissions;
+  return total;
+}
+
+std::int64_t AlohaSimulator::Stats::total_collided() const {
+  std::int64_t total = 0;
+  for (const auto& t : per_tag) total += t.collided;
+  return total;
+}
+
+double AlohaSimulator::Stats::overall_success_rate() const {
+  const auto total = total_transmissions();
+  return total ? 1.0 - static_cast<double>(total_collided()) / total : 0.0;
+}
+
+AlohaSimulator::AlohaSimulator(Params params, std::vector<TagSpec> tags)
+    : params_(params), tags_(std::move(tags)), rng_(params.seed) {}
+
+AlohaSimulator::Stats AlohaSimulator::run(double horizon_s) {
+  struct Tx {
+    double start;
+    double end;
+    std::size_t tag_index;
+  };
+  std::vector<Tx> transmissions;
+
+  // Generate each tag's charge/transmit timeline independently.
+  for (std::size_t i = 0; i < tags_.size(); ++i) {
+    double t = tags_[i].full_charge_s *
+               (1.0 + rng_.normal(0.0, params_.charge_noise_frac));
+    while (t < horizon_s) {
+      transmissions.push_back({t, t + params_.packet_duration_s, i});
+      // Charging pauses during the packet, then the warm recharge runs.
+      t += params_.packet_duration_s;
+      t += params_.recharge_fraction * tags_[i].full_charge_s *
+           (1.0 + rng_.normal(0.0, params_.charge_noise_frac));
+    }
+  }
+
+  // Sweep for overlaps.
+  std::sort(transmissions.begin(), transmissions.end(),
+            [](const Tx& a, const Tx& b) { return a.start < b.start; });
+  std::vector<bool> collided(transmissions.size(), false);
+  for (std::size_t i = 0; i < transmissions.size(); ++i) {
+    for (std::size_t j = i + 1; j < transmissions.size(); ++j) {
+      if (transmissions[j].start >= transmissions[i].end) break;
+      collided[i] = collided[j] = true;
+    }
+  }
+
+  Stats stats;
+  stats.per_tag.resize(tags_.size());
+  for (std::size_t i = 0; i < tags_.size(); ++i) {
+    stats.per_tag[i].tid = tags_[i].tid;
+  }
+  for (std::size_t k = 0; k < transmissions.size(); ++k) {
+    auto& tag = stats.per_tag[transmissions[k].tag_index];
+    ++tag.transmissions;
+    if (collided[k]) ++tag.collided;
+  }
+  return stats;
+}
+
+}  // namespace arachnet::net

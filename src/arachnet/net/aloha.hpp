@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arachnet/sim/rng.hpp"
+
+namespace arachnet::net {
+
+/// Pure-ALOHA baseline under ARACHNET's hardware constraints (Appendix B):
+/// each battery-free tag transmits the moment its supercapacitor reaches
+/// HTH, then recharges from LTH (15.2% of the cold-start duration) and
+/// repeats. Transmissions that overlap any other tag's collide.
+class AlohaSimulator {
+ public:
+  struct TagSpec {
+    int tid = 0;
+    /// Cold-start charging time 0 V -> HTH (measured per deployment site;
+    /// 4.5 s - 56.2 s across the paper's 12 tags).
+    double full_charge_s = 10.0;
+  };
+
+  struct Params {
+    /// Warm recharge (LTH -> HTH) as a fraction of the cold charge.
+    double recharge_fraction = 0.152;
+    /// Per-cycle multiplicative charging-time noise (Gaussian sigma).
+    double charge_noise_frac = 0.02;
+    /// UL packet duration; charging pauses while transmitting.
+    double packet_duration_s = 0.2;
+    std::uint64_t seed = 1;
+  };
+
+  struct TagStats {
+    int tid = 0;
+    std::int64_t transmissions = 0;
+    std::int64_t collided = 0;
+    double success_rate() const {
+      return transmissions
+                 ? 1.0 - static_cast<double>(collided) / transmissions
+                 : 0.0;
+    }
+  };
+
+  struct Stats {
+    std::vector<TagStats> per_tag;
+    std::int64_t total_transmissions() const;
+    std::int64_t total_collided() const;
+    double overall_success_rate() const;
+  };
+
+  AlohaSimulator(Params params, std::vector<TagSpec> tags);
+
+  /// Simulates `horizon_s` seconds (the paper runs 10,000 s) and returns
+  /// per-tag transmission/collision statistics.
+  Stats run(double horizon_s);
+
+ private:
+  Params params_;
+  std::vector<TagSpec> tags_;
+  sim::Rng rng_;
+};
+
+}  // namespace arachnet::net

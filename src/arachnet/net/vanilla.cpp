@@ -1,0 +1,90 @@
+#include "arachnet/net/vanilla.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace arachnet::net {
+
+std::optional<std::vector<VanillaAssignment>> vanilla_allocate(
+    const std::vector<std::pair<int, int>>& tid_periods) {
+  std::vector<VanillaAssignment> result;
+  result.reserve(tid_periods.size());
+  for (const auto& [tid, period] : tid_periods) {
+    core::require_permissible(period);
+    result.push_back({tid, period, -1});
+  }
+  // Shortest period first: their residue classes are the most constrained
+  // (a period-p tag blocks 1/p of all slots).
+  std::sort(result.begin(), result.end(),
+            [](const VanillaAssignment& a, const VanillaAssignment& b) {
+              if (a.period != b.period) return a.period < b.period;
+              return a.tid < b.tid;
+            });
+  for (std::size_t i = 0; i < result.size(); ++i) {
+    auto& cur = result[i];
+    bool placed = false;
+    for (int b = 0; b < cur.period && !placed; ++b) {
+      bool ok = true;
+      for (std::size_t j = 0; j < i; ++j) {
+        const int m = std::min(cur.period, result[j].period);
+        if ((b % m) == (result[j].offset % m)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        cur.offset = b;
+        placed = true;
+      }
+    }
+    if (!placed) return std::nullopt;
+  }
+  std::sort(result.begin(), result.end(),
+            [](const VanillaAssignment& a, const VanillaAssignment& b) {
+              return a.tid < b.tid;
+            });
+  return result;
+}
+
+std::vector<std::vector<int>> schedule_grid(
+    const std::vector<VanillaAssignment>& assignments) {
+  int hyper = 1;
+  for (const auto& a : assignments) hyper = std::max(hyper, a.period);
+  std::vector<std::vector<int>> grid(static_cast<std::size_t>(hyper));
+  for (int s = 0; s < hyper; ++s) {
+    for (const auto& a : assignments) {
+      if (s % a.period == a.offset) {
+        grid[static_cast<std::size_t>(s)].push_back(a.tid);
+      }
+    }
+  }
+  return grid;
+}
+
+VanillaSimulator::VanillaSimulator(Params params,
+                                   std::vector<VanillaAssignment> assignments)
+    : params_(params),
+      rng_(params.seed),
+      assignments_(std::move(assignments)),
+      local_index_(assignments_.size(), -1) {}
+
+VanillaSimulator::Stats VanillaSimulator::run(std::int64_t slots) {
+  for (std::int64_t s = 0; s < slots; ++s) {
+    int transmitters = 0;
+    for (std::size_t i = 0; i < assignments_.size(); ++i) {
+      // Beacon loss: this tag's local index silently fails to advance.
+      if (rng_.bernoulli(params_.dl_loss)) continue;
+      ++local_index_[i];
+      if (local_index_[i] % assignments_[i].period ==
+          assignments_[i].offset) {
+        ++transmitters;
+      }
+    }
+    ++stats_.slots;
+    if (transmitters >= 1) ++stats_.non_empty_slots;
+    if (transmitters >= 2) ++stats_.collision_slots;
+  }
+  return stats_;
+}
+
+}  // namespace arachnet::net

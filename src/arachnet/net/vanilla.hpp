@@ -1,0 +1,66 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arachnet/core/protocol.hpp"
+#include "arachnet/sim/rng.hpp"
+
+namespace arachnet::net {
+
+/// A tag's static schedule entry in the vanilla (centralized) allocation
+/// of Sec. 5.2.
+struct VanillaAssignment {
+  int tid = 0;
+  int period = 0;
+  int offset = 0;  ///< a_i
+};
+
+/// Computes a non-overlapping static allocation for the given periods
+/// (powers of two, total utilization <= 1), assigning offsets greedily
+/// shortest-period-first — the construction behind Table 1. Returns
+/// nullopt when no conflict-free assignment exists.
+std::optional<std::vector<VanillaAssignment>> vanilla_allocate(
+    const std::vector<std::pair<int, int>>& tid_periods);
+
+/// Renders the allocation as a Table-1 style occupancy grid over one
+/// hyperperiod: result[slot] lists the tids transmitting in that slot.
+std::vector<std::vector<int>> schedule_grid(
+    const std::vector<VanillaAssignment>& assignments);
+
+/// Simulates the vanilla scheme's fragility under beacon loss (Sec. 5.2
+/// "Comment" / Fig. 8): tags follow their static offsets but a missed
+/// beacon silently shifts a tag's local index; there is no feedback, so
+/// collisions persist until chance realigns them.
+class VanillaSimulator {
+ public:
+  struct Params {
+    double dl_loss = 0.01;  ///< per-tag, per-slot beacon loss probability
+    std::uint64_t seed = 1;
+  };
+
+  struct Stats {
+    std::int64_t slots = 0;
+    std::int64_t collision_slots = 0;
+    std::int64_t non_empty_slots = 0;
+    double collision_ratio() const {
+      return slots ? static_cast<double>(collision_slots) / slots : 0.0;
+    }
+  };
+
+  VanillaSimulator(Params params,
+                   std::vector<VanillaAssignment> assignments);
+
+  /// Runs `slots` slots and returns cumulative statistics.
+  Stats run(std::int64_t slots);
+
+ private:
+  Params params_;
+  sim::Rng rng_;
+  std::vector<VanillaAssignment> assignments_;
+  std::vector<std::int64_t> local_index_;
+  Stats stats_;
+};
+
+}  // namespace arachnet::net

@@ -1,0 +1,66 @@
+#include "arachnet/phy/bits.hpp"
+
+#include <stdexcept>
+
+namespace arachnet::phy {
+
+BitVector::BitVector(std::initializer_list<int> bits) {
+  bits_.reserve(bits.size());
+  for (int b : bits) bits_.push_back(b ? 1 : 0);
+}
+
+BitVector BitVector::from_string(const std::string& s) {
+  BitVector v;
+  v.bits_.reserve(s.size());
+  for (char c : s) {
+    if (c == ' ') continue;
+    if (c != '0' && c != '1') {
+      throw std::invalid_argument("BitVector::from_string: bad character");
+    }
+    v.bits_.push_back(c == '1' ? 1 : 0);
+  }
+  return v;
+}
+
+void BitVector::append_uint(std::uint32_t value, int nbits) {
+  if (nbits < 0 || nbits > 32) {
+    throw std::invalid_argument("BitVector::append_uint: nbits out of range");
+  }
+  for (int i = nbits - 1; i >= 0; --i) {
+    bits_.push_back((value >> i) & 1u);
+  }
+}
+
+std::uint32_t BitVector::read_uint(std::size_t pos, int nbits) const {
+  if (nbits < 0 || nbits > 32 || pos + static_cast<std::size_t>(nbits) > size()) {
+    throw std::out_of_range("BitVector::read_uint: range out of bounds");
+  }
+  std::uint32_t value = 0;
+  for (int i = 0; i < nbits; ++i) {
+    value = (value << 1) | bits_[pos + static_cast<std::size_t>(i)];
+  }
+  return value;
+}
+
+void BitVector::append(const BitVector& other) {
+  bits_.insert(bits_.end(), other.bits_.begin(), other.bits_.end());
+}
+
+std::string BitVector::to_string() const {
+  std::string s;
+  s.reserve(bits_.size());
+  for (auto b : bits_) s.push_back(b ? '1' : '0');
+  return s;
+}
+
+BitVector BitVector::slice(std::size_t pos, std::size_t len) const {
+  if (pos + len > size()) {
+    throw std::out_of_range("BitVector::slice: range out of bounds");
+  }
+  BitVector v;
+  v.bits_.assign(bits_.begin() + static_cast<std::ptrdiff_t>(pos),
+                 bits_.begin() + static_cast<std::ptrdiff_t>(pos + len));
+  return v;
+}
+
+}  // namespace arachnet::phy

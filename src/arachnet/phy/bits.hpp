@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace arachnet::phy {
+
+/// A sequence of bits stored one-per-byte (0 or 1). The PHY layers of
+/// ARACHNET deal in tens of bits per packet, so clarity beats packing.
+class BitVector {
+ public:
+  BitVector() = default;
+  BitVector(std::initializer_list<int> bits);
+
+  /// Parses a string of '0'/'1' characters (spaces ignored).
+  static BitVector from_string(const std::string& s);
+
+  /// Appends the low `nbits` of `value`, most-significant bit first.
+  void append_uint(std::uint32_t value, int nbits);
+
+  /// Reads `nbits` starting at `pos`, MSB-first, as an unsigned value.
+  /// Requires pos + nbits <= size().
+  std::uint32_t read_uint(std::size_t pos, int nbits) const;
+
+  void push_back(bool bit) { bits_.push_back(bit ? 1 : 0); }
+  void append(const BitVector& other);
+
+  bool at(std::size_t i) const { return bits_.at(i) != 0; }
+  bool operator[](std::size_t i) const { return bits_[i] != 0; }
+  std::size_t size() const noexcept { return bits_.size(); }
+  bool empty() const noexcept { return bits_.empty(); }
+  void clear() noexcept { bits_.clear(); }
+
+  /// Bits as a '0'/'1' string, for logs and test diagnostics.
+  std::string to_string() const;
+
+  /// Sub-range [pos, pos+len).
+  BitVector slice(std::size_t pos, std::size_t len) const;
+
+  const std::vector<std::uint8_t>& raw() const noexcept { return bits_; }
+
+  friend bool operator==(const BitVector&, const BitVector&) = default;
+
+ private:
+  std::vector<std::uint8_t> bits_;
+};
+
+}  // namespace arachnet::phy

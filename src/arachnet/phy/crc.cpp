@@ -1,0 +1,40 @@
+#include "arachnet/phy/crc.hpp"
+
+namespace arachnet::phy {
+
+std::uint8_t crc8(std::span<const std::uint8_t> bytes) noexcept {
+  std::uint8_t crc = 0x00;
+  for (std::uint8_t byte : bytes) {
+    crc ^= byte;
+    for (int i = 0; i < 8; ++i) {
+      crc = (crc & 0x80u) ? static_cast<std::uint8_t>((crc << 1) ^ 0x07u)
+                          : static_cast<std::uint8_t>(crc << 1);
+    }
+  }
+  return crc;
+}
+
+std::uint8_t crc8_bits(const BitVector& bits) noexcept {
+  std::uint8_t crc = 0x00;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    const std::uint8_t in = bits[i] ? 0x80u : 0x00u;
+    crc ^= in;
+    crc = (crc & 0x80u) ? static_cast<std::uint8_t>((crc << 1) ^ 0x07u)
+                        : static_cast<std::uint8_t>(crc << 1);
+  }
+  return crc;
+}
+
+std::uint16_t crc16(std::span<const std::uint8_t> bytes) noexcept {
+  std::uint16_t crc = 0xFFFF;
+  for (std::uint8_t byte : bytes) {
+    crc ^= static_cast<std::uint16_t>(byte) << 8;
+    for (int i = 0; i < 8; ++i) {
+      crc = (crc & 0x8000u) ? static_cast<std::uint16_t>((crc << 1) ^ 0x1021u)
+                            : static_cast<std::uint16_t>(crc << 1);
+    }
+  }
+  return crc;
+}
+
+}  // namespace arachnet::phy

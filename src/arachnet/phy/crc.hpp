@@ -1,0 +1,23 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "arachnet/phy/bits.hpp"
+
+namespace arachnet::phy {
+
+/// CRC-8 (polynomial x^8 + x^2 + x + 1, i.e. 0x07, init 0x00, MSB-first,
+/// no reflection, no final XOR) — the 8-bit integrity check carried in
+/// every ARACHNET uplink packet.
+std::uint8_t crc8(std::span<const std::uint8_t> bytes) noexcept;
+
+/// CRC-8 over an arbitrary bit string (MSB-first bit feed). Uplink packets
+/// protect the 16-bit TID+payload field, which is what this is used for.
+std::uint8_t crc8_bits(const BitVector& bits) noexcept;
+
+/// CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF) — provided for extended
+/// payload experiments and reader-side logging integrity.
+std::uint16_t crc16(std::span<const std::uint8_t> bytes) noexcept;
+
+}  // namespace arachnet::phy

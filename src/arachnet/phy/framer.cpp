@@ -1,0 +1,84 @@
+#include "arachnet/phy/framer.hpp"
+
+#include <utility>
+
+namespace arachnet::phy {
+
+BitStreamFramer::BitStreamFramer(BitVector preamble, std::size_t body_bits,
+                                 FrameHandler on_frame)
+    : preamble_(std::move(preamble)),
+      body_bits_(body_bits),
+      on_frame_(std::move(on_frame)),
+      shift_(preamble_.size(), 0) {}
+
+bool BitStreamFramer::shift_matches() const noexcept {
+  if (shift_fill_ < shift_.size()) return false;
+  for (std::size_t i = 0; i < shift_.size(); ++i) {
+    if ((shift_[i] != 0) != preamble_[i]) return false;
+  }
+  return true;
+}
+
+void BitStreamFramer::push(bool bit) {
+  if (collecting_) {
+    body_.push_back(bit);
+    if (body_.size() == body_bits_) {
+      collecting_ = false;
+      ++frames_;
+      BitVector body = std::move(body_);
+      body_.clear();
+      // Restart hunting with a clean window: the firmware's shift register
+      // is reused for body collection, so history does not carry over.
+      shift_fill_ = 0;
+      if (on_frame_) on_frame_(body);
+    }
+    return;
+  }
+  // Shift-register hunt.
+  for (std::size_t i = 0; i + 1 < shift_.size(); ++i) shift_[i] = shift_[i + 1];
+  shift_.back() = bit ? 1 : 0;
+  if (shift_fill_ < shift_.size()) ++shift_fill_;
+  if (shift_matches()) {
+    collecting_ = true;
+    body_.clear();
+  }
+}
+
+void BitStreamFramer::reset() {
+  collecting_ = false;
+  body_.clear();
+  shift_fill_ = 0;
+}
+
+UlFramer::UlFramer(PacketHandler on_packet)
+    : on_packet_(std::move(on_packet)),
+      framer_(ul_preamble(),
+              static_cast<std::size_t>(kUlTidBits + kUlPayloadBits +
+                                       kUlCrcBits),
+              [this](const BitVector& body) {
+                if (const auto pkt = UlPacket::parse_body(body)) {
+                  ++packets_;
+                  if (on_packet_) on_packet_(*pkt);
+                } else {
+                  ++crc_failures_;
+                }
+              }) {}
+
+void UlFramer::push(bool bit) { framer_.push(bit); }
+void UlFramer::reset() { framer_.reset(); }
+
+DlFramer::DlFramer(BeaconHandler on_beacon)
+    : on_beacon_(std::move(on_beacon)),
+      framer_(dl_preamble(), static_cast<std::size_t>(kDlCmdBits),
+              [this](const BitVector& body) {
+                DlBeacon beacon;
+                beacon.cmd = DlCommand::from_nibble(
+                    static_cast<std::uint8_t>(body.read_uint(0, kDlCmdBits)));
+                ++beacons_;
+                if (on_beacon_) on_beacon_(beacon);
+              }) {}
+
+void DlFramer::push(bool bit) { framer_.push(bit); }
+void DlFramer::reset() { framer_.reset(); }
+
+}  // namespace arachnet::phy

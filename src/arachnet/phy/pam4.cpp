@@ -1,0 +1,97 @@
+#include "arachnet/phy/pam4.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace arachnet::phy {
+
+Pam4::Pam4(Params p) : params_(p) {
+  for (int i = 1; i < 4; ++i) {
+    if (!(params_.levels[i] > params_.levels[i - 1])) {
+      throw std::invalid_argument("Pam4: levels must be strictly ascending");
+    }
+  }
+}
+
+int Pam4::gray_index(bool msb, bool lsb) noexcept {
+  if (!msb && !lsb) return 0;  // 00
+  if (!msb && lsb) return 1;   // 01
+  if (msb && lsb) return 2;    // 11
+  return 3;                    // 10
+}
+
+std::pair<bool, bool> Pam4::gray_bits(int index) noexcept {
+  switch (index) {
+    case 0: return {false, false};
+    case 1: return {false, true};
+    case 2: return {true, true};
+    default: return {true, false};
+  }
+}
+
+std::vector<double> Pam4::encode_frame(const BitVector& data) const {
+  std::vector<double> out;
+  // Training ramp: a fixed sequence visiting every level four times.
+  static constexpr int kRamp[4] = {0, 3, 1, 2};
+  for (int i = 0; i < kTrainingSymbols; ++i) {
+    out.push_back(params_.levels[static_cast<std::size_t>(kRamp[i % 4])]);
+  }
+  for (std::size_t i = 0; i < data.size(); i += 2) {
+    const bool msb = data[i];
+    const bool lsb = i + 1 < data.size() ? data[i + 1] : false;
+    out.push_back(
+        params_.levels[static_cast<std::size_t>(gray_index(msb, lsb))]);
+  }
+  out.push_back(params_.levels[0]);  // terminator
+  return out;
+}
+
+std::optional<BitVector> Pam4::decode_frame(
+    const std::vector<double>& symbol_amplitudes,
+    std::size_t data_bits) const {
+  const std::size_t data_symbols = (data_bits + 1) / 2;
+  if (symbol_amplitudes.size() <
+      static_cast<std::size_t>(kTrainingSymbols) + data_symbols) {
+    return std::nullopt;
+  }
+  // Learn the four levels from the training ramp.
+  static constexpr int kRamp[4] = {0, 3, 1, 2};
+  double sums[4] = {0, 0, 0, 0};
+  int counts[4] = {0, 0, 0, 0};
+  for (int i = 0; i < kTrainingSymbols; ++i) {
+    const int level = kRamp[i % 4];
+    sums[level] += symbol_amplitudes[static_cast<std::size_t>(i)];
+    ++counts[level];
+  }
+  double learned[4];
+  for (int l = 0; l < 4; ++l) {
+    if (counts[l] == 0) return std::nullopt;
+    learned[l] = sums[l] / counts[l];
+  }
+  if (!(learned[0] < learned[1] && learned[1] < learned[2] &&
+        learned[2] < learned[3])) {
+    return std::nullopt;  // degenerate training: channel too noisy
+  }
+
+  BitVector bits;
+  for (std::size_t s = 0; s < data_symbols; ++s) {
+    const double x =
+        symbol_amplitudes[static_cast<std::size_t>(kTrainingSymbols) + s];
+    int best = 0;
+    double best_d = std::abs(x - learned[0]);
+    for (int l = 1; l < 4; ++l) {
+      const double d = std::abs(x - learned[l]);
+      if (d < best_d) {
+        best_d = d;
+        best = l;
+      }
+    }
+    const auto [msb, lsb] = gray_bits(best);
+    bits.push_back(msb);
+    if (bits.size() < data_bits) bits.push_back(lsb);
+  }
+  return bits;
+}
+
+}  // namespace arachnet::phy

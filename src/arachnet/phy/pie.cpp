@@ -1,0 +1,41 @@
+#include "arachnet/phy/pie.hpp"
+
+#include <cmath>
+
+namespace arachnet::phy {
+
+BitVector PieEncoder::encode(const BitVector& data) {
+  BitVector chips;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    chips.push_back(true);
+    if (data[i]) chips.push_back(true);
+    chips.push_back(false);
+  }
+  return chips;
+}
+
+std::size_t PieEncoder::chip_count(const BitVector& data) {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) n += data[i] ? 3 : 2;
+  return n;
+}
+
+std::optional<bool> PieDecoder::classify_pulse(double high_duration,
+                                               double chip, double tolerance) {
+  if (std::abs(high_duration - chip) <= tolerance * chip) return false;
+  if (std::abs(high_duration - 2.0 * chip) <= tolerance * chip) return true;
+  return std::nullopt;
+}
+
+std::optional<BitVector> PieDecoder::decode(const std::vector<double>& pulses,
+                                            double chip, double tolerance) {
+  BitVector bits;
+  for (double p : pulses) {
+    const auto bit = classify_pulse(p, chip, tolerance);
+    if (!bit) return std::nullopt;
+    bits.push_back(*bit);
+  }
+  return bits;
+}
+
+}  // namespace arachnet::phy

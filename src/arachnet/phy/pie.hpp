@@ -1,0 +1,50 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "arachnet/phy/bits.hpp"
+
+namespace arachnet::phy {
+
+/// Pulse-Interval Encoding (PIE) used on the ARACHNET downlink.
+///
+/// A PIE bit 0 is the chip pair "10" (one chip high, one low); a PIE bit 1
+/// is the chip triple "110" (two chips high, one low). The tag demodulates
+/// by timing the high pulse between a rising and a falling edge: a long
+/// pulse (~2 chips) is a 1, a short pulse (~1 chip) is a 0. The raw chip
+/// rate equals the configured DL bit rate (250 bps by default).
+class PieEncoder {
+ public:
+  /// Encodes data bits to chips at the raw chip rate.
+  static BitVector encode(const BitVector& data);
+
+  /// Number of chips a bit pattern occupies (2 per 0, 3 per 1).
+  static std::size_t chip_count(const BitVector& data);
+};
+
+/// Timing-domain PIE demodulator mirroring the tag's interrupt logic:
+/// each entry is the measured high-pulse duration in seconds.
+class PieDecoder {
+ public:
+  /// Classifies one pulse. `chip` is the raw chip duration in seconds.
+  /// Pulses within `tolerance` (fraction of chip) of 1 or 2 chips decode to
+  /// 0 / 1; anything else is rejected (std::nullopt).
+  static std::optional<bool> classify_pulse(double high_duration, double chip,
+                                            double tolerance = 0.45);
+
+  /// Decodes a sequence of high-pulse durations. Any unclassifiable pulse
+  /// aborts the packet (matching the tag firmware, which then rearms on the
+  /// next preamble). Returns std::nullopt in that case.
+  static std::optional<BitVector> decode(const std::vector<double>& pulses,
+                                         double chip,
+                                         double tolerance = 0.45);
+
+  /// The decision threshold used by the MCU firmware: pulses longer than
+  /// 1.5 chips are 1s. Exposed for the firmware implementation.
+  static bool threshold_decision(double high_duration, double chip) {
+    return high_duration > 1.5 * chip;
+  }
+};
+
+}  // namespace arachnet::phy

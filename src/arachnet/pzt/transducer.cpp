@@ -1,0 +1,50 @@
+#include "arachnet/pzt/transducer.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace arachnet::pzt {
+
+Transducer::Transducer(Params p) : params_(p) {
+  if (p.resonant_hz <= 0.0 || p.quality_factor <= 0.0) {
+    throw std::invalid_argument("Transducer: invalid resonance parameters");
+  }
+}
+
+double Transducer::frequency_response(double hz) const {
+  if (hz <= 0.0) return 0.0;
+  // Second-order band-pass magnitude normalized to 1 at resonance:
+  // |H| = 1 / sqrt(1 + Q^2 (f/f0 - f0/f)^2).
+  const double ratio = hz / params_.resonant_hz;
+  const double detune = ratio - 1.0 / ratio;
+  const double q = params_.quality_factor;
+  return 1.0 / std::sqrt(1.0 + q * q * detune * detune);
+}
+
+double Transducer::bandwidth_hz() const noexcept {
+  return params_.resonant_hz / params_.quality_factor;
+}
+
+double Transducer::open_circuit_voltage(double amplitude, double hz) const {
+  return amplitude * params_.rx_sensitivity * frequency_response(hz);
+}
+
+double Transducer::emitted_amplitude(double volts, double hz) const {
+  return volts * params_.tx_gain * frequency_response(hz);
+}
+
+double Transducer::reflection_coefficient(PztState state) const noexcept {
+  return state == PztState::kReflective ? params_.reflect_coeff
+                                        : params_.absorb_coeff;
+}
+
+double Transducer::modulation_depth() const noexcept {
+  return std::abs(params_.reflect_coeff - params_.absorb_coeff);
+}
+
+double Transducer::ring_time_constant() const noexcept {
+  return params_.quality_factor / (std::numbers::pi * params_.resonant_hz);
+}
+
+}  // namespace arachnet::pzt

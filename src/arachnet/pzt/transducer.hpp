@@ -1,0 +1,74 @@
+#pragma once
+
+namespace arachnet::pzt {
+
+/// Electrical termination state of a backscatter PZT (paper Fig. 2).
+enum class PztState {
+  kReflective,  ///< short-circuited: incoming vibrations reflect back
+  kAbsorptive,  ///< open-circuited: vibrations are absorbed / harvested
+};
+
+/// Lumped model of a piezoelectric transducer bonded to the BiW.
+///
+/// Captures the three behaviours ARACHNET relies on:
+///  * resonance — a second-order band-pass response centred on the
+///    structure+PZT resonant frequency (90 kHz in the paper);
+///  * transduction — incident vibration amplitude to open-circuit voltage
+///    (receive) and drive voltage to emitted vibration amplitude (transmit);
+///  * switchable reflectivity — distinct reflection coefficients in the
+///    short- and open-circuit states, whose difference is the backscatter
+///    modulation depth.
+class Transducer {
+ public:
+  struct Params {
+    double resonant_hz = 90e3;
+    double quality_factor = 18.0;
+    /// Receive sensitivity: open-circuit volts per unit incident vibration
+    /// amplitude at resonance.
+    double rx_sensitivity = 1.0;
+    /// Transmit gain: emitted vibration amplitude per drive volt at
+    /// resonance.
+    double tx_gain = 1.0;
+    /// Amplitude reflection coefficients of the two states.
+    double reflect_coeff = 0.92;
+    double absorb_coeff = 0.35;
+  };
+
+  Transducer() = default;
+  explicit Transducer(Params p);
+
+  /// Normalized band-pass magnitude response at frequency `hz` (1.0 at
+  /// resonance).
+  double frequency_response(double hz) const;
+
+  /// -3 dB bandwidth implied by Q.
+  double bandwidth_hz() const noexcept;
+
+  /// Open-circuit voltage for an incident vibration of `amplitude` at `hz`.
+  double open_circuit_voltage(double amplitude, double hz) const;
+
+  /// Emitted vibration amplitude when driven with `volts` peak at `hz`.
+  double emitted_amplitude(double volts, double hz) const;
+
+  /// Amplitude reflection coefficient in the given state.
+  double reflection_coefficient(PztState state) const noexcept;
+
+  /// Backscatter modulation depth: |Gamma_reflect - Gamma_absorb|.
+  double modulation_depth() const noexcept;
+
+  /// Ring-down time constant of the resonator (tau = Q / (pi f)): how long
+  /// the structure keeps vibrating after drive stops — the "ring effect"
+  /// the paper's FSK-in/OOK-out scheme mitigates.
+  double ring_time_constant() const noexcept;
+
+  void set_state(PztState state) noexcept { state_ = state; }
+  PztState state() const noexcept { return state_; }
+
+  const Params& params() const noexcept { return params_; }
+
+ private:
+  Params params_{};
+  PztState state_ = PztState::kAbsorptive;
+};
+
+}  // namespace arachnet::pzt

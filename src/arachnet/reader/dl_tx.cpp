@@ -1,0 +1,40 @@
+#include "arachnet/reader/dl_tx.hpp"
+
+#include <algorithm>
+
+#include "arachnet/phy/pie.hpp"
+
+namespace arachnet::reader {
+
+std::vector<DlSegment> DlTransmitter::segments(const phy::DlBeacon& beacon,
+                                               sim::Rng& rng) const {
+  const auto chips = phy::PieEncoder::encode(beacon.serialize());
+  const double chip_s = 1.0 / params_.chip_rate;
+
+  // Merge equal-valued chips into runs, then jitter each boundary.
+  std::vector<DlSegment> out;
+  std::size_t i = 0;
+  while (i < chips.size()) {
+    std::size_t j = i;
+    while (j < chips.size() && chips[j] == chips[i]) ++j;
+    DlSegment seg;
+    const bool high = chips[i];
+    seg.frequency_hz = high ? params_.resonant_hz
+                            : (params_.mode == DlTxMode::kFskInOokOut
+                                   ? params_.off_resonant_hz
+                                   : 0.0);
+    seg.duration_s = static_cast<double>(j - i) * chip_s;
+    // Each segment boundary is placed by the reader software over USB with
+    // a 0.1-0.3 ms offset of random sign; lengthen/shorten this segment and
+    // compensate on the next so total time is preserved on average.
+    const double jitter = rng.uniform(params_.edge_jitter_min_s,
+                                      params_.edge_jitter_max_s) *
+                          (rng.bernoulli(0.5) ? 1.0 : -1.0);
+    seg.duration_s = std::max(seg.duration_s + jitter, chip_s * 0.25);
+    out.push_back(seg);
+    i = j;
+  }
+  return out;
+}
+
+}  // namespace arachnet::reader

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <vector>
+
+#include "arachnet/phy/packet.hpp"
+#include "arachnet/sim/rng.hpp"
+
+namespace arachnet::reader {
+
+/// Downlink transmission scheme (paper Sec. 4.1).
+enum class DlTxMode {
+  /// "FSK in, OOK out": PIE-high chips drive the BiW at its resonant
+  /// frequency, PIE-low chips at a non-resonant frequency. The structure
+  /// keeps being driven, so resonant energy is actively displaced rather
+  /// than left to ring down — sharp envelope edges at the tag.
+  kFskInOokOut,
+  /// Conventional amplitude OOK: low chips simply stop the drive, leaving
+  /// the high-Q structure to ring down — smeared falling edges.
+  kPureOok,
+};
+
+/// One constant-drive segment of a DL broadcast.
+struct DlSegment {
+  double frequency_hz = 0.0;  ///< 0 = drive off (pure-OOK low)
+  double duration_s = 0.0;
+};
+
+/// Reader downlink transmitter: expands a beacon into PIE drive segments,
+/// including the 0.1-0.3 ms software timing offset each edge picks up from
+/// the USB pause/resume mechanism (Sec. 6.3).
+class DlTransmitter {
+ public:
+  struct Params {
+    double chip_rate = phy::kDefaultDlRawBitRate;
+    double resonant_hz = 90e3;
+    double off_resonant_hz = 78e3;
+    DlTxMode mode = DlTxMode::kFskInOokOut;
+    double edge_jitter_min_s = 0.1e-3;
+    double edge_jitter_max_s = 0.3e-3;
+  };
+
+  DlTransmitter() : DlTransmitter(Params{}) {}
+  explicit DlTransmitter(Params p) : params_(p) {}
+
+  /// PIE segments for one beacon. High chips at the resonant frequency;
+  /// low chips at the off-resonant frequency (FSK mode) or silence (OOK
+  /// mode). Segment boundaries carry the software edge jitter.
+  std::vector<DlSegment> segments(const phy::DlBeacon& beacon,
+                                  sim::Rng& rng) const;
+
+  const Params& params() const noexcept { return params_; }
+
+ private:
+  Params params_;
+};
+
+}  // namespace arachnet::reader

@@ -1,0 +1,132 @@
+#include "arachnet/reader/fdma_rx.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace arachnet::reader {
+namespace {
+
+// Per-chip dynamics targets mirror RxChain's resolve_* helpers.
+double per_sample(double per_chip, double samples_per_chip) {
+  return 1.0 - std::pow(1.0 - per_chip, 1.0 / samples_per_chip);
+}
+
+}  // namespace
+
+FdmaRxChain::Channel::Channel(double hz, double iq_rate, double chip_rate,
+                              std::vector<double> coeffs,
+                              dsp::AdaptiveSlicer::Params sp,
+                              std::size_t debounce)
+    : subcarrier_hz(hz),
+      nco_step(-2.0 * std::numbers::pi * hz / iq_rate),
+      lpf(std::move(coeffs)),
+      slicer(sp),
+      debouncer(debounce) {
+  fm0 = std::make_unique<Fm0StreamDecoder>(
+      Fm0StreamDecoder::Params{.chip_duration_s = 1.0 / chip_rate,
+                               .tolerance = 0.35},
+      [this](bool bit) { framer->push(bit); }, [this] { framer->reset(); });
+  framer = std::make_unique<phy::UlFramer>(
+      [this](const phy::UlPacket& pkt) { packets.push_back(pkt); });
+}
+
+FdmaRxChain::FdmaRxChain(Params params)
+    : params_(params),
+      ddc_([&] {
+        dsp::Ddc::Params ddc = params.ddc;
+        // The main down-converter must pass the highest subcarrier plus
+        // its modulation sidebands.
+        double top = 0.0;
+        for (const auto& c : params.channels) {
+          top = std::max(top, c.subcarrier_hz);
+        }
+        ddc.cutoff_hz = top + 3.0 * params.chip_rate;
+        return ddc;
+      }()),
+      iq_rate_(ddc_.output_rate_hz()) {
+  if (params_.channels.empty()) {
+    throw std::invalid_argument("FdmaRxChain: no channels");
+  }
+  const double samples_per_chip = iq_rate_ / params_.chip_rate;
+  axis_alpha_ = per_sample(0.5, samples_per_chip);
+  for (std::size_t a = 0; a < params_.channels.size(); ++a) {
+    for (std::size_t b = a + 1; b < params_.channels.size(); ++b) {
+      if (std::abs(params_.channels[a].subcarrier_hz -
+                   params_.channels[b].subcarrier_hz) <
+          3.0 * params_.chip_rate) {
+        throw std::invalid_argument(
+            "FdmaRxChain: subcarriers closer than 3x chip rate");
+      }
+    }
+  }
+  dsp::AdaptiveSlicer::Params sp;
+  sp.floor = 0.001;
+  sp.track_alpha = per_sample(0.98, samples_per_chip);
+  sp.leak_alpha = per_sample(0.04, samples_per_chip);
+  const auto debounce = static_cast<std::size_t>(
+      std::max(1.0, 0.12 * samples_per_chip));
+  // Channel low-pass: passes the FM0 main lobe, rejects the neighbour
+  // subcarrier one spacing away.
+  const auto coeffs =
+      dsp::design_lowpass(1.4 * params_.chip_rate, iq_rate_, 127);
+  for (const auto& spec : params_.channels) {
+    channels_.push_back(std::make_unique<Channel>(
+        spec.subcarrier_hz, iq_rate_, params_.chip_rate, coeffs, sp,
+        debounce));
+  }
+}
+
+void FdmaRxChain::on_iq(std::complex<double> iq) {
+  ++iq_index_;
+  for (auto& ch : channels_) {
+    // Shift the channel's subcarrier band to DC. The carrier leak sits at
+    // baseband DC, i.e. at -f_sc after the shift — outside the channel
+    // low-pass, so no explicit leak cancellation is needed here.
+    const std::complex<double> osc{std::cos(ch->nco_phase),
+                                   std::sin(ch->nco_phase)};
+    ch->nco_phase += ch->nco_step;
+    if (ch->nco_phase < -2.0 * std::numbers::pi) {
+      ch->nco_phase += 2.0 * std::numbers::pi;
+    }
+    const auto shifted = ch->lpf.push(iq * osc);
+
+    // Axis projection: the subcarrier fundamental flips polarity with the
+    // FM0 chip, so after the shift the chip value lives on a fixed line
+    // through the origin in the IQ plane.
+    ch->pseudo_variance +=
+        axis_alpha_ * (shifted * shifted - ch->pseudo_variance);
+    const double angle = 0.5 * std::arg(ch->pseudo_variance);
+    std::complex<double> axis{std::cos(angle), std::sin(angle)};
+    if (axis.real() * ch->prev_axis.real() +
+            axis.imag() * ch->prev_axis.imag() <
+        0.0) {
+      axis = -axis;
+    }
+    ch->prev_axis = axis;
+    const double envelope =
+        shifted.real() * axis.real() + shifted.imag() * axis.imag();
+
+    const bool level = ch->debouncer.push(ch->slicer.push(envelope));
+    if (const auto run = ch->runs.push(level)) {
+      ch->fm0->push_run(static_cast<double>(run->samples) / iq_rate_);
+    }
+  }
+}
+
+void FdmaRxChain::process(const std::vector<double>& samples) {
+  for (double s : samples) {
+    if (const auto iq = ddc_.push(s)) on_iq(*iq);
+  }
+}
+
+const std::vector<phy::UlPacket>& FdmaRxChain::packets(
+    std::size_t channel) const {
+  return channels_.at(channel)->packets;
+}
+
+void FdmaRxChain::clear_packets() {
+  for (auto& ch : channels_) ch->packets.clear();
+}
+
+}  // namespace arachnet::reader

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <complex>
+#include <memory>
+#include <vector>
+
+#include "arachnet/dsp/ddc.hpp"
+#include "arachnet/dsp/fir.hpp"
+#include "arachnet/dsp/schmitt.hpp"
+#include "arachnet/dsp/slicer.hpp"
+#include "arachnet/phy/framer.hpp"
+#include "arachnet/phy/packet.hpp"
+#include "arachnet/reader/fm0_stream_decoder.hpp"
+
+namespace arachnet::reader {
+
+/// FDMA uplink receiver: a bank of subcarrier channels on top of the main
+/// down-converter. Each tag mixes its FM0 chips with a distinct square
+/// subcarrier (phy::SubcarrierModulator), placing its energy at
+/// carrier +/- f_sc; each channel shifts one such band to DC, low-pass
+/// filters it against the neighbours, and runs the usual
+/// slicer -> FM0 -> framer chain. Tags on different subcarriers decode
+/// simultaneously — the paper's FDMA extension path (Sec. 6.3).
+class FdmaRxChain {
+ public:
+  struct ChannelSpec {
+    double subcarrier_hz = 3000.0;
+  };
+
+  struct Params {
+    dsp::Ddc::Params ddc{};   ///< cutoff must cover the highest subcarrier
+    double chip_rate = phy::kDefaultUlRawBitRate;
+    std::vector<ChannelSpec> channels;
+  };
+
+  explicit FdmaRxChain(Params params);
+
+  /// Processes raw DAQ samples.
+  void process(const std::vector<double>& samples);
+
+  /// Packets decoded on channel `i` so far.
+  const std::vector<phy::UlPacket>& packets(std::size_t channel) const;
+
+  /// Clears decoded packets on all channels.
+  void clear_packets();
+
+  std::size_t channel_count() const noexcept { return channels_.size(); }
+
+  const Params& params() const noexcept { return params_; }
+
+ private:
+  struct Channel {
+    double subcarrier_hz;
+    double nco_phase = 0.0;
+    double nco_step = 0.0;
+    dsp::FirFilter<std::complex<double>> lpf;
+    std::complex<double> pseudo_variance{0.0, 0.0};
+    std::complex<double> prev_axis{1.0, 0.0};
+    dsp::AdaptiveSlicer slicer;
+    dsp::Debouncer debouncer;
+    dsp::RunLengthEncoder runs;
+    std::unique_ptr<Fm0StreamDecoder> fm0;
+    std::unique_ptr<phy::UlFramer> framer;
+    std::vector<phy::UlPacket> packets;
+
+    Channel(double hz, double iq_rate, double chip_rate,
+            std::vector<double> coeffs, dsp::AdaptiveSlicer::Params sp,
+            std::size_t debounce);
+  };
+
+  void on_iq(std::complex<double> iq);
+
+  Params params_;
+  dsp::Ddc ddc_;
+  double iq_rate_;
+  double axis_alpha_;
+  std::vector<std::unique_ptr<Channel>> channels_;
+  std::size_t iq_index_ = 0;
+};
+
+}  // namespace arachnet::reader

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <functional>
+
+namespace arachnet::reader {
+
+/// Streaming FM0 bit recovery from Schmitt-trigger run lengths.
+///
+/// FM0 guarantees a transition at every bit boundary, so valid runs last
+/// one or two half-bit (chip) periods. The decoder tracks whether it is at
+/// a bit boundary or mid-bit ("pending half"). A 2-chip run arriving while
+/// mid-bit means the initial phase guess was wrong; re-interpreting it as
+/// straddling the boundary (emit the pending 0, keep one half pending)
+/// self-corrects the phase within one data-0 bit. Runs that do not
+/// quantize to 1 or 2 chips (silence between packets, noise bursts) reset
+/// the decoder and notify the framer via `on_desync`.
+class Fm0StreamDecoder {
+ public:
+  struct Params {
+    double chip_duration_s = 1.0 / 375.0;
+    /// Acceptance window around 1 and 2 chips, as a fraction of the chip.
+    double tolerance = 0.35;
+  };
+
+  using BitHandler = std::function<void(bool bit)>;
+  using DesyncHandler = std::function<void()>;
+
+  Fm0StreamDecoder(Params params, BitHandler on_bit, DesyncHandler on_desync);
+
+  /// Feeds one completed run of `duration_s` seconds. The run's level is
+  /// irrelevant: FM0 bit values depend only on transition positions.
+  void push_run(double duration_s);
+
+  /// Forces a resynchronization (e.g. between slots).
+  void reset();
+
+  const Params& params() const noexcept { return params_; }
+
+ private:
+  void desync();
+
+  Params params_;
+  BitHandler on_bit_;
+  DesyncHandler on_desync_;
+  bool pending_half_ = false;
+};
+
+}  // namespace arachnet::reader

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <complex>
+#include <optional>
+#include <vector>
+
+#include "arachnet/dsp/ddc.hpp"
+#include "arachnet/phy/pam4.hpp"
+
+namespace arachnet::reader {
+
+/// Offline measurement-grade receiver for 4-PAM backscatter frames
+/// (extension experiment): down-converts a captured waveform, cancels the
+/// carrier leak from the pre-frame quiet interval, projects onto the
+/// modulation axis, averages the interior of each symbol, and hands the
+/// per-symbol amplitudes to the PAM-4 level decoder.
+///
+/// Symbol timing comes from a start hint (the experiment controls when
+/// the tag transmits), as in PHY-characterization measurements.
+class Pam4Receiver {
+ public:
+  struct Params {
+    dsp::Ddc::Params ddc{};
+    double symbol_rate = 375.0;
+    phy::Pam4::Params pam{};
+    /// Fraction of each symbol skipped at both edges (ring transitions).
+    double edge_guard = 0.2;
+  };
+
+  explicit Pam4Receiver(Params params) : params_(params), pam_(params.pam) {}
+
+  /// Decodes one frame from a captured waveform. `start_s` is the time of
+  /// the first training symbol; `data_bits` the expected payload size.
+  std::optional<phy::BitVector> decode(const std::vector<double>& samples,
+                                       double start_s,
+                                       std::size_t data_bits) const;
+
+  /// The per-symbol projected amplitudes (for diagnostics / SER sweeps).
+  std::vector<double> symbol_amplitudes(const std::vector<double>& samples,
+                                        double start_s,
+                                        std::size_t symbols) const;
+
+  const Params& params() const noexcept { return params_; }
+
+ private:
+  Params params_;
+  phy::Pam4 pam_;
+};
+
+}  // namespace arachnet::reader

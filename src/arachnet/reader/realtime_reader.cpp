@@ -1,0 +1,51 @@
+#include "arachnet/reader/realtime_reader.hpp"
+
+namespace arachnet::reader {
+
+RealtimeReader::RealtimeReader(Params params)
+    : params_(params),
+      chain_(params.chain),
+      input_(params.input_capacity),
+      output_(params.output_capacity) {}
+
+RealtimeReader::~RealtimeReader() { stop(); }
+
+void RealtimeReader::start() {
+  if (started_) return;
+  started_ = true;
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+void RealtimeReader::worker_loop() {
+  while (auto block = input_.pop()) {
+    if (resync_requested_.exchange(false)) chain_.resync();
+    chain_.process(*block);
+    samples_processed_.fetch_add(block->size(), std::memory_order_relaxed);
+    // Emit any packets decoded so far.
+    const auto& packets = chain_.packets();
+    while (packets_emitted_ < packets.size()) {
+      output_.push(packets[packets_emitted_]);
+      ++packets_emitted_;
+    }
+  }
+  output_.close();
+}
+
+bool RealtimeReader::submit(Block block) {
+  return input_.push(std::move(block));
+}
+
+std::optional<RxPacket> RealtimeReader::poll_packet() {
+  return output_.try_pop();
+}
+
+std::optional<RxPacket> RealtimeReader::wait_packet() {
+  return output_.pop();
+}
+
+void RealtimeReader::stop() {
+  input_.close();
+  if (worker_.joinable()) worker_.join();
+}
+
+}  // namespace arachnet::reader

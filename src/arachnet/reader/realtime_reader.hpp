@@ -1,0 +1,73 @@
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "arachnet/dsp/ring_buffer.hpp"
+#include "arachnet/reader/rx_chain.hpp"
+
+namespace arachnet::reader {
+
+/// Threaded real-time reader front half: the DAQ thread pushes raw sample
+/// blocks into a bounded ring buffer (back-pressure throttles a producer
+/// that outruns the DSP), a worker thread runs the receive chain, and
+/// decoded packets stream out through a second buffer — the architecture
+/// the paper describes for its real-time reader software (Sec. 6.1).
+class RealtimeReader {
+ public:
+  using Block = std::vector<double>;
+
+  struct Params {
+    RxChain::Params chain{};
+    std::size_t input_capacity = 8;    ///< blocks in flight
+    std::size_t output_capacity = 256; ///< decoded packets buffered
+  };
+
+  explicit RealtimeReader(Params params);
+  ~RealtimeReader();
+
+  RealtimeReader(const RealtimeReader&) = delete;
+  RealtimeReader& operator=(const RealtimeReader&) = delete;
+
+  /// Starts the DSP worker thread.
+  void start();
+
+  /// Submits a block of raw DAQ samples. Blocks while the input queue is
+  /// full (back-pressure). Returns false after stop().
+  bool submit(Block block);
+
+  /// Non-blocking fetch of the next decoded packet.
+  std::optional<RxPacket> poll_packet();
+
+  /// Blocking fetch; nullopt once stopped and drained.
+  std::optional<RxPacket> wait_packet();
+
+  /// Closes the input, drains the worker, and joins it.
+  void stop();
+
+  /// Raw samples processed so far (worker-side).
+  std::uint64_t samples_processed() const noexcept {
+    return samples_processed_.load(std::memory_order_relaxed);
+  }
+
+  /// Requests a slot-boundary resync (applied by the worker before the
+  /// next block).
+  void request_resync() { resync_requested_.store(true); }
+
+ private:
+  void worker_loop();
+
+  Params params_;
+  RxChain chain_;
+  dsp::RingBuffer<Block> input_;
+  dsp::RingBuffer<RxPacket> output_;
+  std::thread worker_;
+  std::atomic<std::uint64_t> samples_processed_{0};
+  std::atomic<bool> resync_requested_{false};
+  std::size_t packets_emitted_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace arachnet::reader

@@ -1,0 +1,202 @@
+#include "arachnet/reader/rx_chain.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace arachnet::reader {
+namespace {
+
+dsp::Ddc::Params resolve_ddc(const RxChain::Params& p) {
+  dsp::Ddc::Params ddc = p.ddc;
+  if (p.auto_bandwidth) {
+    ddc.cutoff_hz = std::clamp(3.5 * p.chip_rate, 1.5e3, 12.5e3);
+  }
+  return ddc;
+}
+
+}  // namespace
+
+dsp::AdaptiveSlicer::Params resolve_slicer(const RxChain::Params& p) {
+  dsp::AdaptiveSlicer::Params slicer = p.slicer;
+  if (p.auto_bandwidth) {
+    // Baseband noise grows with the square root of the resolved filter
+    // bandwidth; keep the squelch floor proportional (reference: 1.5 kHz).
+    slicer.floor *= std::sqrt(resolve_ddc(p).cutoff_hz / 1.5e3);
+    // The slicer's dynamics must be constant per *chip*, not per sample,
+    // or slow links drain the tracked levels over their long plateaus.
+    // Targets: ~98% level acquisition and ~4% decay per chip.
+    const double iq_rate =
+        p.ddc.sample_rate_hz / static_cast<double>(p.ddc.decimation);
+    const double samples_per_chip = iq_rate / p.chip_rate;
+    const auto per_sample = [&](double per_chip) {
+      return 1.0 - std::pow(1.0 - per_chip, 1.0 / samples_per_chip);
+    };
+    slicer.track_alpha = per_sample(0.98);
+    slicer.leak_alpha = per_sample(0.04);
+  }
+  return slicer;
+}
+
+std::size_t resolve_debounce(const RxChain::Params& p) {
+  const double iq_rate =
+      p.ddc.sample_rate_hz / static_cast<double>(p.ddc.decimation);
+  const double samples_per_chip = iq_rate / p.chip_rate;
+  // Suppress glitches shorter than ~12% of a chip.
+  return static_cast<std::size_t>(std::max(1.0, 0.12 * samples_per_chip));
+}
+
+double resolve_leak_alpha(const RxChain::Params& p) {
+  if (!p.auto_bandwidth) return p.leak_ema_alpha;
+  const double iq_rate =
+      p.ddc.sample_rate_hz / static_cast<double>(p.ddc.decimation);
+  const double samples_per_chip = iq_rate / p.chip_rate;
+  return 1.0 - std::pow(1.0 - p.leak_ema_alpha, 1.0 / samples_per_chip);
+}
+
+double resolve_axis_alpha(const RxChain::Params& p) {
+  if (!p.auto_bandwidth) return p.axis_ema_alpha;
+  const double iq_rate =
+      p.ddc.sample_rate_hz / static_cast<double>(p.ddc.decimation);
+  const double samples_per_chip = iq_rate / p.chip_rate;
+  // ~50% convergence per chip: locks within the pilot at every rate.
+  return 1.0 - std::pow(0.5, 1.0 / samples_per_chip);
+}
+
+RxChain::RxChain(Params params)
+    : params_(params),
+      ddc_(resolve_ddc(params)),
+      slicer_(resolve_slicer(params)),
+      debouncer_(resolve_debounce(params)),
+      axis_alpha_(resolve_axis_alpha(params)),
+      leak_alpha_(resolve_leak_alpha(params)),
+      fm0_(Fm0StreamDecoder::Params{.chip_duration_s = 1.0 / params.chip_rate,
+                                    .tolerance = 0.35},
+           /*on_bit=*/[this](bool bit) { framer_.push(bit); },
+           /*on_desync=*/[this] { framer_.reset(); }),
+      framer_([this](const phy::UlPacket& pkt) {
+        packets_.push_back(RxPacket{
+            pkt, static_cast<double>(sample_count_) /
+                     params_.ddc.sample_rate_hz});
+      }) {}
+
+void RxChain::on_iq(std::complex<double> iq) {
+  // Optional one-shot frequency-offset calibration (paper lists a
+  // "frequency offset calibration" block): estimate from the leak-dominated
+  // early samples, then derotate the live stream.
+  if (params_.freq_cal_samples > 0 && !freq_calibrated_) {
+    cal_buffer_.push_back(iq);
+    if (cal_buffer_.size() >= params_.freq_cal_samples) {
+      freq_offset_hz_ =
+          dsp::estimate_frequency_offset(cal_buffer_, ddc_.output_rate_hz());
+      freq_calibrated_ = true;
+      cal_buffer_.clear();
+      cal_buffer_.shrink_to_fit();
+    }
+    return;  // calibration samples are not decoded
+  }
+  if (freq_calibrated_ && freq_offset_hz_ != 0.0) {
+    const double phase = -2.0 * 3.14159265358979323846 * freq_offset_hz_ *
+                         static_cast<double>(iq_sample_index_) /
+                         ddc_.output_rate_hz();
+    iq *= std::complex<double>{std::cos(phase), std::sin(phase)};
+  }
+  ++iq_sample_index_;
+
+  iq_points_.push_back(iq);
+
+  // Leak cancellation + axis projection. A slow complex EMA converges on
+  // the static carrier-leak phasor (plus the mean reflection level). The
+  // tag's OOK then lives on a 1-D line in the IQ plane whose direction is
+  // half the angle of the complex pseudo-variance E[(iq-m)^2]; projecting
+  // the residual onto that axis recovers full modulation depth regardless
+  // of the leak/reflection phase relation (no quadrature fading).
+  if (!leak_primed_) {
+    leak_estimate_ = iq;
+    leak_primed_ = true;
+  } else {
+    const double alpha = iq_sample_index_ < params_.leak_warmup_samples
+                             ? params_.leak_warmup_alpha
+                             : leak_alpha_;
+    leak_estimate_ += alpha * (iq - leak_estimate_);
+  }
+  const std::complex<double> residual = iq - leak_estimate_;
+  // Only modulated samples carry axis information: updating on noise-only
+  // samples (low OOK state, inter-packet silence) would let the axis decay
+  // and spin between plateaus. Gate on the squelch floor.
+  if (std::abs(residual) >= slicer_.params().floor) {
+    pseudo_variance_ +=
+        axis_alpha_ * (residual * residual - pseudo_variance_);
+  }
+  const double axis_angle = 0.5 * std::arg(pseudo_variance_);
+  std::complex<double> axis{std::cos(axis_angle), std::sin(axis_angle)};
+  // The half-angle is only defined modulo pi; keep the axis direction
+  // continuous so the envelope polarity cannot flip mid-packet.
+  if (axis.real() * prev_axis_.real() + axis.imag() * prev_axis_.imag() <
+      0.0) {
+    axis = -axis;
+  }
+  prev_axis_ = axis;
+  const double envelope =
+      residual.real() * axis.real() + residual.imag() * axis.imag();
+  // The filter/leak start-up transient would poison the slicer's primed
+  // levels; keep the decision path muted until the warmup completes.
+  if (iq_sample_index_ <= params_.leak_warmup_samples) {
+    if (iq_sample_index_ == params_.leak_warmup_samples) {
+      slicer_.reset();
+      debouncer_.reset();
+      runs_.reset();
+    }
+    return;
+  }
+  const bool level = debouncer_.push(slicer_.push(envelope));
+  if (const auto run = runs_.push(level)) {
+    const double duration =
+        static_cast<double>(run->samples) / ddc_.output_rate_hz();
+    fm0_.push_run(duration);
+  }
+}
+
+void RxChain::process(const std::vector<double>& samples) {
+  for (double s : samples) {
+    ++sample_count_;
+    if (const auto iq = ddc_.push(s)) on_iq(*iq);
+  }
+}
+
+bool RxChain::collision_detected(sim::Rng& rng) const {
+  return dsp::detect_collision_iq(iq_points_, rng);
+}
+
+void RxChain::resync() {
+  slicer_.reset();
+  debouncer_.reset();
+  runs_.reset();
+  fm0_.reset();
+  framer_.reset();
+  pseudo_variance_ = {0.0, 0.0};
+  prev_axis_ = {1.0, 0.0};
+  // Restart the leak warmup: the next leak_warmup_samples IQ samples
+  // (the quiet reply gap) re-estimate the baseline with the fast alpha
+  // while the decision path stays muted.
+  iq_sample_index_ = 0;
+}
+
+void RxChain::reset() {
+  ddc_.reset();
+  slicer_.reset();
+  debouncer_.reset();
+  runs_.reset();
+  fm0_.reset();
+  framer_.reset();
+  iq_points_.clear();
+  freq_calibrated_ = false;
+  freq_offset_hz_ = 0.0;
+  cal_buffer_.clear();
+  iq_sample_index_ = 0;
+  leak_estimate_ = {0.0, 0.0};
+  pseudo_variance_ = {0.0, 0.0};
+  prev_axis_ = {1.0, 0.0};
+  leak_primed_ = false;
+}
+
+}  // namespace arachnet::reader

@@ -1,0 +1,59 @@
+#include "arachnet/sensing/strain.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace arachnet::sensing {
+
+double WheatstoneBridge::output_voltage(double strain) const noexcept {
+  // Full bridge, two active arms in opposition: to first order
+  // Vout = Vex * (dR/R) / 2 = Vex * GF * eps / 2.
+  const double dr_over_r = params_.gauge.gauge_factor * strain;
+  return params_.excitation_v * dr_over_r / 2.0;
+}
+
+double BridgeAmplifier::amplify(double differential_v, sim::Rng& rng) const {
+  const double out = params_.offset_v + params_.gain * differential_v +
+                     rng.normal(0.0, params_.noise_rms_v);
+  return std::clamp(out, 0.0, params_.rail_v);
+}
+
+std::uint16_t Adc::sample(double volts) const noexcept {
+  const double clamped = std::clamp(volts, 0.0, params_.reference_v);
+  const auto code = static_cast<std::uint32_t>(
+      clamped / params_.reference_v * full_scale() + 0.5);
+  return static_cast<std::uint16_t>(std::min<std::uint32_t>(code, full_scale()));
+}
+
+double Adc::to_voltage(std::uint16_t code) const noexcept {
+  return static_cast<double>(std::min(code, full_scale())) /
+         full_scale() * params_.reference_v;
+}
+
+double CantileverBeam::strain(double tip_displacement_m) const noexcept {
+  const double l = params_.length_m;
+  const double x = params_.gauge_position_m;
+  return 3.0 * params_.thickness_m * tip_displacement_m * (l - x) /
+         (2.0 * l * l * l);
+}
+
+StrainSensorModule::StrainSensorModule(Params p)
+    : params_(p),
+      beam_(p.beam),
+      bridge_(p.bridge),
+      amp_(p.amp),
+      adc_(p.adc) {}
+
+double StrainSensorModule::analog_voltage(double tip_displacement_m,
+                                          sim::Rng& rng) const {
+  const double strain = beam_.strain(tip_displacement_m);
+  const double differential = bridge_.output_voltage(strain);
+  return amp_.amplify(differential, rng);
+}
+
+std::uint16_t StrainSensorModule::sample(double tip_displacement_m,
+                                         sim::Rng& rng) const {
+  return adc_.sample(analog_voltage(tip_displacement_m, rng));
+}
+
+}  // namespace arachnet::sensing

@@ -1,0 +1,166 @@
+#pragma once
+
+#include <cstdint>
+
+#include "arachnet/sim/rng.hpp"
+
+namespace arachnet::sensing {
+
+/// Metal strain gauge: resistance change proportional to strain,
+/// dR/R = GF * epsilon (GF ~ 2 for metallic foil gauges).
+class StrainGauge {
+ public:
+  struct Params {
+    double nominal_ohm = 350.0;
+    double gauge_factor = 2.0;
+  };
+
+  StrainGauge() = default;
+  explicit StrainGauge(Params p) : params_(p) {}
+
+  /// Resistance at the given strain (dimensionless, e.g. 1e-3 = 1000 ue).
+  double resistance(double strain) const noexcept {
+    return params_.nominal_ohm * (1.0 + params_.gauge_factor * strain);
+  }
+
+  const Params& params() const noexcept { return params_; }
+
+ private:
+  Params params_{};
+};
+
+/// Full Wheatstone bridge with two active gauges in opposite arms (the
+/// usual bending configuration): differential output
+/// Vout = Vex * GF * epsilon / 2 for small strain, linear to first order.
+class WheatstoneBridge {
+ public:
+  struct Params {
+    double excitation_v = 1.8;  ///< adapted to the tag's 1.8 V rail
+    StrainGauge::Params gauge{};
+  };
+
+  WheatstoneBridge() = default;
+  explicit WheatstoneBridge(Params p) : params_(p), gauge_(p.gauge) {}
+
+  /// Differential output voltage at the given strain (full bridge, two
+  /// active arms loaded in opposition).
+  double output_voltage(double strain) const noexcept;
+
+  const Params& params() const noexcept { return params_; }
+
+ private:
+  Params params_{};
+  StrainGauge gauge_{};
+};
+
+/// Instrumentation amplifier in front of the ADC (the TI SBOA247-style
+/// single-supply bridge amplifier the paper adapts to 1.8 V).
+class BridgeAmplifier {
+ public:
+  struct Params {
+    double gain = 200.0;
+    double offset_v = 0.9;        ///< mid-rail output bias
+    double rail_v = 1.8;          ///< output clamps to [0, rail]
+    double noise_rms_v = 0.8e-3;  ///< input-referred-noise * gain at output
+  };
+
+  BridgeAmplifier() = default;
+  explicit BridgeAmplifier(Params p) : params_(p) {}
+
+  /// Amplified, biased, clamped output for a bridge differential input.
+  double amplify(double differential_v, sim::Rng& rng) const;
+
+  const Params& params() const noexcept { return params_; }
+
+ private:
+  Params params_{};
+};
+
+/// Successive-approximation ADC like the MSP430's 10-bit converter.
+class Adc {
+ public:
+  struct Params {
+    int bits = 10;
+    double reference_v = 1.8;
+  };
+
+  Adc() = default;
+  explicit Adc(Params p) : params_(p) {}
+
+  /// Converts a voltage to a code (clamped to the full-scale range).
+  std::uint16_t sample(double volts) const noexcept;
+
+  /// Code back to voltage (bin centre).
+  double to_voltage(std::uint16_t code) const noexcept;
+
+  std::uint16_t full_scale() const noexcept {
+    return static_cast<std::uint16_t>((1u << params_.bits) - 1);
+  }
+
+  const Params& params() const noexcept { return params_; }
+
+ private:
+  Params params_{};
+};
+
+/// The Sec. 6.5 case-study plant: a cantilevered metal sheet whose free
+/// end is displaced by hand (-10 cm .. +10 cm); gauges at the clamped end
+/// see surface strain proportional to tip displacement.
+class CantileverBeam {
+ public:
+  struct Params {
+    double length_m = 0.5;
+    double thickness_m = 1.5e-3;
+    /// Gauge position from the clamp (strain falls linearly toward the
+    /// tip).
+    double gauge_position_m = 0.05;
+  };
+
+  CantileverBeam() = default;
+  explicit CantileverBeam(Params p) : params_(p) {}
+
+  /// Surface strain at the gauge for a tip displacement (m). For an
+  /// end-loaded cantilever: eps(x) = 3 t d (L - x) / (2 L^3).
+  double strain(double tip_displacement_m) const noexcept;
+
+  const Params& params() const noexcept { return params_; }
+
+ private:
+  Params params_{};
+};
+
+/// Complete strain-sensing channel as carried in a tag's UL payload:
+/// displacement -> beam strain -> bridge -> amplifier -> ADC code.
+class StrainSensorModule {
+ public:
+  struct Params {
+    CantileverBeam::Params beam{};
+    WheatstoneBridge::Params bridge{};
+    BridgeAmplifier::Params amp{};
+    Adc::Params adc{};
+  };
+
+  StrainSensorModule() = default;
+  explicit StrainSensorModule(Params p);
+
+  /// One sensor reading (the 12-bit UL payload uses the low bits).
+  std::uint16_t sample(double tip_displacement_m, sim::Rng& rng) const;
+
+  /// The amplified analog voltage before conversion (for reporting).
+  double analog_voltage(double tip_displacement_m, sim::Rng& rng) const;
+
+  /// The module draws ~1 mW while sampling (ADC + amplifier), so the tag
+  /// takes at most one sample per slot (Sec. 6.5).
+  static constexpr double kSamplePowerW = 1e-3;
+
+  const Params& params() const noexcept { return params_; }
+
+ private:
+  Params params_{};
+  CantileverBeam beam_{};
+  WheatstoneBridge bridge_{};
+  BridgeAmplifier amp_{};
+  Adc adc_{};
+};
+
+}  // namespace arachnet::sensing

@@ -1,0 +1,65 @@
+#include "arachnet/sim/event_queue.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace arachnet::sim {
+
+EventId EventQueue::schedule_at(double when, Callback cb) {
+  if (when < now_) {
+    throw std::invalid_argument("EventQueue: cannot schedule in the past");
+  }
+  const std::uint64_t id = next_id_++;
+  heap_.push(Entry{when, next_seq_++, id, std::move(cb)});
+  live_.insert(id);
+  return EventId{id};
+}
+
+EventId EventQueue::schedule_in(double delay, Callback cb) {
+  return schedule_at(now_ + delay, std::move(cb));
+}
+
+bool EventQueue::cancel(EventId id) {
+  // Lazy deletion: the heap entry is skipped when it surfaces.
+  return live_.erase(id.value) > 0;
+}
+
+void EventQueue::drop_cancelled_top() {
+  while (!heap_.empty() && !live_.contains(heap_.top().id)) {
+    heap_.pop();
+  }
+}
+
+bool EventQueue::step() {
+  drop_cancelled_top();
+  if (heap_.empty()) return false;
+  Callback cb = std::move(heap_.top().cb);
+  now_ = heap_.top().when;
+  live_.erase(heap_.top().id);
+  heap_.pop();
+  cb();
+  return true;
+}
+
+std::size_t EventQueue::run() {
+  std::size_t executed = 0;
+  while (step()) ++executed;
+  return executed;
+}
+
+std::size_t EventQueue::run_until(double t_end) {
+  std::size_t executed = 0;
+  for (;;) {
+    drop_cancelled_top();
+    if (heap_.empty() || heap_.top().when > t_end) break;
+    step();
+    ++executed;
+  }
+  now_ = std::max(now_, t_end);
+  return executed;
+}
+
+bool EventQueue::empty() const { return live_.empty(); }
+
+}  // namespace arachnet::sim

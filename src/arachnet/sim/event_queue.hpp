@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace arachnet::sim {
+
+/// Opaque handle identifying a scheduled event; usable to cancel it.
+struct EventId {
+  std::uint64_t value = 0;
+  friend bool operator==(EventId, EventId) = default;
+};
+
+/// A deterministic discrete-event scheduler.
+///
+/// Events scheduled for the same simulated time fire in scheduling order
+/// (FIFO tie-break via a monotonically increasing sequence number), which
+/// keeps co-simulations of many MCUs reproducible.
+///
+/// Time is in seconds (double). The kernel makes no attempt to be
+/// thread-safe: one EventQueue belongs to one simulation thread.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulated time in seconds.
+  double now() const noexcept { return now_; }
+
+  /// Schedules `cb` to run at absolute time `when` (must be >= now()).
+  EventId schedule_at(double when, Callback cb);
+
+  /// Schedules `cb` to run `delay` seconds from now (delay >= 0).
+  EventId schedule_in(double delay, Callback cb);
+
+  /// Cancels a pending event. Returns true if the event was still pending.
+  /// Cancelling an already-fired or unknown id is a harmless no-op.
+  bool cancel(EventId id);
+
+  /// Runs events until the queue is empty or `run_until` / event budget
+  /// stops it. Returns the number of events executed.
+  std::size_t run();
+
+  /// Runs events with time <= t_end, then advances now() to t_end.
+  std::size_t run_until(double t_end);
+
+  /// Executes exactly one event if available; returns false when empty.
+  bool step();
+
+  /// True when no events are pending.
+  bool empty() const;
+
+  /// Number of pending (non-cancelled) events.
+  std::size_t pending() const noexcept { return live_.size(); }
+
+ private:
+  struct Entry {
+    double when;
+    std::uint64_t seq;
+    std::uint64_t id;
+    // Heap entries are moved around; the callback lives here.
+    mutable Callback cb;
+
+    bool operator>(const Entry& other) const noexcept {
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+  };
+
+  void drop_cancelled_top();
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_set<std::uint64_t> live_;  // pending, not cancelled
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace arachnet::sim

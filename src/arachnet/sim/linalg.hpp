@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace arachnet::sim {
+
+/// Dense row-major matrix just large enough for the Appendix-C Markov
+/// analysis (hundreds of states).
+class Matrix {
+ public:
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double at(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+
+  static Matrix identity(std::size_t n);
+
+ private:
+  std::size_t rows_, cols_;
+  std::vector<double> data_;
+};
+
+/// Solves A x = b by Gaussian elimination with partial pivoting. A must be
+/// square and nonsingular; throws std::runtime_error otherwise.
+std::vector<double> solve(Matrix a, std::vector<double> b);
+
+}  // namespace arachnet::sim

@@ -1,0 +1,82 @@
+#include "arachnet/sim/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace arachnet::sim {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double percentile(std::vector<double> samples, double q) {
+  return Percentiles{std::move(samples)}.at(q);
+}
+
+Percentiles::Percentiles(std::vector<double> samples)
+    : sorted_(std::move(samples)) {
+  if (sorted_.empty()) {
+    throw std::invalid_argument("Percentiles: empty sample set");
+  }
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Percentiles::at(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  if (lo == hi) return sorted_[lo];
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+double Percentiles::cdf(double x) const {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (bins == 0 || !(hi > lo)) {
+    throw std::invalid_argument("Histogram: invalid range or bin count");
+  }
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  const double t = (x - lo_) / (hi_ - lo_);
+  auto idx = static_cast<std::ptrdiff_t>(t * static_cast<double>(counts_.size()));
+  idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+}
+
+double Histogram::bin_lo(std::size_t i) const noexcept {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t i) const noexcept {
+  return bin_lo(i + 1);
+}
+
+}  // namespace arachnet::sim

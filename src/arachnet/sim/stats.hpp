@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace arachnet::sim {
+
+/// Streaming summary statistics (Welford). Numerically stable for long runs.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentile of a sample set using linear interpolation between closest
+/// ranks. `q` in [0,1]. The input is copied and sorted; for repeated queries
+/// on one data set prefer Percentiles below.
+double percentile(std::vector<double> samples, double q);
+
+/// Sorted-sample percentile helper for CDF-style reporting.
+class Percentiles {
+ public:
+  explicit Percentiles(std::vector<double> samples);
+  double at(double q) const;  ///< q in [0,1]
+  double median() const { return at(0.5); }
+  std::size_t count() const noexcept { return sorted_.size(); }
+  /// Empirical CDF value at x: fraction of samples <= x.
+  double cdf(double x) const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Fixed-bin histogram for simple terminal output in the benches.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+  void add(double x) noexcept;
+  std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t bins() const noexcept { return counts_.size(); }
+  double bin_lo(std::size_t i) const noexcept;
+  double bin_hi(std::size_t i) const noexcept;
+  std::size_t total() const noexcept { return total_; }
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace arachnet::sim

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cmath>
+
+/// Small unit/constant helpers shared across the simulator. All simulation
+/// quantities are SI doubles; these helpers keep dB <-> linear and common
+/// scale conversions in one audited place.
+namespace arachnet::sim {
+
+/// Power ratio in dB -> linear.
+inline double db_to_linear(double db) noexcept {
+  return std::pow(10.0, db / 10.0);
+}
+
+/// Linear power ratio -> dB.
+inline double linear_to_db(double linear) noexcept {
+  return 10.0 * std::log10(linear);
+}
+
+/// Amplitude ratio in dB -> linear (20 dB per decade).
+inline double db_to_amplitude(double db) noexcept {
+  return std::pow(10.0, db / 20.0);
+}
+
+/// Linear amplitude ratio -> dB.
+inline double amplitude_to_db(double linear) noexcept {
+  return 20.0 * std::log10(linear);
+}
+
+inline constexpr double kMilli = 1e-3;
+inline constexpr double kMicro = 1e-6;
+inline constexpr double kNano = 1e-9;
+inline constexpr double kKilo = 1e3;
+inline constexpr double kMega = 1e6;
+
+/// Group velocity of the A0 Lamb mode in automotive sheet steel around
+/// 90 kHz; used for propagation-delay modelling across the BiW.
+inline constexpr double kSteelGroupVelocityMps = 3100.0;
+
+/// The system's acoustic carrier: resonant frequency of the BiW + PZT
+/// assembly reported in the paper.
+inline constexpr double kCarrierHz = 90e3;
+
+/// Reader DAQ sampling rate (ART USB3136A analog input in the paper).
+inline constexpr double kReaderSampleRateHz = 500e3;
+
+}  // namespace arachnet::sim

@@ -1,0 +1,581 @@
+// Tests for the distributed slot-allocation protocol: the tag state
+// machine (Fig. 7 / Appendix C transitions), the reader controller
+// (feedback, Eq. 4 EMPTY prediction, Sec. 5.6 future-collision avoidance),
+// the slot-level network co-simulation, and convergence properties.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "arachnet/core/experiment_configs.hpp"
+#include "arachnet/core/markov_theory.hpp"
+#include "arachnet/core/protocol.hpp"
+#include "arachnet/core/reader_controller.hpp"
+#include "arachnet/core/slot_network.hpp"
+#include "arachnet/core/tag_state_machine.hpp"
+
+namespace {
+
+using namespace arachnet::core;
+using arachnet::phy::DlCommand;
+
+const DlCommand kAck{.ack = true, .empty = false, .reset = false};
+const DlCommand kNack{.ack = false, .empty = false, .reset = false};
+const DlCommand kNackEmpty{.ack = false, .empty = true, .reset = false};
+const DlCommand kAckEmpty{.ack = true, .empty = true, .reset = false};
+
+// ---------------------------------------------------------------- Protocol
+
+TEST(Protocol, PermissiblePeriods) {
+  EXPECT_TRUE(is_permissible_period(1));
+  EXPECT_TRUE(is_permissible_period(2));
+  EXPECT_TRUE(is_permissible_period(32));
+  EXPECT_FALSE(is_permissible_period(0));
+  EXPECT_FALSE(is_permissible_period(3));
+  EXPECT_FALSE(is_permissible_period(12));
+}
+
+TEST(Protocol, UtilizationEquation1) {
+  EXPECT_DOUBLE_EQ(slot_utilization({2, 4, 8, 8}), 1.0);  // Table 1 example
+  EXPECT_DOUBLE_EQ(slot_utilization({4, 8, 8, 16, 16, 32, 32, 32, 32, 32, 32,
+                                     32}),
+                   slot_utilization({4}) + slot_utilization({8, 8}) +
+                       slot_utilization({16, 16}) +
+                       7.0 / 32.0);
+  EXPECT_THROW(slot_utilization({5}), std::invalid_argument);
+}
+
+TEST(Protocol, Table3ConfigsMatchPaper) {
+  const auto& configs = table3_configs();
+  ASSERT_EQ(configs.size(), 9u);
+  const int expected_tags[] = {12, 12, 12, 12, 12, 11, 10, 8, 6};
+  const double expected_util[] = {0.375, 0.75, 0.84375, 0.9375, 1.0,
+                                  0.75, 0.75, 0.75, 0.75};
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    EXPECT_EQ(configs[i].tag_count(), expected_tags[i]) << configs[i].name;
+    EXPECT_DOUBLE_EQ(configs[i].utilization(), expected_util[i])
+        << configs[i].name;
+  }
+  EXPECT_EQ(table3_config("c3").tags_period_32, 7);
+  EXPECT_THROW(table3_config("c10"), std::out_of_range);
+}
+
+// ---------------------------------------------------------- State machine
+
+TagStateMachine::Config cfg(int period) {
+  TagStateMachine::Config c;
+  c.period = period;
+  c.empty_gating = false;  // most unit tests exercise the core machine
+  return c;
+}
+
+TEST(TagSm, StartsInMigrateWithValidOffset) {
+  TagStateMachine sm{cfg(8), 42};
+  EXPECT_EQ(sm.state(), TagState::kMigrate);
+  EXPECT_GE(sm.offset(), 0);
+  EXPECT_LT(sm.offset(), 8);
+  EXPECT_TRUE(sm.fresh());
+}
+
+TEST(TagSm, TransmitsOnlyAtItsOffset) {
+  TagStateMachine sm{cfg(4), 1};
+  int transmissions = 0;
+  for (int s = 0; s < 16; ++s) {
+    if (sm.on_beacon(kNack)) ++transmissions;
+  }
+  // Offset may move after each NACKed transmission, but the schedule rule
+  // (Eq. 2) allows at most one transmission per period.
+  EXPECT_LE(transmissions, 8);
+  EXPECT_GE(transmissions, 1);
+}
+
+TEST(TagSm, AckSettles) {
+  TagStateMachine sm{cfg(2), 7};
+  // Drive until it transmits, then ACK it.
+  while (!sm.on_beacon(kNack)) {
+  }
+  sm.on_beacon(kAck);
+  EXPECT_EQ(sm.state(), TagState::kSettle);
+  EXPECT_FALSE(sm.fresh());
+}
+
+TEST(TagSm, FeedbackIgnoredUnlessTransmitted) {
+  TagStateMachine sm{cfg(8), 3};
+  // A NACK arriving when the tag did NOT transmit in the closed slot must
+  // not change the offset (Sec. 5.3: tags disregard such feedback).
+  for (int s = 0; s < 40; ++s) {
+    const bool transmitted = sm.transmitted_last_slot();
+    const int offset_before = sm.offset();
+    sm.on_beacon(kNack);
+    if (!transmitted) {
+      EXPECT_EQ(sm.offset(), offset_before) << "slot " << s;
+    }
+  }
+}
+
+TEST(TagSm, MigrateChangesOffsetOnNack) {
+  TagStateMachine sm{cfg(32), 11};
+  std::set<int> seen;
+  for (int i = 0; i < 300; ++i) {
+    if (sm.on_beacon(kNack)) seen.insert(sm.offset());
+  }
+  // Repeated NACKs must explore many offsets.
+  EXPECT_GE(seen.size(), 8u);
+}
+
+TEST(TagSm, SettleToleratesUpToNMinusOneNacks) {
+  TagStateMachine sm{cfg(2), 5};
+  while (!sm.on_beacon(kNack)) {
+  }
+  sm.on_beacon(kAck);  // settle
+  ASSERT_EQ(sm.state(), TagState::kSettle);
+  const int settled_offset = sm.offset();
+  // Two consecutive NACKs on its transmissions: stays settled (N=3).
+  int nacks = 0;
+  while (nacks < 2) {
+    if (sm.transmitted_last_slot()) ++nacks;
+    if (nacks >= 2) break;
+    sm.on_beacon(nacks > 0 ? kNack : kNack);
+  }
+  EXPECT_EQ(sm.state(), TagState::kSettle);
+  EXPECT_EQ(sm.offset(), settled_offset);
+  // An ACK resets the failure counter.
+  sm.on_beacon(kAck);
+  EXPECT_EQ(sm.nack_count(), 0);
+}
+
+TEST(TagSm, ThirdConsecutiveNackMigrates) {
+  TagStateMachine sm{cfg(1), 9};  // period 1: transmits every slot
+  sm.on_beacon(kNack);            // first transmission
+  sm.on_beacon(kAck);             // settle
+  ASSERT_EQ(sm.state(), TagState::kSettle);
+  sm.on_beacon(kNack);
+  sm.on_beacon(kNack);
+  EXPECT_EQ(sm.state(), TagState::kSettle);
+  sm.on_beacon(kNack);  // third consecutive
+  EXPECT_EQ(sm.state(), TagState::kMigrate);
+  EXPECT_EQ(sm.nack_count(), 0);
+}
+
+TEST(TagSm, BeaconLossMigratesWithRefinement) {
+  TagStateMachine sm{cfg(1), 13};
+  sm.on_beacon(kNack);
+  sm.on_beacon(kAck);
+  ASSERT_EQ(sm.state(), TagState::kSettle);
+  const int idx = sm.slot_index();
+  sm.on_beacon_loss();
+  EXPECT_EQ(sm.state(), TagState::kMigrate);
+  EXPECT_EQ(sm.slot_index(), idx);  // missed boundary: no increment
+}
+
+TEST(TagSm, BeaconLossWithoutRefinementKeepsState) {
+  auto c = cfg(1);
+  c.beacon_loss_migrate = false;
+  TagStateMachine sm{c, 13};
+  sm.on_beacon(kNack);
+  sm.on_beacon(kAck);
+  ASSERT_EQ(sm.state(), TagState::kSettle);
+  sm.on_beacon_loss();
+  EXPECT_EQ(sm.state(), TagState::kSettle);  // vanilla behaviour (Sec. 5.4)
+}
+
+TEST(TagSm, ResetCommandRestartsEverything) {
+  TagStateMachine sm{cfg(2), 17};
+  sm.on_beacon(kNack);
+  while (sm.state() != TagState::kSettle) {
+    sm.on_beacon(sm.transmitted_last_slot() ? kAck : kNack);
+  }
+  const DlCommand reset_cmd{.ack = false, .empty = true, .reset = true};
+  sm.on_beacon(reset_cmd);
+  EXPECT_EQ(sm.state(), TagState::kMigrate);
+  // RESET restarts contention but is NOT a new arrival: the EMPTY gating
+  // of Sec. 5.5 only applies to newly activated tags.
+  EXPECT_FALSE(sm.fresh());
+  EXPECT_EQ(sm.slot_index(), 0);  // the RESET beacon opened slot 0
+}
+
+TEST(TagSm, EmptyGatingBlocksFreshTags) {
+  TagStateMachine::Config c;
+  c.period = 1;  // would transmit every slot
+  c.empty_gating = true;
+  TagStateMachine sm{c, 21};
+  // All beacons say not-empty: a fresh tag must stay silent.
+  for (int s = 0; s < 10; ++s) {
+    EXPECT_FALSE(sm.on_beacon(kNack));
+  }
+  // An EMPTY beacon lets it in.
+  EXPECT_TRUE(sm.on_beacon(kNackEmpty));
+  // Once settled, the EMPTY flag no longer gates it.
+  sm.on_beacon(kAck);
+  EXPECT_FALSE(sm.fresh());
+  EXPECT_TRUE(sm.on_beacon(kNack) || sm.transmitted_last_slot());
+}
+
+TEST(TagSm, RejectsInvalidPeriod) {
+  TagStateMachine::Config c;
+  c.period = 6;
+  EXPECT_THROW((TagStateMachine{c, 1}), std::invalid_argument);
+}
+
+// ------------------------------------------------------- ReaderController
+
+TEST(Reader, AcksCleanDecodeNacksCollision) {
+  ReaderController reader;
+  reader.register_tag(1, 4);
+  auto cmd = reader.close_slot({.decoded_tid = 1, .collision_detected = false});
+  EXPECT_TRUE(cmd.ack);
+  cmd = reader.close_slot({.decoded_tid = 1, .collision_detected = true});
+  EXPECT_FALSE(cmd.ack);  // capture-effect decode during collision: NACK
+  cmd = reader.close_slot({.decoded_tid = std::nullopt,
+                           .collision_detected = false});
+  EXPECT_FALSE(cmd.ack);
+}
+
+TEST(Reader, EmptyFlagPredictsPeriodicOccupancy) {
+  ReaderController reader;
+  reader.register_tag(1, 4);
+  // Tag 1 settles at slot 0 (offset 0): slots 4, 8, ... are occupied.
+  auto cmd = reader.close_slot({.decoded_tid = 1});  // slot 0
+  EXPECT_TRUE(cmd.ack);
+  // Beacon opening slot 1: probe slot 1-4 < 0 -> empty.
+  EXPECT_TRUE(cmd.empty);
+  cmd = reader.close_slot({});  // slot 1
+  EXPECT_TRUE(cmd.empty);       // opens slot 2
+  cmd = reader.close_slot({});  // slot 2
+  EXPECT_TRUE(cmd.empty);       // opens slot 3
+  cmd = reader.close_slot({});  // slot 3 -> opens slot 4 = occupied
+  EXPECT_FALSE(cmd.empty);
+}
+
+TEST(Reader, ConvergenceDetector) {
+  ReaderController::Config cfg;
+  cfg.convergence_window = 4;
+  ReaderController reader{cfg};
+  reader.register_tag(1, 2);
+  reader.close_slot({.collision_detected = true});
+  for (int i = 0; i < 3; ++i) reader.close_slot({});
+  EXPECT_FALSE(reader.converged());
+  reader.close_slot({});
+  EXPECT_TRUE(reader.converged());
+  EXPECT_EQ(reader.convergence_slots(), 5);
+}
+
+TEST(Reader, WindowedRatios) {
+  ReaderController::Config cfg;
+  cfg.stats_window = 4;
+  ReaderController reader{cfg};
+  reader.register_tag(1, 2);
+  reader.close_slot({.decoded_tid = 1});
+  reader.close_slot({});
+  reader.close_slot({.collision_detected = true});
+  reader.close_slot({.decoded_tid = 1});
+  EXPECT_DOUBLE_EQ(reader.non_empty_ratio(), 0.75);
+  EXPECT_DOUBLE_EQ(reader.collision_ratio(), 0.25);
+}
+
+TEST(Reader, ResetClearsStateAndBroadcastsReset) {
+  ReaderController reader;
+  reader.register_tag(1, 2);
+  reader.close_slot({.decoded_tid = 1});
+  reader.request_reset();
+  const auto cmd = reader.close_slot({});
+  EXPECT_TRUE(cmd.reset);
+  EXPECT_EQ(reader.slot_index(), 0);
+  EXPECT_FALSE(reader.converged());
+}
+
+TEST(Reader, FutureCollisionAvoidanceBlocksInfeasibleNewTag) {
+  // Paper Sec. 5.6 example: tags A and B (period 4) settled at offsets 2
+  // and 3... here scaled down: two period-2 tags settle on both residues,
+  // then a period-1 tag C arrives — no viable offset exists.
+  ReaderController reader;
+  reader.register_tag(1, 2);
+  reader.register_tag(2, 2);
+  reader.register_tag(3, 1);
+  // Settle tag 1 at offset 0 (slot 0) and tag 2 at offset 1 (slot 1).
+  EXPECT_TRUE(reader.close_slot({.decoded_tid = 1}).ack);
+  EXPECT_TRUE(reader.close_slot({.decoded_tid = 2}).ack);
+  // Tag 3 decodes cleanly (capture) at slot 2 — but has no viable offset.
+  const auto cmd = reader.close_slot({.decoded_tid = 3});
+  EXPECT_FALSE(cmd.ack);
+  // A victim was selected: one of the settled tags now receives forced
+  // NACKs on its clean transmissions until it migrates.
+  bool victim_nacked = false;
+  for (int s = 0; s < 8 && !victim_nacked; ++s) {
+    const auto c = reader.close_slot({.decoded_tid = (s % 2) ? 2 : 1});
+    if (!c.ack) victim_nacked = true;
+  }
+  EXPECT_TRUE(victim_nacked);
+}
+
+TEST(Reader, WithoutAvoidanceAcksInfeasibleTag) {
+  ReaderController::Config cfg;
+  cfg.future_collision_avoidance = false;
+  ReaderController reader{cfg};
+  reader.register_tag(1, 2);
+  reader.register_tag(2, 2);
+  reader.register_tag(3, 1);
+  reader.close_slot({.decoded_tid = 1});
+  reader.close_slot({.decoded_tid = 2});
+  EXPECT_TRUE(reader.close_slot({.decoded_tid = 3}).ack);
+}
+
+TEST(Reader, RejectsBadPeriod) {
+  ReaderController reader;
+  EXPECT_THROW(reader.register_tag(1, 5), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ SlotNetwork
+
+SlotNetwork::Params quiet_params(std::uint64_t seed) {
+  SlotNetwork::Params p;
+  p.seed = seed;
+  p.capture_prob = 0.3;
+  return p;
+}
+
+TEST(SlotNetwork, ConvergesToCollisionFreeSchedule) {
+  // Appendix C: from any initial state the network reaches the absorbing
+  // collision-free state. Verify for several seeds on the Table-1-like mix.
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    SlotNetwork net{quiet_params(seed),
+                    {{.tid = 1, .period = 2},
+                     {.tid = 2, .period = 4},
+                     {.tid = 3, .period = 8},
+                     {.tid = 4, .period = 8}}};
+    const auto conv = net.measure_convergence(5000);
+    ASSERT_TRUE(conv.has_value()) << "seed " << seed;
+    EXPECT_TRUE(net.all_settled_collision_free()) << "seed " << seed;
+  }
+}
+
+TEST(SlotNetwork, ConvergedScheduleStaysCleanWithoutLosses) {
+  SlotNetwork::Params p = quiet_params(9);
+  SlotNetwork net{p,
+                  {{.tid = 1, .period = 2, .dl_loss = 0.0, .ul_loss = 0.0},
+                   {.tid = 2, .period = 4, .dl_loss = 0.0, .ul_loss = 0.0},
+                   {.tid = 3, .period = 4, .dl_loss = 0.0, .ul_loss = 0.0}}};
+  ASSERT_TRUE(net.measure_convergence(5000).has_value());
+  const auto records = net.run(500);
+  for (const auto& r : records) {
+    EXPECT_FALSE(r.collision_truth) << "slot " << r.slot;
+  }
+}
+
+TEST(SlotNetwork, FullUtilizationFillsEverySlot) {
+  SlotNetwork::Params p = quiet_params(33);
+  SlotNetwork net{p,
+                  {{.tid = 1, .period = 2, .dl_loss = 0.0, .ul_loss = 0.0},
+                   {.tid = 2, .period = 2, .dl_loss = 0.0, .ul_loss = 0.0}}};
+  ASSERT_TRUE(net.measure_convergence(5000).has_value());
+  const auto records = net.run(100);
+  for (const auto& r : records) {
+    EXPECT_EQ(r.transmitters.size(), 1u) << "slot " << r.slot;
+  }
+}
+
+TEST(SlotNetwork, HigherUtilizationConvergesSlower) {
+  // Fig. 15a trend. Use medians over seeds to damp variance.
+  const auto median_convergence = [](const ExperimentConfig& cfg) {
+    std::vector<double> times;
+    for (std::uint64_t seed = 1; seed <= 11; ++seed) {
+      SlotNetwork net{quiet_params(seed * 17), cfg.tag_specs()};
+      const auto conv = net.measure_convergence(30000);
+      if (conv) times.push_back(static_cast<double>(*conv));
+    }
+    std::sort(times.begin(), times.end());
+    return times.empty() ? 1e18 : times[times.size() / 2];
+  };
+  const double low = median_convergence(table3_config("c1"));
+  const double high = median_convergence(table3_config("c4"));
+  EXPECT_LT(low, high);
+}
+
+TEST(SlotNetwork, LateArrivingTagIntegrates) {
+  SlotNetwork::Params p = quiet_params(55);
+  SlotNetwork net{p,
+                  {{.tid = 1, .period = 4},
+                   {.tid = 2, .period = 4},
+                   {.tid = 3, .period = 4, .activation_slot = 200}}};
+  net.run(190);  // tags 1, 2 settle
+  net.run(800);  // tag 3 arrives and must integrate
+  EXPECT_EQ(net.tag_machine(3).state(), TagState::kSettle);
+  EXPECT_TRUE(net.all_settled_collision_free());
+}
+
+TEST(SlotNetwork, BeaconLossCausesOnlyTransientDisruption) {
+  SlotNetwork::Params p = quiet_params(77);
+  auto specs = table3_config("c3").tag_specs();
+  for (auto& s : specs) s.dl_loss = 0.002;  // elevated beacon loss
+  SlotNetwork net{p, specs};
+  ASSERT_TRUE(net.measure_convergence(30000).has_value());
+  // Long run: collisions happen but stay rare.
+  std::int64_t collisions = 0;
+  const std::int64_t slots = 4000;
+  for (std::int64_t i = 0; i < slots; ++i) {
+    if (net.step().collision_truth) ++collisions;
+  }
+  EXPECT_LT(static_cast<double>(collisions) / slots, 0.15);
+}
+
+TEST(SlotNetwork, UnknownTagLookupThrows) {
+  SlotNetwork net{quiet_params(1), {{.tid = 1, .period = 2}}};
+  EXPECT_THROW(net.tag_machine(99), std::out_of_range);
+}
+
+
+// ------------------------------------------------- Regression scenarios
+
+TEST(TagSm, GatedFreshTagRepicksOffsetInsteadOfDeadlocking) {
+  // Regression: a newly arrived tag whose random offset lands on an
+  // occupied (non-EMPTY) slot must search for another offset. Without the
+  // re-pick it can never transmit, so it never receives the NACK that
+  // would otherwise drive migration — a permanent deadlock.
+  TagStateMachine::Config c;
+  c.period = 8;
+  c.empty_gating = true;
+  TagStateMachine sm{c, 23};
+  const int first_offset = sm.offset();
+  bool offset_changed = false;
+  for (int s = 0; s < 64; ++s) {
+    sm.on_beacon(kNack);  // never EMPTY
+    if (sm.offset() != first_offset) offset_changed = true;
+  }
+  EXPECT_TRUE(offset_changed);
+}
+
+TEST(SlotNetwork, LateTagWithLongPeriodIntegratesOnBusyChannel) {
+  // Regression for the Eq. 4 per-tag probe + gated re-pick: long-period
+  // late arrivals must find the free capacity of a mostly-busy channel.
+  SlotNetwork::Params p = quiet_params(5);
+  SlotNetwork net{p, {{.tid = 1, .period = 8},
+                      {.tid = 2, .period = 8},
+                      {.tid = 3, .period = 8},
+                      {.tid = 4, .period = 16},
+                      {.tid = 5, .period = 32, .activation_slot = 100},
+                      {.tid = 6, .period = 32, .activation_slot = 120},
+                      {.tid = 7, .period = 32, .activation_slot = 140}}};
+  net.run(2500);
+  int settled = 0;
+  for (int tid = 5; tid <= 7; ++tid) {
+    settled += net.tag_machine(tid).state() == TagState::kSettle;
+  }
+  EXPECT_GE(settled, 2);  // all three in most seeds; tolerate one straggler
+}
+
+TEST(SlotNetwork, EmptyBeaconsStillOfferedOnPartiallyBusyChannel) {
+  // The per-tag Eq. 4 probe must leave genuinely free slots marked EMPTY
+  // even when the channel is mostly occupied (an "any packet" probe marks
+  // nearly everything busy).
+  SlotNetwork::Params p = quiet_params(9);
+  SlotNetwork net{p, {{.tid = 1, .period = 2},
+                      {.tid = 2, .period = 4}}};  // U = 0.75
+  net.run(200);  // settle
+  int empty = 0;
+  for (int s = 0; s < 400; ++s) {
+    if (net.step().beacon.empty) ++empty;
+  }
+  // One slot in four is free; the EMPTY flag should appear at roughly that
+  // rate (within noise).
+  EXPECT_GT(empty, 50);
+}
+
+// ------------------------------------------------- Appendix C, exactly
+
+TEST(MarkovTheory, ChainIsAbsorbingForSmallNetworks) {
+  for (auto periods : {std::vector<int>{2, 2}, std::vector<int>{2, 4},
+                       std::vector<int>{4, 4}, std::vector<int>{2, 4, 4}}) {
+    MarkovAnalysis mk{{periods, 3}};
+    EXPECT_GT(mk.absorbing_count(), 0u);
+    EXPECT_TRUE(mk.is_absorbing_chain())
+        << "period set starting with " << periods.front();
+  }
+}
+
+TEST(MarkovTheory, AbsorbingStatesAreExactlyConflictFreeSettles) {
+  MarkovAnalysis mk{{{2, 2}, 3}};
+  // Two period-2 tags: absorbing iff both settled, counters 0, offsets
+  // differ -> 2 offset patterns x 2 phases = 4 states.
+  EXPECT_EQ(mk.absorbing_count(), 4u);
+  std::size_t checked = 0;
+  for (std::size_t s = 0; s < mk.state_count(); ++s) {
+    if (!mk.is_absorbing(s)) continue;
+    const auto view = mk.decode(s);
+    EXPECT_NE(view.tags[0].offset, view.tags[1].offset);
+    EXPECT_TRUE(view.tags[0].settled && view.tags[1].settled);
+    ++checked;
+  }
+  EXPECT_EQ(checked, 4u);
+}
+
+TEST(MarkovTheory, ExpectedAbsorptionMatchesSimulation) {
+  // Closed-form E[T] from the fundamental matrix vs the slot simulator
+  // under Appendix-C assumptions. The simulator spends one extra bootstrap
+  // slot (the first beacon precedes any feedback).
+  for (auto periods : {std::vector<int>{2, 2}, std::vector<int>{2, 4}}) {
+    MarkovAnalysis mk{{periods, 3}};
+    const double theory = mk.expected_absorption_time();
+    double sum = 0.0;
+    const int runs = 500;
+    for (int seed = 1; seed <= runs; ++seed) {
+      SlotNetwork::Params sp;
+      sp.seed = static_cast<std::uint64_t>(seed) * 31 + 1;
+      sp.capture_prob = 0.0;
+      sp.collision_detect_prob = 1.0;
+      sp.false_collision_prob = 0.0;
+      sp.empty_gating = false;
+      sp.reader.future_collision_avoidance = false;
+      std::vector<SlotNetwork::TagSpec> specs;
+      for (std::size_t i = 0; i < periods.size(); ++i) {
+        specs.push_back({.tid = static_cast<int>(i) + 1,
+                         .period = periods[i],
+                         .dl_loss = 0.0,
+                         .ul_loss = 0.0});
+      }
+      SlotNetwork net{sp, specs};
+      long slots = 0;
+      while (!net.all_settled_collision_free() && slots < 100000) {
+        net.step();
+        ++slots;
+      }
+      sum += static_cast<double>(slots);
+    }
+    const double empirical = sum / runs;
+    EXPECT_NEAR(empirical, theory + 1.0, 0.6)
+        << "periods start " << periods.front();
+  }
+}
+
+TEST(MarkovTheory, LargerNackThresholdSlowsEscapeFromBadSettles) {
+  // With both tags settled on the same offset, escape needs N consecutive
+  // NACKs: expected absorption grows with N.
+  const double n2 =
+      MarkovAnalysis{{{2, 2}, 2}}.expected_absorption_time();
+  const double n5 =
+      MarkovAnalysis{{{2, 2}, 5}}.expected_absorption_time();
+  EXPECT_GT(n5, n2 * 0.8);  // fresh starts barely involve counters...
+  // ...but a settled-conflict start shows it clearly.
+  MarkovAnalysis mk2{{{2, 2}, 2}}, mk5{{{2, 2}, 5}};
+  const auto conflicted_start = [](MarkovAnalysis& mk) {
+    for (std::size_t s = 0; s < mk.state_count(); ++s) {
+      const auto v = mk.decode(s);
+      if (v.phase == 0 && v.tags[0].settled && v.tags[1].settled &&
+          v.tags[0].offset == 0 && v.tags[1].offset == 0 &&
+          v.tags[0].counter == 0 && v.tags[1].counter == 0) {
+        return s;
+      }
+    }
+    return static_cast<std::size_t>(0);
+  };
+  EXPECT_GT(mk5.expected_absorption_from(conflicted_start(mk5)),
+            mk2.expected_absorption_from(conflicted_start(mk2)));
+}
+
+TEST(MarkovTheory, RejectsInvalidConfigs) {
+  EXPECT_THROW((MarkovAnalysis{{{}, 3}}), std::invalid_argument);
+  EXPECT_THROW((MarkovAnalysis{{{3}, 3}}), std::invalid_argument);
+  EXPECT_THROW((MarkovAnalysis{{{2}, 0}}), std::invalid_argument);
+  EXPECT_THROW((MarkovAnalysis{{{32, 32, 32, 32}, 3}}),
+               std::invalid_argument);  // state space too large
+}
+
+}  // namespace

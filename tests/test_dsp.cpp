@@ -1,0 +1,528 @@
+// Tests for the reader DSP blocks: FFT, Welch PSD + band SNR, FIR design,
+// DDC, frequency-offset estimation, Schmitt trigger / adaptive slicer /
+// debouncer / run-length coding, IQ k-means clustering, and the SPSC ring
+// buffer with back-pressure.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <complex>
+#include <numbers>
+#include <thread>
+#include <vector>
+
+#include "arachnet/dsp/cluster.hpp"
+#include "arachnet/dsp/ddc.hpp"
+#include "arachnet/dsp/fft.hpp"
+#include "arachnet/dsp/fir.hpp"
+#include "arachnet/dsp/pipeline.hpp"
+#include "arachnet/dsp/psd.hpp"
+#include "arachnet/dsp/ring_buffer.hpp"
+#include "arachnet/dsp/schmitt.hpp"
+#include "arachnet/dsp/slicer.hpp"
+#include "arachnet/sim/rng.hpp"
+
+namespace {
+
+using namespace arachnet::dsp;
+using arachnet::sim::Rng;
+
+// ---------------------------------------------------------------------- FFT
+
+TEST(Fft, ImpulseHasFlatSpectrum) {
+  std::vector<cplx> data(16, cplx{0, 0});
+  data[0] = {1, 0};
+  fft(data);
+  for (const auto& bin : data) {
+    EXPECT_NEAR(std::abs(bin), 1.0, 1e-12);
+  }
+}
+
+TEST(Fft, SingleToneLandsInOneBin) {
+  const std::size_t n = 256;
+  std::vector<cplx> data(n);
+  const int k = 37;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double ph = 2.0 * std::numbers::pi * k * i / double(n);
+    data[i] = {std::cos(ph), std::sin(ph)};
+  }
+  fft(data);
+  EXPECT_NEAR(std::abs(data[k]), double(n), 1e-6);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i != static_cast<std::size_t>(k)) {
+      EXPECT_LT(std::abs(data[i]), 1e-6) << "bin " << i;
+    }
+  }
+}
+
+TEST(Fft, ForwardInverseRoundTrip) {
+  Rng rng{3};
+  std::vector<cplx> data(128);
+  for (auto& x : data) x = {rng.normal(), rng.normal()};
+  const auto original = data;
+  fft(data);
+  fft(data, /*inverse=*/true);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(std::abs(data[i] - original[i]), 0.0, 1e-9);
+  }
+}
+
+TEST(Fft, ParsevalHolds) {
+  Rng rng{5};
+  std::vector<cplx> data(64);
+  double time_energy = 0.0;
+  for (auto& x : data) {
+    x = {rng.normal(), rng.normal()};
+    time_energy += std::norm(x);
+  }
+  fft(data);
+  double freq_energy = 0.0;
+  for (const auto& x : data) freq_energy += std::norm(x);
+  EXPECT_NEAR(freq_energy / 64.0, time_energy, 1e-6);
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<cplx> data(12);
+  EXPECT_THROW(fft(data), std::invalid_argument);
+}
+
+TEST(Fft, Pow2Helpers) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(1024));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(48));
+  EXPECT_EQ(next_pow2(1000), 1024u);
+  EXPECT_EQ(next_pow2(1024), 1024u);
+}
+
+// ---------------------------------------------------------------------- PSD
+
+TEST(Psd, ToneSnrIsLarge) {
+  WelchPsd psd{{.segment_size = 4096, .sample_rate_hz = 500e3}};
+  Rng rng{7};
+  std::vector<double> signal(50000);
+  for (std::size_t i = 0; i < signal.size(); ++i) {
+    signal[i] = std::cos(2.0 * std::numbers::pi * 90e3 * i / 500e3) +
+                rng.normal(0.0, 0.01);
+  }
+  const auto spectrum = psd.estimate(signal);
+  const double snr = band_snr_db(spectrum, psd.bin_width(), 90e3, 2e3, 40e3);
+  EXPECT_GT(snr, 30.0);
+}
+
+TEST(Psd, NoiseOnlySnrNearZero) {
+  WelchPsd psd{{.segment_size = 2048, .sample_rate_hz = 500e3}};
+  Rng rng{9};
+  std::vector<double> signal(50000);
+  for (auto& s : signal) s = rng.normal(0.0, 1.0);
+  const auto spectrum = psd.estimate(signal);
+  const double snr = band_snr_db(spectrum, psd.bin_width(), 90e3, 2e3, 40e3);
+  EXPECT_NEAR(snr, 0.0, 2.0);
+}
+
+TEST(Psd, WhiteNoiseDensityIsFlatAndCorrect) {
+  WelchPsd psd{{.segment_size = 1024, .sample_rate_hz = 100e3}};
+  Rng rng{11};
+  const double sigma = 0.5;
+  std::vector<double> signal(200000);
+  for (auto& s : signal) s = rng.normal(0.0, sigma);
+  const auto spectrum = psd.estimate(signal);
+  // Total integrated power should be sigma^2.
+  double total = 0.0;
+  for (double v : spectrum) total += v * psd.bin_width();
+  EXPECT_NEAR(total, sigma * sigma, 0.02 * sigma * sigma);
+}
+
+TEST(Psd, RejectsShortSignal) {
+  WelchPsd psd{{.segment_size = 4096, .sample_rate_hz = 500e3}};
+  EXPECT_THROW(psd.estimate(std::vector<double>(100)), std::invalid_argument);
+}
+
+TEST(Psd, RejectsBadParams) {
+  EXPECT_THROW((WelchPsd{{.segment_size = 1000, .sample_rate_hz = 500e3}}),
+               std::invalid_argument);
+  EXPECT_THROW((WelchPsd{{.segment_size = 1024, .sample_rate_hz = -1.0}}),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------- FIR
+
+TEST(Fir, LowpassPassesDcBlocksHighFrequency) {
+  const auto coeffs = design_lowpass(5e3, 500e3, 129);
+  FirFilter<double> lpf{coeffs};
+  // DC gain ~1.
+  double dc_out = 0.0;
+  for (int i = 0; i < 400; ++i) dc_out = lpf.push(1.0);
+  EXPECT_NEAR(dc_out, 1.0, 1e-3);
+  // 100 kHz tone heavily attenuated.
+  lpf.reset();
+  double peak = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    const double out =
+        lpf.push(std::cos(2.0 * std::numbers::pi * 100e3 * i / 500e3));
+    if (i > 300) peak = std::max(peak, std::abs(out));
+  }
+  EXPECT_LT(peak, 0.01);
+}
+
+TEST(Fir, GroupDelayIsSymmetricCentre) {
+  const auto coeffs = design_lowpass(5e3, 500e3, 129);
+  FirFilter<double> lpf{coeffs};
+  EXPECT_DOUBLE_EQ(lpf.group_delay(), 64.0);
+  EXPECT_EQ(lpf.taps(), 129u);
+}
+
+TEST(Fir, DesignValidation) {
+  EXPECT_THROW(design_lowpass(5e3, 500e3, 128), std::invalid_argument);
+  EXPECT_THROW(design_lowpass(0.0, 500e3, 129), std::invalid_argument);
+  EXPECT_THROW(design_lowpass(300e3, 500e3, 129), std::invalid_argument);
+}
+
+TEST(Fir, DcBlockerRemovesOffset) {
+  DcBlocker blocker{0.99};
+  double out = 1.0;
+  for (int i = 0; i < 5000; ++i) out = blocker.push(3.0);
+  EXPECT_NEAR(out, 0.0, 1e-3);
+}
+
+// ---------------------------------------------------------------------- DDC
+
+TEST(Ddc, CarrierMixesToDc) {
+  Ddc ddc{Ddc::Params{}};
+  std::vector<double> samples(20000);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    samples[i] = std::cos(2.0 * std::numbers::pi * 90e3 * i / 500e3);
+  }
+  const auto iq = ddc.process(samples);
+  ASSERT_GT(iq.size(), 500u);
+  // After the filter settles the IQ should be a constant phasor of
+  // magnitude ~0.5 (mixer splits power between 0 and 2f).
+  for (std::size_t i = 400; i < iq.size(); ++i) {
+    EXPECT_NEAR(std::abs(iq[i]), 0.5, 0.01);
+  }
+}
+
+TEST(Ddc, OffsetToneShowsAsRotation) {
+  Ddc ddc{Ddc::Params{}};
+  const double offset = 500.0;  // 90.5 kHz input
+  std::vector<double> samples(100000);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    samples[i] = std::cos(2.0 * std::numbers::pi * (90e3 + offset) * i / 500e3);
+  }
+  const auto iq = ddc.process(samples);
+  const std::vector<std::complex<double>> tail(iq.begin() + 500, iq.end());
+  const double estimated = estimate_frequency_offset(tail, ddc.output_rate_hz());
+  EXPECT_NEAR(estimated, offset, 5.0);
+}
+
+TEST(Ddc, DerotateCancelsOffset) {
+  const double rate = 31250.0;
+  std::vector<std::complex<double>> iq(2000);
+  for (std::size_t i = 0; i < iq.size(); ++i) {
+    const double ph = 2.0 * std::numbers::pi * 200.0 * i / rate;
+    iq[i] = {std::cos(ph), std::sin(ph)};
+  }
+  const auto fixed = derotate(iq, rate, 200.0);
+  for (std::size_t i = 0; i < fixed.size(); ++i) {
+    EXPECT_NEAR(fixed[i].real(), 1.0, 1e-6);
+    EXPECT_NEAR(fixed[i].imag(), 0.0, 1e-6);
+  }
+}
+
+TEST(Ddc, DecimationRatio) {
+  Ddc::Params p;
+  p.decimation = 16;
+  Ddc ddc{p};
+  EXPECT_DOUBLE_EQ(ddc.output_rate_hz(), 500e3 / 16.0);
+  const auto iq = ddc.process(std::vector<double>(1600, 0.0));
+  EXPECT_EQ(iq.size(), 100u);
+}
+
+TEST(Ddc, RejectsZeroDecimation) {
+  Ddc::Params p;
+  p.decimation = 0;
+  EXPECT_THROW(Ddc{p}, std::invalid_argument);
+}
+
+// ------------------------------------------------------------- Level logic
+
+TEST(Schmitt, HysteresisRejectsChatter) {
+  SchmittTrigger trig{-1.0, 1.0};
+  EXPECT_FALSE(trig.push(0.9));   // below high: stays low
+  EXPECT_TRUE(trig.push(1.1));    // crosses high
+  EXPECT_TRUE(trig.push(-0.9));   // inside band: holds
+  EXPECT_TRUE(trig.push(0.0));
+  EXPECT_FALSE(trig.push(-1.1));  // crosses low
+}
+
+TEST(Schmitt, RejectsInvertedThresholds) {
+  EXPECT_THROW((SchmittTrigger{1.0, -1.0}), std::invalid_argument);
+}
+
+TEST(Slicer, LearnsLevelsAndSlices) {
+  AdaptiveSlicer slicer;
+  // Feed a clean two-level waveform.
+  for (int rep = 0; rep < 20; ++rep) {
+    for (int i = 0; i < 50; ++i) slicer.push(1.0);
+    for (int i = 0; i < 50; ++i) slicer.push(0.0);
+  }
+  EXPECT_NEAR(slicer.high(), 1.0, 0.1);
+  EXPECT_NEAR(slicer.low(), 0.0, 0.1);
+  EXPECT_FALSE(slicer.squelched());
+  slicer.push(0.9);
+  EXPECT_TRUE(slicer.level());
+  slicer.push(0.1);
+  EXPECT_FALSE(slicer.level());
+}
+
+TEST(Slicer, SquelchHoldsOnNoise) {
+  AdaptiveSlicer slicer;
+  Rng rng{13};
+  bool initial = slicer.level();
+  int transitions = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const bool level = slicer.push(rng.normal(0.0, 0.0003));
+    if (level != initial) {
+      ++transitions;
+      initial = level;
+    }
+  }
+  EXPECT_EQ(transitions, 0);  // noise below floor never slices
+}
+
+TEST(Slicer, RecoversFromStrongToWeak) {
+  AdaptiveSlicer slicer;
+  for (int rep = 0; rep < 10; ++rep) {
+    for (int i = 0; i < 20; ++i) slicer.push(0.5);
+    for (int i = 0; i < 20; ++i) slicer.push(-0.5);
+  }
+  // Long silence: levels leak toward zero.
+  for (int i = 0; i < 5000; ++i) slicer.push(0.0);
+  EXPECT_LT(slicer.separation(), 0.05);
+  // A weak signal must still slice after recovery.
+  int transitions = 0;
+  bool prev = slicer.level();
+  for (int rep = 0; rep < 10; ++rep) {
+    for (int i = 0; i < 20; ++i) {
+      if (slicer.push(0.01) != prev) { ++transitions; prev = slicer.level(); }
+    }
+    for (int i = 0; i < 20; ++i) {
+      if (slicer.push(-0.01) != prev) { ++transitions; prev = slicer.level(); }
+    }
+  }
+  EXPECT_GE(transitions, 15);
+}
+
+TEST(Debouncer, SuppressesShortGlitches) {
+  Debouncer d{5};
+  for (int i = 0; i < 20; ++i) EXPECT_FALSE(d.push(false));
+  // 3-sample glitch: shorter than hold, must not pass.
+  for (int i = 0; i < 3; ++i) EXPECT_FALSE(d.push(true));
+  for (int i = 0; i < 20; ++i) EXPECT_FALSE(d.push(false));
+  // Real transition passes after `hold` samples.
+  for (int i = 0; i < 4; ++i) EXPECT_FALSE(d.push(true));
+  EXPECT_TRUE(d.push(true));
+}
+
+TEST(Debouncer, PreservesRunDurations) {
+  Debouncer d{4};
+  RunLengthEncoder rle;
+  std::vector<std::pair<bool, std::size_t>> runs;
+  // 30 low, 50 high, 30 low.
+  auto feed = [&](bool level, int n) {
+    for (int i = 0; i < n; ++i) {
+      if (const auto run = rle.push(d.push(level))) {
+        runs.push_back({run->level, run->samples});
+      }
+    }
+  };
+  feed(false, 30);
+  feed(true, 50);
+  feed(false, 30);
+  feed(true, 10);  // flush
+  // Interior runs keep their duration: both edges are delayed by `hold`,
+  // so the 50-sample high run and the 30-sample low run survive intact.
+  bool saw_high = false, saw_mid_low = false;
+  for (const auto& [level, samples] : runs) {
+    if (level && samples == 50) saw_high = true;
+    if (!level && samples == 30) saw_mid_low = true;
+  }
+  EXPECT_TRUE(saw_high);
+  EXPECT_TRUE(saw_mid_low);
+}
+
+TEST(RunLength, EncodesRuns) {
+  RunLengthEncoder rle;
+  std::vector<std::pair<bool, std::size_t>> runs;
+  const std::vector<int> levels{0, 0, 0, 1, 1, 0, 1, 1, 1, 1};
+  for (int v : levels) {
+    if (const auto run = rle.push(v != 0)) runs.push_back({run->level, run->samples});
+  }
+  ASSERT_EQ(runs.size(), 3u);
+  EXPECT_EQ(runs[0], (std::pair<bool, std::size_t>{false, 3}));
+  EXPECT_EQ(runs[1], (std::pair<bool, std::size_t>{true, 2}));
+  EXPECT_EQ(runs[2], (std::pair<bool, std::size_t>{false, 1}));
+  EXPECT_EQ(rle.open_run(), 4u);
+}
+
+// ----------------------------------------------------------------- Cluster
+
+std::vector<std::complex<double>> make_clusters(
+    Rng& rng, const std::vector<std::complex<double>>& centres,
+    std::size_t per_cluster, double sigma) {
+  std::vector<std::complex<double>> points;
+  for (const auto& c : centres) {
+    for (std::size_t i = 0; i < per_cluster; ++i) {
+      points.emplace_back(c.real() + rng.normal(0.0, sigma),
+                          c.imag() + rng.normal(0.0, sigma));
+    }
+  }
+  return points;
+}
+
+TEST(Cluster, KMeansFindsCentroids) {
+  Rng rng{17};
+  const auto points = make_clusters(rng, {{0, 0}, {4, 4}}, 200, 0.2);
+  const auto result = kmeans(points, 2, rng);
+  ASSERT_EQ(result.centroids.size(), 2u);
+  // Each true centre must be within 0.1 of some centroid.
+  for (const auto& centre : {cplx{0, 0}, cplx{4, 4}}) {
+    double best = 1e9;
+    for (const auto& c : result.centroids) best = std::min(best, std::abs(c - centre));
+    EXPECT_LT(best, 0.1);
+  }
+}
+
+TEST(Cluster, CountsSingleTagAsTwoClusters) {
+  // One backscattering tag: leak+absorb and leak+reflect states.
+  Rng rng{19};
+  const auto points = make_clusters(rng, {{1, 0}, {1.5, 0.3}}, 300, 0.03);
+  EXPECT_EQ(estimate_cluster_count(points, rng), 2u);
+  EXPECT_FALSE(detect_collision_iq(points, rng));
+}
+
+TEST(Cluster, DetectsCollisionAsMoreClusters) {
+  // Two overlapping tags: 4 composite states.
+  Rng rng{21};
+  const auto points = make_clusters(
+      rng, {{1, 0}, {1.5, 0.3}, {1.2, -0.4}, {1.7, -0.1}}, 300, 0.03);
+  EXPECT_GT(estimate_cluster_count(points, rng), 2u);
+  EXPECT_TRUE(detect_collision_iq(points, rng));
+}
+
+TEST(Cluster, SinglePointCloudIsOneCluster) {
+  Rng rng{23};
+  const auto points = make_clusters(rng, {{2, 2}}, 500, 0.05);
+  EXPECT_EQ(estimate_cluster_count(points, rng), 1u);
+}
+
+TEST(Cluster, EmptyAndTinyInputs) {
+  Rng rng{25};
+  EXPECT_EQ(estimate_cluster_count({}, rng), 0u);
+  EXPECT_EQ(estimate_cluster_count({{1, 1}, {1, 1}}, rng), 1u);
+  EXPECT_THROW(kmeans({}, 2, rng), std::invalid_argument);
+}
+
+// ------------------------------------------------------------- Ring buffer
+
+TEST(RingBuffer, FifoOrder) {
+  RingBuffer<int> buf{8};
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(buf.push(i));
+  for (int i = 0; i < 5; ++i) {
+    const auto v = buf.pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+}
+
+TEST(RingBuffer, TryPushFailsWhenFull) {
+  RingBuffer<int> buf{2};
+  EXPECT_TRUE(buf.try_push(1));
+  EXPECT_TRUE(buf.try_push(2));
+  EXPECT_FALSE(buf.try_push(3));
+  EXPECT_EQ(buf.size(), 2u);
+}
+
+TEST(RingBuffer, BackPressureBlocksProducer) {
+  RingBuffer<int> buf{2};
+  ASSERT_TRUE(buf.push(1));
+  ASSERT_TRUE(buf.push(2));
+  std::atomic<bool> third_pushed{false};
+  std::thread producer([&] {
+    buf.push(3);  // blocks until a pop frees space
+    third_pushed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(third_pushed.load());
+  EXPECT_EQ(buf.pop().value(), 1);
+  producer.join();
+  EXPECT_TRUE(third_pushed.load());
+}
+
+TEST(RingBuffer, CloseDrainsThenStops) {
+  RingBuffer<int> buf{4};
+  buf.push(1);
+  buf.push(2);
+  buf.close();
+  EXPECT_FALSE(buf.push(3));  // closed: push fails
+  EXPECT_EQ(buf.pop().value(), 1);
+  EXPECT_EQ(buf.pop().value(), 2);
+  EXPECT_FALSE(buf.pop().has_value());  // drained
+}
+
+TEST(RingBuffer, CloseWakesBlockedConsumer) {
+  RingBuffer<int> buf{4};
+  std::atomic<bool> done{false};
+  std::thread consumer([&] {
+    const auto v = buf.pop();  // blocks until close
+    EXPECT_FALSE(v.has_value());
+    done = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(done.load());
+  buf.close();
+  consumer.join();
+  EXPECT_TRUE(done.load());
+}
+
+TEST(Pipeline, StagesStreamAndShutDown) {
+  auto in = std::make_shared<RingBuffer<int>>(16);
+  auto mid = std::make_shared<RingBuffer<int>>(16);
+  // Output must hold the full result set: it is only drained after join.
+  auto out = std::make_shared<RingBuffer<int>>(256);
+  PipelineStage<int, int> doubler{
+      in, mid, [](int x, const std::function<void(int)>& emit) { emit(2 * x); }};
+  PipelineStage<int, int> inc{
+      mid, out, [](int x, const std::function<void(int)>& emit) { emit(x + 1); }};
+  doubler.start();
+  inc.start();
+  for (int i = 0; i < 100; ++i) in->push(i);
+  in->close();
+  doubler.join();
+  inc.join();
+  for (int i = 0; i < 100; ++i) {
+    const auto v = out->pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, 2 * i + 1);
+  }
+  EXPECT_FALSE(out->pop().has_value());
+}
+
+TEST(Pipeline, StageCanEmitZeroOrMany) {
+  auto in = std::make_shared<RingBuffer<int>>(16);
+  auto out = std::make_shared<RingBuffer<int>>(64);
+  PipelineStage<int, int> expander{
+      in, out, [](int x, const std::function<void(int)>& emit) {
+        for (int i = 0; i < x; ++i) emit(x);  // emits x copies (0 for x=0)
+      }};
+  expander.start();
+  in->push(0);
+  in->push(3);
+  in->close();
+  expander.join();
+  int count = 0;
+  while (out->pop()) ++count;
+  EXPECT_EQ(count, 3);
+}
+
+}  // namespace

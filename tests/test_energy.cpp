@@ -1,0 +1,295 @@
+// Tests for the energy-harvesting chain: diode, multi-stage multiplier,
+// supercapacitor, low-voltage cutoff (Appendix A), harvester charging
+// dynamics, and the Table-2 tag power model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arachnet/energy/cutoff.hpp"
+#include "arachnet/energy/diode.hpp"
+#include "arachnet/energy/harvester.hpp"
+#include "arachnet/energy/multiplier.hpp"
+#include "arachnet/energy/supercap.hpp"
+#include "arachnet/energy/tag_power.hpp"
+
+namespace {
+
+using namespace arachnet::energy;
+
+// -------------------------------------------------------------------- Diode
+
+TEST(Diode, SchottkyDropBelow150mVAt1mA) {
+  SchottkyDiode d;
+  const double drop = d.forward_drop(1e-3);
+  EXPECT_LT(drop, 0.16);  // datasheet: < 0.15 V below 1 mA
+  EXPECT_GT(drop, 0.08);
+}
+
+TEST(Diode, DropIsMonotoneInCurrent) {
+  SchottkyDiode d;
+  double prev = 0.0;
+  for (double i : {1e-7, 1e-6, 1e-5, 1e-4, 1e-3}) {
+    const double v = d.forward_drop(i);
+    EXPECT_GT(v, prev);
+    prev = v;
+  }
+}
+
+TEST(Diode, CurrentVoltageInverseRoundTrip) {
+  SchottkyDiode d;
+  for (double i : {1e-6, 5e-6, 1e-4, 1e-3}) {
+    EXPECT_NEAR(d.forward_current(d.forward_drop(i)), i, i * 1e-6);
+  }
+}
+
+TEST(Diode, NonPositiveCurrentHasZeroDrop) {
+  SchottkyDiode d;
+  EXPECT_DOUBLE_EQ(d.forward_drop(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.forward_drop(-1e-3), 0.0);
+}
+
+// --------------------------------------------------------------- Multiplier
+
+TEST(Multiplier, OutputGrowsWithStages) {
+  double prev = 0.0;
+  for (int n : {2, 4, 6, 8}) {
+    VoltageMultiplier::Params p;
+    p.stages = n;
+    VoltageMultiplier mult{p};
+    const double v = mult.output_voltage(0.5);
+    EXPECT_GT(v, prev) << "stages=" << n;
+    prev = v;
+  }
+}
+
+TEST(Multiplier, GrowthIsSubLinearInStages) {
+  // Fig 11a: "the rise is not proportional to the stage number".
+  VoltageMultiplier::Params p4, p8;
+  p4.stages = 4;
+  p8.stages = 8;
+  const double v4 = VoltageMultiplier{p4}.output_voltage(0.5);
+  const double v8 = VoltageMultiplier{p8}.output_voltage(0.5);
+  EXPECT_LT(v8, 2.0 * v4);
+  EXPECT_GT(v8, 1.2 * v4);
+}
+
+TEST(Multiplier, BoundedByIdealFormula) {
+  VoltageMultiplier mult{};
+  const double vp = 0.4;
+  const double ideal = 2.0 * 8 * vp;  // 2N * Vp with zero drops
+  EXPECT_LT(mult.output_voltage(vp), ideal);
+  EXPECT_GT(mult.output_voltage(vp), 0.0);
+}
+
+TEST(Multiplier, ZeroBelowDiodeThreshold) {
+  VoltageMultiplier mult{};
+  EXPECT_DOUBLE_EQ(mult.output_voltage(0.0), 0.0);
+}
+
+TEST(Multiplier, EfficiencyFallsWithStages) {
+  VoltageMultiplier::Params p2, p8;
+  p2.stages = 2;
+  p8.stages = 8;
+  const double e2 = VoltageMultiplier{p2}.efficiency(0.5, 10e-6);
+  const double e8 = VoltageMultiplier{p8}.efficiency(0.5, 10e-6);
+  EXPECT_GT(e2, 0.0);
+  EXPECT_LE(e2, 1.0);
+  // More stages droop the input harder, so per-stage voltage falls while
+  // diode losses stay, reducing efficiency.
+  EXPECT_LT(e8, e2);
+}
+
+TEST(Multiplier, InvalidStagesThrows) {
+  VoltageMultiplier::Params p;
+  p.stages = 0;
+  EXPECT_THROW(VoltageMultiplier{p}, std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- Supercap
+
+TEST(Supercap, EnergyFormula) {
+  Supercapacitor cap;
+  cap.set_voltage(2.3);
+  EXPECT_NEAR(cap.energy(), 0.5 * 1e-3 * 2.3 * 2.3, 1e-9);  // 2.645 mJ
+}
+
+TEST(Supercap, ChargeWithConstantCurrent) {
+  Supercapacitor::Params p;
+  p.leakage_coeff_ua = 0.0;
+  Supercapacitor cap{p};
+  cap.apply_current(1e-3, 1.0);  // 1 mA for 1 s into 1 mF -> 1 V
+  EXPECT_NEAR(cap.voltage(), 1.0, 1e-6);
+}
+
+TEST(Supercap, LeakageDischargesOverTime) {
+  Supercapacitor cap;
+  cap.set_voltage(2.3);
+  for (int i = 0; i < 600; ++i) cap.apply_current(0.0, 1.0);  // 10 minutes
+  EXPECT_LT(cap.voltage(), 2.3);
+  EXPECT_GT(cap.voltage(), 0.5);  // leakage is slow
+}
+
+TEST(Supercap, VoltageFloorsAtZero) {
+  Supercapacitor cap;
+  cap.set_voltage(0.1);
+  cap.apply_current(-1.0, 10.0);
+  EXPECT_DOUBLE_EQ(cap.voltage(), 0.0);
+}
+
+TEST(Supercap, DrawEnergySuccessAndFailure) {
+  Supercapacitor cap;
+  cap.set_voltage(2.0);
+  const double half = cap.energy() / 2.0;
+  EXPECT_TRUE(cap.draw_energy(half));
+  EXPECT_NEAR(cap.voltage(), 2.0 / std::sqrt(2.0), 1e-9);
+  EXPECT_FALSE(cap.draw_energy(1.0));  // way more than stored
+  EXPECT_DOUBLE_EQ(cap.voltage(), 0.0);
+}
+
+TEST(Supercap, EnergyToTarget) {
+  Supercapacitor cap;
+  cap.set_voltage(1.95);
+  const double need = cap.energy_to(2.3);
+  EXPECT_NEAR(need, 0.5e-3 * (2.3 * 2.3 - 1.95 * 1.95), 1e-9);
+  EXPECT_GT(need, 0.0);
+}
+
+// ------------------------------------------------------------------- Cutoff
+
+TEST(Cutoff, ThresholdsMatchAppendixA) {
+  CutoffCircuit cutoff;
+  // VREF=1.24, R1=680k, R2=180k, R3=1M -> HTH 2.31 V, LTH 1.95 V.
+  EXPECT_NEAR(cutoff.high_threshold(), 2.3, 0.02);
+  EXPECT_NEAR(cutoff.low_threshold(), 1.95, 0.01);
+}
+
+TEST(Cutoff, HysteresisSequence) {
+  CutoffCircuit cutoff;
+  EXPECT_FALSE(cutoff.update(2.0));   // below HTH from cold: stay off
+  EXPECT_TRUE(cutoff.update(2.35));   // crosses HTH: engage
+  EXPECT_TRUE(cutoff.update(2.1));    // inside band: stay on
+  EXPECT_TRUE(cutoff.update(1.96));   // still above LTH
+  EXPECT_FALSE(cutoff.update(1.94));  // below LTH: disengage
+  EXPECT_FALSE(cutoff.update(2.1));   // inside band from off: stay off
+}
+
+TEST(Cutoff, QuiescentBelowOneMicroamp) {
+  CutoffCircuit cutoff;
+  EXPECT_LT(cutoff.quiescent_power(2.3), 2.3 * 1e-6);
+}
+
+// ---------------------------------------------------------------- Harvester
+
+Harvester make_harvester(double vp_open) {
+  Harvester h{Harvester::Params{}};
+  h.set_pzt_peak_voltage(vp_open);
+  return h;
+}
+
+TEST(Harvester, ChargeTimeDecreasesWithVoltage) {
+  // Find vp values spanning weak to strong links.
+  const auto weak = make_harvester(0.30);
+  const auto strong = make_harvester(1.5);
+  const double t_weak = weak.charge_time(0.0, 2.3);
+  const double t_strong = strong.charge_time(0.0, 2.3);
+  ASSERT_GT(t_weak, 0.0);
+  ASSERT_GT(t_strong, 0.0);
+  EXPECT_LT(t_strong, t_weak);
+}
+
+TEST(Harvester, UnreachableTargetReportsFailure) {
+  const auto h = make_harvester(0.05);  // amplified voltage below threshold
+  EXPECT_LT(h.charge_time(0.0, 2.3), 0.0);
+}
+
+TEST(Harvester, ResumeFromLthIsMuchFasterThanColdStart) {
+  const auto h = make_harvester(0.5);
+  const double cold = h.charge_time(0.0, 2.3);
+  const double resume = h.charge_time(1.95, 2.3);
+  ASSERT_GT(cold, 0.0);
+  ASSERT_GT(resume, 0.0);
+  EXPECT_LT(resume, 0.5 * cold);
+}
+
+TEST(Harvester, StepEngagesCutoffWhenCharged) {
+  auto h = make_harvester(1.5);
+  for (int i = 0; i < 20000 && !h.mcu_powered(); ++i) h.step(1e-2);
+  EXPECT_TRUE(h.mcu_powered());
+  EXPECT_GE(h.cap_voltage(), 1.95);
+}
+
+TEST(Harvester, McuLoadDischargesWhenHarvestIsWeak) {
+  auto h = make_harvester(0.35);
+  // Charge up with no load.
+  for (int i = 0; i < 400000 && !h.mcu_powered(); ++i) h.step(1e-2);
+  ASSERT_TRUE(h.mcu_powered());
+  // Now draw far more than the link can deliver.
+  h.set_mcu_load(5e-3);
+  for (int i = 0; i < 200000 && h.mcu_powered(); ++i) h.step(1e-2);
+  EXPECT_FALSE(h.mcu_powered());
+  // Cutoff must have disengaged at LTH, not at zero.
+  EXPECT_GT(h.cap_voltage(), 1.5);
+}
+
+TEST(Harvester, NetChargingPowerMatchesEnergyOverTime) {
+  const auto h = make_harvester(1.0);
+  const double t = h.charge_time(0.0, 2.3);
+  ASSERT_GT(t, 0.0);
+  const double expected = 0.5e-3 * 2.3 * 2.3 / t;
+  EXPECT_NEAR(h.net_charging_power(2.3), expected, expected * 0.02);
+}
+
+// ---------------------------------------------------------------- Tag power
+
+TEST(TagPower, Table2TotalsReproduced) {
+  const TagPowerModel model;
+  EXPECT_NEAR(model.power_uw(TagMode::kRx), 24.8, 1e-9);
+  EXPECT_NEAR(model.power_uw(TagMode::kTx), 51.0, 1e-9);
+  EXPECT_NEAR(model.power_uw(TagMode::kIdle), 7.6, 1e-9);
+}
+
+TEST(TagPower, Table2CurrentSplit) {
+  const TagPowerModel model;
+  EXPECT_NEAR(model.mcu_current_ua(TagMode::kRx), 6.4, 1e-12);
+  EXPECT_NEAR(model.total_current_ua(TagMode::kRx), 12.4, 1e-12);
+  EXPECT_NEAR(model.mcu_current_ua(TagMode::kTx), 4.7, 1e-12);
+  EXPECT_NEAR(model.total_current_ua(TagMode::kTx), 25.5, 1e-12);
+  EXPECT_NEAR(model.mcu_current_ua(TagMode::kIdle), 0.6, 1e-12);
+  EXPECT_NEAR(model.total_current_ua(TagMode::kIdle), 3.8, 1e-12);
+}
+
+TEST(TagPower, InterruptDrivenSavingOver80Percent) {
+  const TagPowerModel model;
+  EXPECT_GT(model.mcu_saving_vs_active(TagMode::kRx), 0.80);
+  EXPECT_GT(model.mcu_saving_vs_active(TagMode::kTx), 0.80);
+}
+
+TEST(TagPower, TxExceedsChargingBudgetOfWeakestTag) {
+  // The paper notes TX (51 uW) exceeds the weakest net charging power
+  // (47.1 uW), forcing duty-cycled operation — the design holds because
+  // IDLE (7.6 uW) is far below it.
+  const TagPowerModel model;
+  EXPECT_GT(model.power_uw(TagMode::kTx), 47.1);
+  EXPECT_LT(model.power_uw(TagMode::kIdle), 47.1);
+}
+
+TEST(PowerMeter, AccumulatesEnergyPerMode) {
+  PowerMeter meter;
+  meter.accumulate(TagMode::kIdle, 10.0);
+  meter.accumulate(TagMode::kRx, 1.0);
+  meter.accumulate(TagMode::kTx, 0.5);
+  EXPECT_DOUBLE_EQ(meter.time_in(TagMode::kIdle), 10.0);
+  EXPECT_NEAR(meter.energy_in(TagMode::kRx), 24.8e-6, 1e-12);
+  EXPECT_NEAR(meter.total_energy(), 10.0 * 7.6e-6 + 24.8e-6 + 0.5 * 51.0e-6,
+              1e-12);
+  EXPECT_NEAR(meter.average_power(), meter.total_energy() / 11.5, 1e-15);
+  meter.reset();
+  EXPECT_DOUBLE_EQ(meter.total_time(), 0.0);
+}
+
+TEST(PowerMeter, RejectsNegativeDuration) {
+  PowerMeter meter;
+  EXPECT_THROW(meter.accumulate(TagMode::kRx, -1.0), std::invalid_argument);
+}
+
+}  // namespace

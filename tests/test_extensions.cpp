@@ -1,0 +1,299 @@
+// Tests for the paper's future-work extensions (Sec. 6.3 / Sec. 2.2):
+// FDMA subcarrier backscatter with parallel decoding, 4-PAM higher-order
+// modulation, and ambient-vibration energy harvesting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arachnet/acoustic/waveform_channel.hpp"
+#include "arachnet/energy/ambient.hpp"
+#include "arachnet/energy/harvester.hpp"
+#include "arachnet/phy/fm0.hpp"
+#include "arachnet/phy/pam4.hpp"
+#include "arachnet/phy/subcarrier.hpp"
+#include "arachnet/pzt/transducer.hpp"
+#include "arachnet/reader/fdma_rx.hpp"
+#include "arachnet/reader/pam4_rx.hpp"
+#include "arachnet/sim/rng.hpp"
+
+namespace {
+
+using namespace arachnet;
+
+// --------------------------------------------------------- Subcarrier mod
+
+TEST(Subcarrier, ModulateDemodulateRoundTrip) {
+  phy::SubcarrierModulator mod{{375.0, 3000.0}};
+  EXPECT_EQ(mod.half_periods_per_chip(), 16);
+  EXPECT_DOUBLE_EQ(mod.subchip_rate(), 6000.0);
+  sim::Rng rng{1};
+  for (int trial = 0; trial < 50; ++trial) {
+    phy::BitVector chips;
+    for (int i = 0; i < 64; ++i) chips.push_back(rng.bernoulli(0.5));
+    const auto sub = mod.modulate(chips);
+    EXPECT_EQ(sub.size(), chips.size() * 16);
+    EXPECT_EQ(mod.demodulate(sub), chips);
+  }
+}
+
+TEST(Subcarrier, SubchipStreamAlternatesWithinChip) {
+  phy::SubcarrierModulator mod{{375.0, 750.0}};  // 4 half-periods per chip
+  const auto sub = mod.modulate(phy::BitVector{1});
+  ASSERT_EQ(sub.size(), 4u);
+  // chip 1 XOR alternating phase 0,1,0,1 -> 1,0,1,0
+  EXPECT_EQ(sub.to_string(), "1010");
+}
+
+TEST(Subcarrier, RejectsMisalignedRates) {
+  EXPECT_THROW((phy::SubcarrierModulator{{375.0, 1000.0}}),
+               std::invalid_argument);
+  EXPECT_THROW((phy::SubcarrierModulator{{375.0, 187.5}}),
+               std::invalid_argument);  // < 2 half-periods per chip
+}
+
+TEST(Subcarrier, DemodToleratesMinorityErrors) {
+  phy::SubcarrierModulator mod{{375.0, 3000.0}};
+  const auto chips = phy::BitVector{1, 0, 1, 1};
+  auto sub = mod.modulate(chips);
+  // Flip 3 of the 16 sub-chips of the first chip: majority vote holds.
+  phy::BitVector corrupted;
+  for (std::size_t i = 0; i < sub.size(); ++i) {
+    corrupted.push_back(i < 3 ? !sub[i] : sub[i]);
+  }
+  EXPECT_EQ(mod.demodulate(corrupted), chips);
+}
+
+// ---------------------------------------------------------------- FDMA RX
+
+TEST(Fdma, TwoTagsDecodeInTheSameSlot) {
+  sim::Rng rng{4};
+  acoustic::UplinkWaveformSynth synth{acoustic::UplinkWaveformSynth::Params{}};
+  reader::FdmaRxChain::Params fp;
+  fp.channels = {{3000.0}, {6000.0}};
+  reader::FdmaRxChain fdma{fp};
+
+  int ok0 = 0, ok1 = 0;
+  const int rounds = 4;
+  for (int i = 0; i < rounds; ++i) {
+    std::vector<acoustic::BackscatterSource> srcs;
+    int k = 0;
+    for (double fsc : {3000.0, 6000.0}) {
+      const phy::UlPacket pkt{
+          .tid = static_cast<std::uint8_t>(k + 1),
+          .payload = static_cast<std::uint16_t>(0x200 + i)};
+      phy::SubcarrierModulator mod{{375.0, fsc}};
+      acoustic::BackscatterSource s;
+      s.chips = mod.modulate(phy::Fm0Encoder::encode_frame(pkt.serialize()));
+      s.chip_rate = mod.subchip_rate();
+      s.start_s = 0.03;
+      s.amplitude = k == 0 ? 0.2 : 0.15;
+      s.phase_rad = 0.8 + k;
+      srcs.push_back(s);
+      ++k;
+    }
+    fdma.clear_packets();
+    fdma.process(synth.synthesize(srcs, 0.3, rng));
+    for (const auto& p : fdma.packets(0)) {
+      if (p.tid == 1 && p.payload == 0x200 + i) ++ok0;
+    }
+    for (const auto& p : fdma.packets(1)) {
+      if (p.tid == 2 && p.payload == 0x200 + i) ++ok1;
+    }
+  }
+  EXPECT_GE(ok0, rounds - 1);
+  EXPECT_GE(ok1, rounds - 1);
+}
+
+TEST(Fdma, ChannelIsolation) {
+  // A tag on 6 kHz must not produce packets on the 3 kHz channel.
+  sim::Rng rng{6};
+  acoustic::UplinkWaveformSynth synth{acoustic::UplinkWaveformSynth::Params{}};
+  reader::FdmaRxChain::Params fp;
+  fp.channels = {{3000.0}, {6000.0}};
+  reader::FdmaRxChain fdma{fp};
+
+  const phy::UlPacket pkt{.tid = 2, .payload = 0x321};
+  phy::SubcarrierModulator mod{{375.0, 6000.0}};
+  acoustic::BackscatterSource s;
+  s.chips = mod.modulate(phy::Fm0Encoder::encode_frame(pkt.serialize()));
+  s.chip_rate = mod.subchip_rate();
+  s.start_s = 0.03;
+  s.amplitude = 0.25;
+  s.phase_rad = 1.4;
+  fdma.process(synth.synthesize({s}, 0.3, rng));
+  EXPECT_TRUE(fdma.packets(0).empty());
+  ASSERT_FALSE(fdma.packets(1).empty());
+  EXPECT_EQ(fdma.packets(1).front(), pkt);
+}
+
+TEST(Fdma, ValidatesConfiguration) {
+  reader::FdmaRxChain::Params none;
+  EXPECT_THROW(reader::FdmaRxChain{none}, std::invalid_argument);
+  reader::FdmaRxChain::Params close;
+  close.channels = {{3000.0}, {3500.0}};  // < 3x chip rate apart
+  EXPECT_THROW(reader::FdmaRxChain{close}, std::invalid_argument);
+}
+
+// ------------------------------------------------------------------- PAM4
+
+TEST(Pam4, GrayCodeBijective) {
+  for (int msb = 0; msb < 2; ++msb) {
+    for (int lsb = 0; lsb < 2; ++lsb) {
+      const int idx = phy::Pam4::gray_index(msb != 0, lsb != 0);
+      const auto [m, l] = phy::Pam4::gray_bits(idx);
+      EXPECT_EQ(m, msb != 0);
+      EXPECT_EQ(l, lsb != 0);
+    }
+  }
+  // Adjacent levels differ in exactly one bit (the point of Gray coding).
+  for (int idx = 0; idx < 3; ++idx) {
+    const auto [m0, l0] = phy::Pam4::gray_bits(idx);
+    const auto [m1, l1] = phy::Pam4::gray_bits(idx + 1);
+    EXPECT_EQ((m0 != m1) + (l0 != l1), 1);
+  }
+}
+
+TEST(Pam4, EncodeDecodeRoundTripNoiseless) {
+  phy::Pam4 pam;
+  sim::Rng rng{3};
+  for (int trial = 0; trial < 50; ++trial) {
+    phy::BitVector data;
+    const int nbits = 2 * (8 + static_cast<int>(rng.uniform_int(24)));
+    for (int i = 0; i < nbits; ++i) data.push_back(rng.bernoulli(0.5));
+    const auto levels = pam.encode_frame(data);
+    EXPECT_EQ(levels.size(), phy::Pam4::kTrainingSymbols +
+                                 phy::Pam4::symbol_count(data) + 1);
+    const auto decoded = pam.decode_frame(levels, data.size());
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, data);
+  }
+}
+
+TEST(Pam4, DecodeSurvivesModerateNoise) {
+  phy::Pam4 pam;
+  sim::Rng rng{5};
+  phy::BitVector data;
+  for (int i = 0; i < 48; ++i) data.push_back(rng.bernoulli(0.5));
+  auto levels = pam.encode_frame(data);
+  // Level spacing ~0.19; sigma 0.02 is comfortable.
+  for (auto& l : levels) l += rng.normal(0.0, 0.02);
+  const auto decoded = pam.decode_frame(levels, data.size());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, data);
+}
+
+TEST(Pam4, RejectsDegenerateTraining) {
+  phy::Pam4 pam;
+  std::vector<double> flat(phy::Pam4::kTrainingSymbols + 10, 0.5);
+  EXPECT_FALSE(pam.decode_frame(flat, 16).has_value());
+  EXPECT_FALSE(pam.decode_frame({0.1, 0.2}, 16).has_value());  // too short
+}
+
+TEST(Pam4, RejectsNonAscendingLevels) {
+  phy::Pam4::Params p;
+  p.levels = {0.5, 0.4, 0.6, 0.9};
+  EXPECT_THROW(phy::Pam4{p}, std::invalid_argument);
+}
+
+TEST(Pam4, WaveformRoundTripThroughChannel) {
+  sim::Rng rng{7};
+  acoustic::UplinkWaveformSynth synth{acoustic::UplinkWaveformSynth::Params{}};
+  phy::Pam4 pam;
+  phy::BitVector data;
+  sim::Rng drng{9};
+  for (int i = 0; i < 64; ++i) data.push_back(drng.bernoulli(0.5));
+  acoustic::BackscatterSource src;
+  src.levels = pam.encode_frame(data);
+  src.chip_rate = 375.0;
+  src.start_s = 0.05;
+  src.amplitude = 0.15;
+  src.phase_rad = 1.1;
+  const auto wave = synth.synthesize(
+      {src}, 0.05 + src.levels.size() / 375.0 + 0.05, rng);
+
+  reader::Pam4Receiver::Params rp;
+  rp.symbol_rate = 375.0;
+  const reader::Pam4Receiver prx{rp};
+  const auto decoded = prx.decode(wave, 0.05, data.size());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, data);
+}
+
+TEST(Pam4, DoublesThroughputPerSymbol) {
+  // 2 bits per PAM-4 symbol vs 1 bit per 2 FM0 chips at the same symbol
+  // rate: 4x bits per line interval.
+  phy::BitVector data;
+  for (int i = 0; i < 32; ++i) data.push_back(i % 2);
+  const auto fm0_chips = phy::Fm0Encoder::encode(data);
+  const auto pam_symbols = phy::Pam4{}.encode_frame(data);
+  const double fm0_intervals = static_cast<double>(fm0_chips.size());
+  const double pam_intervals =
+      static_cast<double>(pam_symbols.size());  // incl. training overhead
+  EXPECT_LT(pam_intervals, fm0_intervals);
+}
+
+// ---------------------------------------------------------------- Ambient
+
+TEST(Ambient, CurrentsOrderedByExcitation) {
+  energy::AmbientVibrationSource src;
+  EXPECT_DOUBLE_EQ(src.current(energy::DriveState::kParked), 0.0);
+  EXPECT_LT(src.current(energy::DriveState::kIdle),
+            src.current(energy::DriveState::kCity));
+  EXPECT_LT(src.current(energy::DriveState::kCity),
+            src.current(energy::DriveState::kHighway));
+}
+
+TEST(Ambient, ExcitationIsOutOfBandForTheLink) {
+  // Paper Sec. 2.2: driving vibration sits below 0.1 kHz; the 90 kHz
+  // resonant link must reject it.
+  pzt::Transducer link_pzt;
+  for (auto state : {energy::DriveState::kIdle, energy::DriveState::kCity,
+                     energy::DriveState::kHighway}) {
+    const double f = energy::AmbientVibrationSource::dominant_frequency_hz(state);
+    EXPECT_LT(f, 100.0);
+    EXPECT_LT(link_pzt.frequency_response(f), 1e-4);
+  }
+}
+
+TEST(Ambient, HighwayHarvestingShortensChargeTime) {
+  energy::Harvester reader_only{energy::Harvester::Params{}};
+  reader_only.set_pzt_peak_voltage(0.303);  // tag-11 link
+  const double base = reader_only.charge_time(0.0, 2.306);
+  ASSERT_GT(base, 0.0);
+
+  energy::Harvester with_ambient{energy::Harvester::Params{}};
+  with_ambient.set_pzt_peak_voltage(0.303);
+  with_ambient.set_ambient_current(
+      energy::AmbientVibrationSource{}.current(energy::DriveState::kHighway));
+  const double assisted = with_ambient.charge_time(0.0, 2.306);
+  ASSERT_GT(assisted, 0.0);
+  EXPECT_LT(assisted, 0.7 * base);
+}
+
+TEST(Ambient, CanSustainIdleTagWithoutReader) {
+  // Highway harvesting (15 uA) exceeds the IDLE draw (3.8 uA at 2 V):
+  // a charged tag stays powered with the reader off.
+  energy::Harvester h{energy::Harvester::Params{}};
+  h.set_pzt_peak_voltage(0.0);  // reader off
+  h.set_ambient_current(
+      energy::AmbientVibrationSource{}.current(energy::DriveState::kHighway));
+  h.cap().set_voltage(2.4);  // above HTH so the cutoff engages
+  h.set_mcu_load(3.8e-6);
+  h.step(0.01);
+  ASSERT_TRUE(h.mcu_powered());
+  for (int i = 0; i < 60000; ++i) h.step(0.01);  // 10 minutes
+  EXPECT_TRUE(h.mcu_powered());
+  EXPECT_GT(h.cap_voltage(), 1.95);
+
+  // Without ambient harvesting the same tag browns out.
+  energy::Harvester dark{energy::Harvester::Params{}};
+  dark.set_pzt_peak_voltage(0.0);
+  dark.cap().set_voltage(2.4);
+  dark.set_mcu_load(3.8e-6);
+  dark.step(0.01);
+  ASSERT_TRUE(dark.mcu_powered());
+  for (int i = 0; i < 60000; ++i) dark.step(0.01);
+  EXPECT_FALSE(dark.mcu_powered());
+}
+
+}  // namespace

@@ -1,0 +1,157 @@
+// Tests for the event-level tag firmware co-simulation: activation from
+// harvesting, beacon-driven protocol operation, duty-cycled power
+// profile, beacon-loss timeout, and brownout behaviour on weak links.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "arachnet/core/tag_firmware.hpp"
+#include "arachnet/sim/event_queue.hpp"
+
+namespace {
+
+using namespace arachnet;
+using core::TagFirmware;
+using core::TagState;
+using energy::TagMode;
+
+struct FirmwareHarness {
+  sim::EventQueue queue;
+  TagFirmware::Params params;
+  std::vector<phy::UlPacket> transmitted;
+
+  FirmwareHarness() {
+    params.tid = 3;
+    params.protocol.period = 2;
+    params.protocol.empty_gating = false;
+  }
+
+  TagFirmware make(double vp, std::uint64_t seed = 7) {
+    TagFirmware fw{&queue, params, seed};
+    fw.set_link(vp);
+    fw.on_transmit([this](const phy::UlPacket& pkt, double) {
+      transmitted.push_back(pkt);
+    });
+    fw.set_sensor([] { return 0x234; });
+    fw.start();
+    return fw;
+  }
+
+  /// Runs a beaconed slot loop: delivers a beacon every `slot` seconds
+  /// with the given command, for `n` slots.
+  void run_slots(TagFirmware& fw, int n, const phy::DlCommand& cmd,
+                 double slot = 1.0) {
+    for (int i = 0; i < n; ++i) {
+      const double due = queue.now() + slot;
+      queue.schedule_in(slot * 0.01, [&fw, cmd] {
+        fw.deliver_beacon(phy::DlBeacon{cmd});
+      });
+      queue.run_until(due);
+    }
+  }
+};
+
+TEST(Firmware, ActivatesAfterCharging) {
+  FirmwareHarness h;
+  auto fw = h.make(1.9);  // tag-8-class link: ~4.3 s charge
+  EXPECT_FALSE(fw.activated());
+  h.queue.run_until(10.0);
+  EXPECT_TRUE(fw.activated());
+  EXPECT_GE(fw.cap_voltage(), 1.9);
+}
+
+TEST(Firmware, WeakLinkNeverActivates) {
+  FirmwareHarness h;
+  auto fw = h.make(0.05);
+  h.queue.run_until(120.0);
+  EXPECT_FALSE(fw.activated());
+}
+
+TEST(Firmware, RespondsToBeaconsAndSettles) {
+  FirmwareHarness h;
+  auto fw = h.make(1.9);
+  h.queue.run_until(10.0);
+  ASSERT_TRUE(fw.activated());
+  // ACK every beacon: the tag should transmit per its period and settle.
+  h.run_slots(fw, 20, {.ack = true, .empty = true});
+  EXPECT_GT(fw.packets_sent(), 3);
+  EXPECT_EQ(fw.protocol().state(), TagState::kSettle);
+  ASSERT_FALSE(h.transmitted.empty());
+  EXPECT_EQ(h.transmitted.front().tid, 3);
+  EXPECT_EQ(h.transmitted.front().payload, 0x234);
+}
+
+TEST(Firmware, BeaconSilenceTriggersTimeoutMigration) {
+  FirmwareHarness h;
+  auto fw = h.make(1.9);
+  h.queue.run_until(10.0);
+  h.run_slots(fw, 10, {.ack = true, .empty = true});
+  ASSERT_EQ(fw.protocol().state(), TagState::kSettle);
+  // Stop beacons for several slot times: the beacon-loss timer fires.
+  h.queue.run_until(h.queue.now() + 5.0);
+  EXPECT_EQ(fw.protocol().state(), TagState::kMigrate);
+}
+
+TEST(Firmware, DutyCycledPowerProfile) {
+  FirmwareHarness h;
+  auto fw = h.make(1.9);
+  h.queue.run_until(10.0);
+  h.run_slots(fw, 30, {.ack = true, .empty = true});
+  auto& meter = fw.mcu().meter();
+  // The tag spends most time IDLE, a fraction in RX (beacons) and TX.
+  EXPECT_GT(meter.time_in(TagMode::kIdle), 0.8 * meter.total_time());
+  EXPECT_GT(meter.time_in(TagMode::kRx), 0.0);
+  EXPECT_GT(meter.time_in(TagMode::kTx), 0.0);
+  // Average power well under continuous-RX power.
+  EXPECT_LT(meter.average_power(), 24.8e-6);
+  EXPECT_GT(meter.average_power(), 7.6e-6);
+}
+
+TEST(Firmware, SustainsOperationOnWeakButSufficientLink) {
+  // A tag-11-class link (net charging ~47 uW) must sustain duty-cycled
+  // operation: IDLE 7.6 uW baseline with occasional RX/TX bursts.
+  FirmwareHarness h;
+  h.params.protocol.period = 8;  // modest reporting rate
+  auto fw = h.make(0.303);       // tag 11 calibration
+  h.queue.run_until(70.0);       // ~58 s charge
+  ASSERT_TRUE(fw.activated());
+  h.run_slots(fw, 120, {.ack = true, .empty = true});
+  EXPECT_TRUE(fw.activated());  // still powered after 2 minutes of slots
+  EXPECT_EQ(fw.brownouts(), 0);
+  EXPECT_GT(fw.packets_sent(), 5);
+}
+
+TEST(Firmware, HeavyLoadOnWeakLinkBrownsOutAndRecovers) {
+  FirmwareHarness h;
+  h.params.protocol.period = 1;  // transmit every slot: ~51 uW + RX cost
+  // Make the analog TX load punishing so the budget clearly cannot hold.
+  h.params.mcu.power.analog_tx_ua = 2000.0;
+  auto fw = h.make(0.303);
+  h.queue.run_until(70.0);
+  ASSERT_TRUE(fw.activated());
+  h.run_slots(fw, 400, {.ack = true, .empty = true});
+  EXPECT_GE(fw.brownouts(), 1);
+}
+
+TEST(Firmware, IgnoresBeaconsWhileUnpowered) {
+  FirmwareHarness h;
+  auto fw = h.make(1.9);
+  // Not yet activated: beacons must be ignored silently.
+  fw.deliver_beacon(phy::DlBeacon{{.ack = true, .empty = true}});
+  h.queue.run_until(1.0);
+  EXPECT_EQ(fw.beacons_decoded(), 0);
+  EXPECT_EQ(fw.packets_sent(), 0);
+}
+
+TEST(Firmware, CountsLostBeacons) {
+  FirmwareHarness h;
+  // High DL rate makes the VLO demodulator lossy (Fig. 13a mechanism).
+  h.params.dl.chip_rate = 2000.0;
+  auto fw = h.make(1.9, 21);
+  h.queue.run_until(10.0);
+  ASSERT_TRUE(fw.activated());
+  h.run_slots(fw, 50, {.ack = true, .empty = true});
+  EXPECT_GT(fw.beacons_lost(), 5);
+}
+
+}  // namespace

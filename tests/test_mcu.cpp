@@ -1,0 +1,331 @@
+// Tests for the MCU simulator: VLO clock drift/quantization, the
+// interrupt-driven MSP430 shell (mode accounting, timers, edges), and the
+// tag-side PIE downlink demodulator whose timer imprecision produces the
+// paper's high-rate loss surge (Fig. 13a).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arachnet/mcu/dl_demodulator.hpp"
+#include "arachnet/mcu/envelope_frontend.hpp"
+#include "arachnet/reader/dl_tx.hpp"
+#include "arachnet/mcu/msp430.hpp"
+#include "arachnet/mcu/vlo_clock.hpp"
+#include "arachnet/sim/event_queue.hpp"
+#include "arachnet/sim/rng.hpp"
+
+namespace {
+
+using namespace arachnet;
+using mcu::DlDemodulator;
+using mcu::Msp430;
+using mcu::VloClock;
+using sim::EventQueue;
+using sim::Rng;
+
+// ---------------------------------------------------------------- VloClock
+
+TEST(VloClock, NominalFrequencyAtReferenceSupply) {
+  VloClock clock;
+  EXPECT_DOUBLE_EQ(clock.frequency(2.0), 12e3);
+  EXPECT_DOUBLE_EQ(clock.nominal_tick(), 1.0 / 12e3);
+}
+
+TEST(VloClock, FrequencyShiftsWithSupply) {
+  VloClock clock;
+  EXPECT_GT(clock.frequency(2.3), clock.frequency(2.0));
+  EXPECT_LT(clock.frequency(1.95), clock.frequency(2.0));
+  // ~3.5% per volt.
+  EXPECT_NEAR(clock.frequency(3.0) / clock.frequency(2.0), 1.035, 1e-9);
+}
+
+TEST(VloClock, MeasurementQuantizesToTicks) {
+  VloClock::Params p;
+  p.jitter_frac = 0.0;
+  VloClock clock{p};
+  Rng rng{1};
+  // 1 ms at 12 kHz is 12 ticks; phase noise makes it 12 or 13.
+  for (int i = 0; i < 100; ++i) {
+    const int ticks = clock.measure_ticks(1e-3, 2.0, rng);
+    EXPECT_GE(ticks, 12);
+    EXPECT_LE(ticks, 13);
+  }
+}
+
+TEST(VloClock, MeasurementMeanTracksDuration) {
+  VloClock clock;
+  Rng rng{2};
+  double sum = 0.0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    sum += clock.measure_ticks(4e-3, 2.0, rng);
+  }
+  // floor(x + U) with U ~ Uniform[0,1) is unbiased: mean = x.
+  EXPECT_NEAR(sum / trials, 4e-3 * 12e3, 0.2);
+}
+
+TEST(VloClock, TicksToDurationInverse) {
+  VloClock::Params p;
+  p.jitter_frac = 0.0;
+  VloClock clock{p};
+  Rng rng{3};
+  EXPECT_NEAR(clock.ticks_to_duration(12, 2.0, rng), 1e-3, 1e-9);
+  // Higher supply -> faster clock -> shorter interval.
+  EXPECT_LT(clock.ticks_to_duration(12, 2.3, rng), 1e-3);
+}
+
+// ------------------------------------------------------------------ Msp430
+
+struct McuFixture : ::testing::Test {
+  EventQueue queue;
+  Msp430 mcu{&queue, Msp430::Params{}, Rng{7}};
+};
+
+TEST_F(McuFixture, ModeResidencyAccounting) {
+  mcu.power_up();
+  queue.schedule_at(1.0, [&] { mcu.set_mode(energy::TagMode::kRx); });
+  queue.schedule_at(1.5, [&] { mcu.set_mode(energy::TagMode::kIdle); });
+  queue.schedule_at(4.0, [] {});
+  queue.run();
+  const auto& meter = mcu.meter();
+  EXPECT_NEAR(meter.time_in(energy::TagMode::kRx), 0.5, 1e-9);
+  EXPECT_NEAR(meter.time_in(energy::TagMode::kIdle), 3.5, 1e-9);
+}
+
+TEST_F(McuFixture, NoAccountingWhilePoweredDown) {
+  queue.schedule_at(2.0, [&] { mcu.power_up(); });
+  queue.schedule_at(5.0, [] {});
+  queue.run();
+  EXPECT_NEAR(mcu.meter().total_time(), 3.0, 1e-9);
+}
+
+TEST_F(McuFixture, EdgeInterruptsReachHandler) {
+  mcu.power_up();
+  int rising = 0, falling = 0;
+  mcu.on_edge([&](bool r) { r ? ++rising : ++falling; });
+  mcu.inject_edge(true);
+  mcu.inject_edge(false);
+  mcu.inject_edge(true);
+  EXPECT_EQ(rising, 2);
+  EXPECT_EQ(falling, 1);
+}
+
+TEST_F(McuFixture, EdgesIgnoredWhenUnpowered) {
+  int count = 0;
+  mcu.on_edge([&](bool) { ++count; });
+  mcu.inject_edge(true);
+  EXPECT_EQ(count, 0);
+}
+
+TEST_F(McuFixture, PeriodicTimerFiresAtTickIntervals) {
+  mcu.power_up();
+  int fires = 0;
+  // 32 ticks at 12 kHz -> ~2.667 ms per fire.
+  mcu.start_periodic(32, [&] { ++fires; });
+  queue.run_until(0.1);
+  EXPECT_NEAR(fires, 0.1 / (32.0 / 12e3), 3.0);
+}
+
+TEST_F(McuFixture, StopPeriodicCancels) {
+  mcu.power_up();
+  int fires = 0;
+  mcu.start_periodic(12, [&] { ++fires; });
+  queue.run_until(0.01);
+  const int at_stop = fires;
+  mcu.stop_periodic();
+  queue.run_until(0.1);
+  EXPECT_EQ(fires, at_stop);
+}
+
+TEST_F(McuFixture, PowerDownCancelsTimers) {
+  mcu.power_up();
+  int fires = 0;
+  mcu.start_periodic(12, [&] { ++fires; });
+  queue.run_until(0.01);
+  mcu.power_down();
+  const int at_down = fires;
+  queue.run_until(0.2);
+  EXPECT_EQ(fires, at_down);
+}
+
+TEST_F(McuFixture, TimeoutFiresOnce) {
+  mcu.power_up();
+  int fires = 0;
+  mcu.schedule_timeout(0.05, [&] { ++fires; });
+  queue.run_until(1.0);
+  EXPECT_EQ(fires, 1);
+}
+
+TEST_F(McuFixture, TimeoutCancellable) {
+  mcu.power_up();
+  int fires = 0;
+  const auto id = mcu.schedule_timeout(0.05, [&] { ++fires; });
+  EXPECT_TRUE(mcu.cancel(id));
+  queue.run_until(1.0);
+  EXPECT_EQ(fires, 0);
+}
+
+TEST_F(McuFixture, TimerSpeedFollowsSupply) {
+  mcu.power_up();
+  mcu.set_supply(2.3);
+  int fast_fires = 0;
+  mcu.start_periodic(12, [&] { ++fast_fires; });
+  queue.run_until(0.5);
+  mcu.stop_periodic();
+
+  EventQueue queue2;
+  Msp430 slow{&queue2, Msp430::Params{}, Rng{7}};
+  slow.power_up();
+  slow.set_supply(1.95);
+  int slow_fires = 0;
+  slow.start_periodic(12, [&] { ++slow_fires; });
+  queue2.run_until(0.5);
+  EXPECT_GT(fast_fires, slow_fires);
+}
+
+TEST(Msp430Ctor, NullQueueThrows) {
+  EXPECT_THROW((Msp430{nullptr, Msp430::Params{}, Rng{1}}),
+               std::invalid_argument);
+}
+
+// ----------------------------------------------------------- DlDemodulator
+
+TEST(DlDemod, ThresholdTicksAtDefaultRate) {
+  DlDemodulator demod{DlDemodulator::Params{}};
+  // 250 bps chips: 4 ms; threshold 1.5 chips = 6 ms = 72 ticks at 12 kHz.
+  EXPECT_EQ(demod.threshold_ticks(), 72);
+}
+
+TEST(DlDemod, ReliableAtDefaultRate) {
+  DlDemodulator demod{DlDemodulator::Params{}};
+  Rng rng{11};
+  const phy::DlBeacon beacon{.cmd = {.ack = true, .empty = false}};
+  // The paper reports beacon loss below 0.1% at 250 bps.
+  EXPECT_LT(demod.loss_rate(beacon, 2.0, rng, 4000), 0.01);
+}
+
+TEST(DlDemod, LossSurgesAtHighRates) {
+  // Fig. 13a: the 12 kHz timer + reader software jitter break PIE at
+  // 1000/2000 bps.
+  Rng rng{13};
+  const phy::DlBeacon beacon{.cmd = {.ack = true, .empty = true}};
+  double previous = 0.0;
+  double at_250 = 0.0, at_2000 = 0.0;
+  for (double rate : {125.0, 250.0, 500.0, 1000.0, 2000.0}) {
+    DlDemodulator::Params p;
+    p.chip_rate = rate;
+    DlDemodulator demod{p};
+    const double loss = demod.loss_rate(beacon, 2.0, rng, 2000);
+    if (rate == 250.0) at_250 = loss;
+    if (rate == 2000.0) at_2000 = loss;
+    EXPECT_GE(loss, previous - 0.02) << "rate " << rate;  // non-decreasing
+    previous = loss;
+  }
+  EXPECT_LT(at_250, 0.01);
+  EXPECT_GT(at_2000, 0.3);
+}
+
+TEST(DlDemod, SupplyVariationDoesNotRescueHighRate) {
+  Rng rng{17};
+  const phy::DlBeacon beacon{.cmd = {.ack = false, .empty = true}};
+  DlDemodulator::Params p;
+  p.chip_rate = 2000.0;
+  DlDemodulator demod{p};
+  const double nominal = demod.loss_rate(beacon, 2.0, rng, 3000);
+  const double high_supply = demod.loss_rate(beacon, 2.3, rng, 3000);
+  const double low_supply = demod.loss_rate(beacon, 1.95, rng, 3000);
+  // The 2000 bps regime is jitter-limited across the whole supply range.
+  EXPECT_GT(nominal, 0.3);
+  EXPECT_GT(std::max(high_supply, low_supply), nominal * 0.8);
+}
+
+TEST(DlDemod, AllCommandPatternsSurviveDefaultRate) {
+  Rng rng{19};
+  DlDemodulator demod{DlDemodulator::Params{}};
+  for (int mask = 0; mask < 8; ++mask) {
+    const phy::DlBeacon beacon{.cmd = {.ack = (mask & 1) != 0,
+                                       .empty = (mask & 2) != 0,
+                                       .reset = (mask & 4) != 0}};
+    int ok = 0;
+    for (int i = 0; i < 200; ++i) {
+      const auto rx = demod.demodulate(beacon, 2.0, rng);
+      if (rx && *rx == beacon) ++ok;
+    }
+    EXPECT_GE(ok, 195) << "mask " << mask;
+  }
+}
+
+
+// -------------------------------------------------- DL TX path + frontend
+
+TEST(DlTxPath, FskInOokOutDecodesCleanly) {
+  VloClock clock;
+  reader::DlTransmitter tx{reader::DlTransmitter::Params{}};
+  mcu::EnvelopeFrontend frontend;
+  Rng rng{5};
+  const phy::DlBeacon beacon{.cmd = {.ack = true, .empty = true}};
+  int ok = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto segs = tx.segments(beacon, rng);
+    const auto rx = frontend.demodulate(segs, 250.0, 2.0, clock, rng);
+    if (rx && *rx == beacon) ++ok;
+  }
+  EXPECT_GE(ok, 98);
+}
+
+TEST(DlTxPath, PureOokRingTailBreaksHighRates) {
+  // Sec. 4.1: without the FSK-in/OOK-out displacement drive, the high-Q
+  // structure rings through the PIE low intervals and framing collapses
+  // once chips shrink toward the ring tail.
+  VloClock clock;
+  Rng rng{7};
+  const phy::DlBeacon beacon{.cmd = {.ack = false, .empty = true}};
+  const auto loss_at = [&](reader::DlTxMode mode, double rate) {
+    reader::DlTransmitter::Params tp;
+    tp.mode = mode;
+    tp.chip_rate = rate;
+    reader::DlTransmitter tx{tp};
+    mcu::EnvelopeFrontend frontend;
+    int lost = 0;
+    const int rounds = 120;
+    for (int i = 0; i < rounds; ++i) {
+      const auto rx = frontend.demodulate(tx.segments(beacon, rng), rate, 2.0,
+                                          clock, rng);
+      if (!rx || !(*rx == beacon)) ++lost;
+    }
+    return static_cast<double>(lost) / rounds;
+  };
+  EXPECT_LT(loss_at(reader::DlTxMode::kFskInOokOut, 500.0), 0.05);
+  EXPECT_GT(loss_at(reader::DlTxMode::kPureOok, 500.0), 0.9);
+  // Both work at slow rates where chips dwarf the ring tail.
+  EXPECT_LT(loss_at(reader::DlTxMode::kPureOok, 125.0), 0.05);
+}
+
+TEST(DlTxPath, SegmentsPreservePieStructure) {
+  reader::DlTransmitter::Params tp;
+  tp.edge_jitter_min_s = 0.0;
+  tp.edge_jitter_max_s = 0.0;
+  reader::DlTransmitter tx{tp};
+  Rng rng{9};
+  const phy::DlBeacon beacon{.cmd = {.ack = true, .empty = false}};
+  const auto segs = tx.segments(beacon, rng);
+  // Total on-air time equals the PIE chip count at the chip rate.
+  double total = 0.0;
+  for (const auto& s : segs) total += s.duration_s;
+  EXPECT_NEAR(total, phy::dl_beacon_duration(beacon), 1e-9);
+  // FSK mode never goes silent.
+  for (const auto& s : segs) EXPECT_GT(s.frequency_hz, 0.0);
+}
+
+TEST(DlTxPath, FrontendComparatorHysteresis) {
+  // A single resonant burst produces exactly one pulse of roughly the
+  // burst duration.
+  mcu::EnvelopeFrontend frontend;
+  const std::vector<reader::DlSegment> segs{
+      {90e3, 8e-3}, {78e3, 8e-3}};
+  const auto pulses = frontend.pulse_durations(segs);
+  ASSERT_EQ(pulses.size(), 1u);
+  EXPECT_NEAR(pulses.front(), 8e-3, 1.5e-3);
+}
+
+}  // namespace

@@ -1,0 +1,127 @@
+// Tests for the strain-sensing chain of the Sec. 6.5 case study:
+// gauge, Wheatstone bridge, amplifier, ADC, beam model, and the complete
+// displacement -> code channel.
+#include <gtest/gtest.h>
+
+#include "arachnet/sensing/strain.hpp"
+#include "arachnet/sim/rng.hpp"
+
+namespace {
+
+using namespace arachnet::sensing;
+using arachnet::sim::Rng;
+
+TEST(Gauge, ResistanceFollowsGaugeFactor) {
+  StrainGauge gauge;
+  EXPECT_DOUBLE_EQ(gauge.resistance(0.0), 350.0);
+  EXPECT_NEAR(gauge.resistance(1e-3), 350.0 * (1.0 + 2e-3), 1e-9);
+  EXPECT_LT(gauge.resistance(-1e-3), 350.0);
+}
+
+TEST(Bridge, OutputLinearInStrain) {
+  WheatstoneBridge bridge;
+  EXPECT_DOUBLE_EQ(bridge.output_voltage(0.0), 0.0);
+  const double v1 = bridge.output_voltage(1e-3);
+  const double v2 = bridge.output_voltage(2e-3);
+  EXPECT_NEAR(v2, 2.0 * v1, 1e-12);
+  // Full bridge at 1.8 V excitation: Vout = 1.8 * 2 * eps / 2 = 1.8 eps.
+  EXPECT_NEAR(v1, 1.8e-3, 1e-9);
+  EXPECT_DOUBLE_EQ(bridge.output_voltage(-1e-3), -v1);
+}
+
+TEST(Amplifier, GainOffsetAndClamping) {
+  BridgeAmplifier::Params p;
+  p.noise_rms_v = 0.0;
+  BridgeAmplifier amp{p};
+  Rng rng{1};
+  EXPECT_NEAR(amp.amplify(0.0, rng), 0.9, 1e-12);          // mid-rail bias
+  EXPECT_NEAR(amp.amplify(1e-3, rng), 0.9 + 0.2, 1e-12);   // gain 200
+  EXPECT_DOUBLE_EQ(amp.amplify(1.0, rng), 1.8);            // clamps high
+  EXPECT_DOUBLE_EQ(amp.amplify(-1.0, rng), 0.0);           // clamps low
+}
+
+TEST(Adc, CodesSpanFullScale) {
+  Adc adc;
+  EXPECT_EQ(adc.full_scale(), 1023);
+  EXPECT_EQ(adc.sample(0.0), 0);
+  EXPECT_EQ(adc.sample(1.8), 1023);
+  EXPECT_EQ(adc.sample(5.0), 1023);   // over-range clamps
+  EXPECT_EQ(adc.sample(-1.0), 0);     // under-range clamps
+  EXPECT_NEAR(adc.sample(0.9), 512, 1);
+}
+
+TEST(Adc, QuantizationRoundTrip) {
+  Adc adc;
+  for (double v : {0.1, 0.45, 0.9, 1.35, 1.7}) {
+    const auto code = adc.sample(v);
+    EXPECT_NEAR(adc.to_voltage(code), v, 1.8 / 1023.0);
+  }
+}
+
+TEST(Beam, StrainProportionalToDisplacement) {
+  CantileverBeam beam;
+  const double e1 = beam.strain(0.05);
+  const double e2 = beam.strain(0.10);
+  EXPECT_NEAR(e2, 2.0 * e1, 1e-12);
+  EXPECT_DOUBLE_EQ(beam.strain(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(beam.strain(-0.05), -e1);
+  // Sanity scale: a 10 cm tip deflection on a 0.5 m, 1.5 mm sheet gives
+  // sub-percent strain.
+  EXPECT_LT(beam.strain(0.10), 0.01);
+  EXPECT_GT(beam.strain(0.10), 1e-5);
+}
+
+TEST(Module, VoltageMonotoneInDisplacement) {
+  // Fig. 17b: clear correlation between displacement and voltage across
+  // -10 cm .. +10 cm.
+  StrainSensorModule::Params p;
+  p.amp.noise_rms_v = 0.0;
+  StrainSensorModule module{p};
+  Rng rng{3};
+  double prev = -1.0;
+  for (double d = -0.10; d <= 0.101; d += 0.02) {
+    const double v = module.analog_voltage(d, rng);
+    EXPECT_GT(v, prev) << "displacement " << d;
+    prev = v;
+  }
+}
+
+TEST(Module, OutputStaysWithinAdcRange) {
+  StrainSensorModule module{StrainSensorModule::Params{}};
+  Rng rng{5};
+  for (double d = -0.10; d <= 0.101; d += 0.01) {
+    const auto code = module.sample(d, rng);
+    EXPECT_LE(code, 1023);
+  }
+}
+
+TEST(Module, ZeroDisplacementNearMidScale) {
+  StrainSensorModule::Params p;
+  p.amp.noise_rms_v = 0.0;
+  StrainSensorModule module{p};
+  Rng rng{7};
+  EXPECT_NEAR(module.sample(0.0, rng), 512, 2);
+}
+
+TEST(Module, RepeatedSamplesVaryOnlyByNoise) {
+  StrainSensorModule module{StrainSensorModule::Params{}};
+  Rng rng{9};
+  double min_v = 1e9, max_v = -1e9;
+  for (int i = 0; i < 200; ++i) {
+    const double v = module.analog_voltage(0.05, rng);
+    min_v = std::min(min_v, v);
+    max_v = std::max(max_v, v);
+  }
+  EXPECT_LT(max_v - min_v, 0.02);  // ~mV-level noise band
+}
+
+TEST(Module, TwelveBitPayloadFits) {
+  // UL payload is 12 bits; a 10-bit ADC code always fits.
+  StrainSensorModule module{StrainSensorModule::Params{}};
+  Rng rng{11};
+  for (double d : {-0.1, -0.02, 0.0, 0.07, 0.1}) {
+    EXPECT_LT(module.sample(d, rng), 1u << 12);
+  }
+}
+
+}  // namespace

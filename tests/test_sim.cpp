@@ -1,0 +1,283 @@
+// Tests for the simulation kernel: RNG determinism and distribution sanity,
+// event queue ordering, cancellation, and time semantics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "arachnet/sim/event_queue.hpp"
+#include "arachnet/sim/linalg.hpp"
+#include "arachnet/sim/rng.hpp"
+#include "arachnet/sim/stats.hpp"
+#include "arachnet/sim/units.hpp"
+
+namespace {
+
+using arachnet::sim::EventQueue;
+using arachnet::sim::Histogram;
+using arachnet::sim::Percentiles;
+using arachnet::sim::Rng;
+using arachnet::sim::RunningStats;
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a{42}, b{42};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1}, b{2};
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.next_u64() == b.next_u64());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng{7};
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntIsInRangeAndCoversAll) {
+  Rng rng{7};
+  std::vector<int> seen(8, 0);
+  for (int i = 0; i < 8000; ++i) {
+    const auto v = rng.uniform_int(8);
+    ASSERT_LT(v, 8u);
+    ++seen[v];
+  }
+  for (int count : seen) EXPECT_GT(count, 800);  // roughly uniform
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng{9};
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMomentsApproximatelyCorrect) {
+  Rng rng{11};
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(rng.normal(5.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 5.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng{13};
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(rng.exponential(4.0));
+  EXPECT_NEAR(stats.mean(), 0.25, 0.01);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng{17};
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent{21};
+  Rng child = parent.fork();
+  // Child stream should not replay the parent stream.
+  Rng parent2{21};
+  (void)parent2.next_u64();  // same position as parent after fork
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (child.next_u64() == parent2.next_u64());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(EventQueue, ExecutesInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(3.0, [&] { order.push_back(3); });
+  q.schedule_at(1.0, [&] { order.push_back(1); });
+  q.schedule_at(2.0, [&] { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueue, FifoTieBreakAtSameTime) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  q.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, ScheduleInIsRelative) {
+  EventQueue q;
+  double fired_at = -1;
+  q.schedule_at(5.0, [&] {
+    q.schedule_in(2.5, [&] { fired_at = q.now(); });
+  });
+  q.run();
+  EXPECT_DOUBLE_EQ(fired_at, 7.5);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool fired = false;
+  const auto id = q.schedule_at(1.0, [&] { fired = true; });
+  EXPECT_TRUE(q.cancel(id));
+  q.run();
+  EXPECT_FALSE(fired);
+  EXPECT_FALSE(q.cancel(id));  // double-cancel is a no-op
+}
+
+TEST(EventQueue, RunUntilStopsAndAdvancesClock) {
+  EventQueue q;
+  int count = 0;
+  q.schedule_at(1.0, [&] { ++count; });
+  q.schedule_at(2.0, [&] { ++count; });
+  q.schedule_at(10.0, [&] { ++count; });
+  const auto executed = q.run_until(5.0);
+  EXPECT_EQ(executed, 2u);
+  EXPECT_EQ(count, 2);
+  EXPECT_DOUBLE_EQ(q.now(), 5.0);
+  EXPECT_FALSE(q.empty());
+}
+
+TEST(EventQueue, SchedulingInThePastThrows) {
+  EventQueue q;
+  q.schedule_at(4.0, [] {});
+  q.run();
+  EXPECT_THROW(q.schedule_at(1.0, [] {}), std::invalid_argument);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  EventQueue q;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 5) q.schedule_in(1.0, chain);
+  };
+  q.schedule_at(0.0, chain);
+  q.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_DOUBLE_EQ(q.now(), 4.0);
+}
+
+TEST(EventQueue, PendingCountTracksCancellations) {
+  EventQueue q;
+  const auto a = q.schedule_at(1.0, [] {});
+  q.schedule_at(2.0, [] {});
+  EXPECT_EQ(q.pending(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_FALSE(q.empty());
+  q.run();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(Stats, RunningStatsBasics) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Stats, PercentilesInterpolate) {
+  Percentiles p{{1.0, 2.0, 3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(p.at(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(p.at(1.0), 4.0);
+  EXPECT_DOUBLE_EQ(p.median(), 2.5);
+  EXPECT_DOUBLE_EQ(p.cdf(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(p.cdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(p.cdf(100.0), 1.0);
+}
+
+TEST(Stats, HistogramBinsAndClamps) {
+  Histogram h{0.0, 10.0, 10};
+  h.add(0.5);
+  h.add(9.5);
+  h.add(-1.0);   // clamps to first bin
+  h.add(100.0);  // clamps to last bin
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(9), 2u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(9), 10.0);
+}
+
+TEST(Units, DbConversionsRoundTrip) {
+  using namespace arachnet::sim;
+  EXPECT_NEAR(db_to_linear(3.0103), 2.0, 1e-3);
+  EXPECT_NEAR(linear_to_db(100.0), 20.0, 1e-9);
+  EXPECT_NEAR(db_to_amplitude(6.0206), 2.0, 1e-3);
+  EXPECT_NEAR(amplitude_to_db(10.0), 20.0, 1e-9);
+  for (double db : {-30.0, -3.0, 0.0, 3.0, 17.0}) {
+    EXPECT_NEAR(linear_to_db(db_to_linear(db)), db, 1e-9);
+  }
+}
+
+
+TEST(Linalg, SolvesSmallSystems) {
+  using arachnet::sim::Matrix;
+  Matrix a{2, 2};
+  a.at(0, 0) = 2.0; a.at(0, 1) = 1.0;
+  a.at(1, 0) = 1.0; a.at(1, 1) = 3.0;
+  const auto x = arachnet::sim::solve(a, {5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Linalg, PivotsWhenLeadingZero) {
+  using arachnet::sim::Matrix;
+  Matrix a{2, 2};
+  a.at(0, 0) = 0.0; a.at(0, 1) = 1.0;
+  a.at(1, 0) = 1.0; a.at(1, 1) = 0.0;
+  const auto x = arachnet::sim::solve(a, {2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Linalg, IdentitySolvesToRhs) {
+  const auto x =
+      arachnet::sim::solve(arachnet::sim::Matrix::identity(4),
+                           {1.0, 2.0, 3.0, 4.0});
+  for (int i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(x[static_cast<std::size_t>(i)], i + 1.0);
+}
+
+TEST(Linalg, SingularMatrixThrows) {
+  using arachnet::sim::Matrix;
+  Matrix a{2, 2};
+  a.at(0, 0) = 1.0; a.at(0, 1) = 2.0;
+  a.at(1, 0) = 2.0; a.at(1, 1) = 4.0;
+  EXPECT_THROW(arachnet::sim::solve(a, {1.0, 2.0}), std::runtime_error);
+}
+
+TEST(Linalg, RandomSystemRoundTrip) {
+  using arachnet::sim::Matrix;
+  arachnet::sim::Rng rng{55};
+  const std::size_t n = 20;
+  Matrix a{n, n};
+  std::vector<double> x_true(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    x_true[r] = rng.normal();
+    for (std::size_t c = 0; c < n; ++c) a.at(r, c) = rng.normal();
+    a.at(r, r) += 5.0;  // keep it comfortably nonsingular
+  }
+  std::vector<double> b(n, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) b[r] += a.at(r, c) * x_true[c];
+  }
+  const auto x = arachnet::sim::solve(a, b);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-9);
+}
+
+}  // namespace
