@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appendix_c.dir/bench_appendix_c.cpp.o"
+  "CMakeFiles/bench_appendix_c.dir/bench_appendix_c.cpp.o.d"
+  "bench_appendix_c"
+  "bench_appendix_c.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appendix_c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

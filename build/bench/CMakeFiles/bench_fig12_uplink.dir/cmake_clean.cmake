@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_uplink.dir/bench_fig12_uplink.cpp.o"
+  "CMakeFiles/bench_fig12_uplink.dir/bench_fig12_uplink.cpp.o.d"
+  "bench_fig12_uplink"
+  "bench_fig12_uplink.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_uplink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_downlink.dir/bench_fig13_downlink.cpp.o"
+  "CMakeFiles/bench_fig13_downlink.dir/bench_fig13_downlink.cpp.o.d"
+  "bench_fig13_downlink"
+  "bench_fig13_downlink.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_downlink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_longrun.dir/bench_fig16_longrun.cpp.o"
+  "CMakeFiles/bench_fig16_longrun.dir/bench_fig16_longrun.cpp.o.d"
+  "bench_fig16_longrun"
+  "bench_fig16_longrun.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_longrun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_strain.dir/bench_fig17_strain.cpp.o"
+  "CMakeFiles/bench_fig17_strain.dir/bench_fig17_strain.cpp.o.d"
+  "bench_fig17_strain"
+  "bench_fig17_strain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_strain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

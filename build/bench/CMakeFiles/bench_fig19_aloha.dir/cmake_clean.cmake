@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_aloha.dir/bench_fig19_aloha.cpp.o"
+  "CMakeFiles/bench_fig19_aloha.dir/bench_fig19_aloha.cpp.o.d"
+  "bench_fig19_aloha"
+  "bench_fig19_aloha.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_aloha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

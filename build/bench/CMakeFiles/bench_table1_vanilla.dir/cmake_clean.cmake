@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_vanilla.dir/bench_table1_vanilla.cpp.o"
+  "CMakeFiles/bench_table1_vanilla.dir/bench_table1_vanilla.cpp.o.d"
+  "bench_table1_vanilla"
+  "bench_table1_vanilla.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_vanilla.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

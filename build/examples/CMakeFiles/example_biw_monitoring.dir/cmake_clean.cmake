@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_biw_monitoring.dir/biw_monitoring.cpp.o"
+  "CMakeFiles/example_biw_monitoring.dir/biw_monitoring.cpp.o.d"
+  "example_biw_monitoring"
+  "example_biw_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_biw_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_convergence_playground.dir/convergence_playground.cpp.o"
+  "CMakeFiles/example_convergence_playground.dir/convergence_playground.cpp.o.d"
+  "example_convergence_playground"
+  "example_convergence_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_convergence_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

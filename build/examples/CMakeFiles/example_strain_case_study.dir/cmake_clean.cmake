@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_strain_case_study.dir/strain_case_study.cpp.o"
+  "CMakeFiles/example_strain_case_study.dir/strain_case_study.cpp.o.d"
+  "example_strain_case_study"
+  "example_strain_case_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_strain_case_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

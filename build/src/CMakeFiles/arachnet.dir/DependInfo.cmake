@@ -1,0 +1,69 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arachnet/acoustic/biw_graph.cpp" "src/CMakeFiles/arachnet.dir/arachnet/acoustic/biw_graph.cpp.o" "gcc" "src/CMakeFiles/arachnet.dir/arachnet/acoustic/biw_graph.cpp.o.d"
+  "/root/repo/src/arachnet/acoustic/deployment.cpp" "src/CMakeFiles/arachnet.dir/arachnet/acoustic/deployment.cpp.o" "gcc" "src/CMakeFiles/arachnet.dir/arachnet/acoustic/deployment.cpp.o.d"
+  "/root/repo/src/arachnet/acoustic/link_model.cpp" "src/CMakeFiles/arachnet.dir/arachnet/acoustic/link_model.cpp.o" "gcc" "src/CMakeFiles/arachnet.dir/arachnet/acoustic/link_model.cpp.o.d"
+  "/root/repo/src/arachnet/acoustic/waveform_channel.cpp" "src/CMakeFiles/arachnet.dir/arachnet/acoustic/waveform_channel.cpp.o" "gcc" "src/CMakeFiles/arachnet.dir/arachnet/acoustic/waveform_channel.cpp.o.d"
+  "/root/repo/src/arachnet/core/experiment_configs.cpp" "src/CMakeFiles/arachnet.dir/arachnet/core/experiment_configs.cpp.o" "gcc" "src/CMakeFiles/arachnet.dir/arachnet/core/experiment_configs.cpp.o.d"
+  "/root/repo/src/arachnet/core/markov_theory.cpp" "src/CMakeFiles/arachnet.dir/arachnet/core/markov_theory.cpp.o" "gcc" "src/CMakeFiles/arachnet.dir/arachnet/core/markov_theory.cpp.o.d"
+  "/root/repo/src/arachnet/core/protocol.cpp" "src/CMakeFiles/arachnet.dir/arachnet/core/protocol.cpp.o" "gcc" "src/CMakeFiles/arachnet.dir/arachnet/core/protocol.cpp.o.d"
+  "/root/repo/src/arachnet/core/reader_controller.cpp" "src/CMakeFiles/arachnet.dir/arachnet/core/reader_controller.cpp.o" "gcc" "src/CMakeFiles/arachnet.dir/arachnet/core/reader_controller.cpp.o.d"
+  "/root/repo/src/arachnet/core/slot_network.cpp" "src/CMakeFiles/arachnet.dir/arachnet/core/slot_network.cpp.o" "gcc" "src/CMakeFiles/arachnet.dir/arachnet/core/slot_network.cpp.o.d"
+  "/root/repo/src/arachnet/core/tag_firmware.cpp" "src/CMakeFiles/arachnet.dir/arachnet/core/tag_firmware.cpp.o" "gcc" "src/CMakeFiles/arachnet.dir/arachnet/core/tag_firmware.cpp.o.d"
+  "/root/repo/src/arachnet/core/tag_state_machine.cpp" "src/CMakeFiles/arachnet.dir/arachnet/core/tag_state_machine.cpp.o" "gcc" "src/CMakeFiles/arachnet.dir/arachnet/core/tag_state_machine.cpp.o.d"
+  "/root/repo/src/arachnet/dsp/cluster.cpp" "src/CMakeFiles/arachnet.dir/arachnet/dsp/cluster.cpp.o" "gcc" "src/CMakeFiles/arachnet.dir/arachnet/dsp/cluster.cpp.o.d"
+  "/root/repo/src/arachnet/dsp/ddc.cpp" "src/CMakeFiles/arachnet.dir/arachnet/dsp/ddc.cpp.o" "gcc" "src/CMakeFiles/arachnet.dir/arachnet/dsp/ddc.cpp.o.d"
+  "/root/repo/src/arachnet/dsp/fft.cpp" "src/CMakeFiles/arachnet.dir/arachnet/dsp/fft.cpp.o" "gcc" "src/CMakeFiles/arachnet.dir/arachnet/dsp/fft.cpp.o.d"
+  "/root/repo/src/arachnet/dsp/fir.cpp" "src/CMakeFiles/arachnet.dir/arachnet/dsp/fir.cpp.o" "gcc" "src/CMakeFiles/arachnet.dir/arachnet/dsp/fir.cpp.o.d"
+  "/root/repo/src/arachnet/dsp/psd.cpp" "src/CMakeFiles/arachnet.dir/arachnet/dsp/psd.cpp.o" "gcc" "src/CMakeFiles/arachnet.dir/arachnet/dsp/psd.cpp.o.d"
+  "/root/repo/src/arachnet/dsp/schmitt.cpp" "src/CMakeFiles/arachnet.dir/arachnet/dsp/schmitt.cpp.o" "gcc" "src/CMakeFiles/arachnet.dir/arachnet/dsp/schmitt.cpp.o.d"
+  "/root/repo/src/arachnet/dsp/slicer.cpp" "src/CMakeFiles/arachnet.dir/arachnet/dsp/slicer.cpp.o" "gcc" "src/CMakeFiles/arachnet.dir/arachnet/dsp/slicer.cpp.o.d"
+  "/root/repo/src/arachnet/energy/ambient.cpp" "src/CMakeFiles/arachnet.dir/arachnet/energy/ambient.cpp.o" "gcc" "src/CMakeFiles/arachnet.dir/arachnet/energy/ambient.cpp.o.d"
+  "/root/repo/src/arachnet/energy/cutoff.cpp" "src/CMakeFiles/arachnet.dir/arachnet/energy/cutoff.cpp.o" "gcc" "src/CMakeFiles/arachnet.dir/arachnet/energy/cutoff.cpp.o.d"
+  "/root/repo/src/arachnet/energy/diode.cpp" "src/CMakeFiles/arachnet.dir/arachnet/energy/diode.cpp.o" "gcc" "src/CMakeFiles/arachnet.dir/arachnet/energy/diode.cpp.o.d"
+  "/root/repo/src/arachnet/energy/harvester.cpp" "src/CMakeFiles/arachnet.dir/arachnet/energy/harvester.cpp.o" "gcc" "src/CMakeFiles/arachnet.dir/arachnet/energy/harvester.cpp.o.d"
+  "/root/repo/src/arachnet/energy/multiplier.cpp" "src/CMakeFiles/arachnet.dir/arachnet/energy/multiplier.cpp.o" "gcc" "src/CMakeFiles/arachnet.dir/arachnet/energy/multiplier.cpp.o.d"
+  "/root/repo/src/arachnet/energy/supercap.cpp" "src/CMakeFiles/arachnet.dir/arachnet/energy/supercap.cpp.o" "gcc" "src/CMakeFiles/arachnet.dir/arachnet/energy/supercap.cpp.o.d"
+  "/root/repo/src/arachnet/energy/tag_power.cpp" "src/CMakeFiles/arachnet.dir/arachnet/energy/tag_power.cpp.o" "gcc" "src/CMakeFiles/arachnet.dir/arachnet/energy/tag_power.cpp.o.d"
+  "/root/repo/src/arachnet/mcu/dl_demodulator.cpp" "src/CMakeFiles/arachnet.dir/arachnet/mcu/dl_demodulator.cpp.o" "gcc" "src/CMakeFiles/arachnet.dir/arachnet/mcu/dl_demodulator.cpp.o.d"
+  "/root/repo/src/arachnet/mcu/envelope_frontend.cpp" "src/CMakeFiles/arachnet.dir/arachnet/mcu/envelope_frontend.cpp.o" "gcc" "src/CMakeFiles/arachnet.dir/arachnet/mcu/envelope_frontend.cpp.o.d"
+  "/root/repo/src/arachnet/mcu/msp430.cpp" "src/CMakeFiles/arachnet.dir/arachnet/mcu/msp430.cpp.o" "gcc" "src/CMakeFiles/arachnet.dir/arachnet/mcu/msp430.cpp.o.d"
+  "/root/repo/src/arachnet/mcu/vlo_clock.cpp" "src/CMakeFiles/arachnet.dir/arachnet/mcu/vlo_clock.cpp.o" "gcc" "src/CMakeFiles/arachnet.dir/arachnet/mcu/vlo_clock.cpp.o.d"
+  "/root/repo/src/arachnet/net/aloha.cpp" "src/CMakeFiles/arachnet.dir/arachnet/net/aloha.cpp.o" "gcc" "src/CMakeFiles/arachnet.dir/arachnet/net/aloha.cpp.o.d"
+  "/root/repo/src/arachnet/net/vanilla.cpp" "src/CMakeFiles/arachnet.dir/arachnet/net/vanilla.cpp.o" "gcc" "src/CMakeFiles/arachnet.dir/arachnet/net/vanilla.cpp.o.d"
+  "/root/repo/src/arachnet/phy/bits.cpp" "src/CMakeFiles/arachnet.dir/arachnet/phy/bits.cpp.o" "gcc" "src/CMakeFiles/arachnet.dir/arachnet/phy/bits.cpp.o.d"
+  "/root/repo/src/arachnet/phy/crc.cpp" "src/CMakeFiles/arachnet.dir/arachnet/phy/crc.cpp.o" "gcc" "src/CMakeFiles/arachnet.dir/arachnet/phy/crc.cpp.o.d"
+  "/root/repo/src/arachnet/phy/fm0.cpp" "src/CMakeFiles/arachnet.dir/arachnet/phy/fm0.cpp.o" "gcc" "src/CMakeFiles/arachnet.dir/arachnet/phy/fm0.cpp.o.d"
+  "/root/repo/src/arachnet/phy/framer.cpp" "src/CMakeFiles/arachnet.dir/arachnet/phy/framer.cpp.o" "gcc" "src/CMakeFiles/arachnet.dir/arachnet/phy/framer.cpp.o.d"
+  "/root/repo/src/arachnet/phy/packet.cpp" "src/CMakeFiles/arachnet.dir/arachnet/phy/packet.cpp.o" "gcc" "src/CMakeFiles/arachnet.dir/arachnet/phy/packet.cpp.o.d"
+  "/root/repo/src/arachnet/phy/pam4.cpp" "src/CMakeFiles/arachnet.dir/arachnet/phy/pam4.cpp.o" "gcc" "src/CMakeFiles/arachnet.dir/arachnet/phy/pam4.cpp.o.d"
+  "/root/repo/src/arachnet/phy/pie.cpp" "src/CMakeFiles/arachnet.dir/arachnet/phy/pie.cpp.o" "gcc" "src/CMakeFiles/arachnet.dir/arachnet/phy/pie.cpp.o.d"
+  "/root/repo/src/arachnet/phy/subcarrier.cpp" "src/CMakeFiles/arachnet.dir/arachnet/phy/subcarrier.cpp.o" "gcc" "src/CMakeFiles/arachnet.dir/arachnet/phy/subcarrier.cpp.o.d"
+  "/root/repo/src/arachnet/pzt/transducer.cpp" "src/CMakeFiles/arachnet.dir/arachnet/pzt/transducer.cpp.o" "gcc" "src/CMakeFiles/arachnet.dir/arachnet/pzt/transducer.cpp.o.d"
+  "/root/repo/src/arachnet/reader/dl_tx.cpp" "src/CMakeFiles/arachnet.dir/arachnet/reader/dl_tx.cpp.o" "gcc" "src/CMakeFiles/arachnet.dir/arachnet/reader/dl_tx.cpp.o.d"
+  "/root/repo/src/arachnet/reader/fdma_rx.cpp" "src/CMakeFiles/arachnet.dir/arachnet/reader/fdma_rx.cpp.o" "gcc" "src/CMakeFiles/arachnet.dir/arachnet/reader/fdma_rx.cpp.o.d"
+  "/root/repo/src/arachnet/reader/fm0_stream_decoder.cpp" "src/CMakeFiles/arachnet.dir/arachnet/reader/fm0_stream_decoder.cpp.o" "gcc" "src/CMakeFiles/arachnet.dir/arachnet/reader/fm0_stream_decoder.cpp.o.d"
+  "/root/repo/src/arachnet/reader/pam4_rx.cpp" "src/CMakeFiles/arachnet.dir/arachnet/reader/pam4_rx.cpp.o" "gcc" "src/CMakeFiles/arachnet.dir/arachnet/reader/pam4_rx.cpp.o.d"
+  "/root/repo/src/arachnet/reader/realtime_reader.cpp" "src/CMakeFiles/arachnet.dir/arachnet/reader/realtime_reader.cpp.o" "gcc" "src/CMakeFiles/arachnet.dir/arachnet/reader/realtime_reader.cpp.o.d"
+  "/root/repo/src/arachnet/reader/rx_chain.cpp" "src/CMakeFiles/arachnet.dir/arachnet/reader/rx_chain.cpp.o" "gcc" "src/CMakeFiles/arachnet.dir/arachnet/reader/rx_chain.cpp.o.d"
+  "/root/repo/src/arachnet/sensing/strain.cpp" "src/CMakeFiles/arachnet.dir/arachnet/sensing/strain.cpp.o" "gcc" "src/CMakeFiles/arachnet.dir/arachnet/sensing/strain.cpp.o.d"
+  "/root/repo/src/arachnet/sim/event_queue.cpp" "src/CMakeFiles/arachnet.dir/arachnet/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/arachnet.dir/arachnet/sim/event_queue.cpp.o.d"
+  "/root/repo/src/arachnet/sim/linalg.cpp" "src/CMakeFiles/arachnet.dir/arachnet/sim/linalg.cpp.o" "gcc" "src/CMakeFiles/arachnet.dir/arachnet/sim/linalg.cpp.o.d"
+  "/root/repo/src/arachnet/sim/rng.cpp" "src/CMakeFiles/arachnet.dir/arachnet/sim/rng.cpp.o" "gcc" "src/CMakeFiles/arachnet.dir/arachnet/sim/rng.cpp.o.d"
+  "/root/repo/src/arachnet/sim/stats.cpp" "src/CMakeFiles/arachnet.dir/arachnet/sim/stats.cpp.o" "gcc" "src/CMakeFiles/arachnet.dir/arachnet/sim/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+src/CMakeFiles/arachnet.dir/arachnet/energy/cutoff.cpp.o: \
+ /root/repo/src/arachnet/energy/cutoff.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/arachnet/energy/cutoff.hpp

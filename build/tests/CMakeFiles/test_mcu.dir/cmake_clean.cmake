@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mcu.dir/test_mcu.cpp.o"
+  "CMakeFiles/test_mcu.dir/test_mcu.cpp.o.d"
+  "test_mcu"
+  "test_mcu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mcu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
