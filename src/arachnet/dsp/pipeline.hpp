@@ -1,13 +1,119 @@
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "arachnet/dsp/ring_buffer.hpp"
 
 namespace arachnet::dsp {
+
+/// Persistent fork/join worker pool for data-parallel stages.
+///
+/// `run(n, fn)` executes fn(0) .. fn(n-1) across the pool's threads plus
+/// the calling thread, returning once all indices completed. Threads are
+/// spawned once and parked between calls, so per-block dispatch overhead
+/// stays in the microseconds — suitable for the reader's per-sample-block
+/// channel fan-out. Indices are claimed from a shared atomic counter, so
+/// uneven per-index cost self-balances.
+///
+/// `run` is not reentrant and must always be called from one thread at a
+/// time (the FDMA bank calls it from its processing thread only).
+class WorkerPool {
+ public:
+  /// `threads` is the number of *extra* worker threads; 0 makes run()
+  /// execute inline on the caller.
+  explicit WorkerPool(std::size_t threads) {
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ~WorkerPool() {
+    {
+      std::lock_guard lock{mutex_};
+      stop_ = true;
+    }
+    work_ready_.notify_all();
+    for (auto& t : workers_) t.join();
+  }
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  void run(std::size_t n, const std::function<void(std::size_t)>& fn) {
+    if (workers_.empty() || n <= 1) {
+      for (std::size_t i = 0; i < n; ++i) fn(i);
+      return;
+    }
+    {
+      std::lock_guard lock{mutex_};
+      task_ = &fn;
+      task_count_ = n;
+      done_ = 0;
+      next_.store(0, std::memory_order_relaxed);
+      ++epoch_;
+    }
+    work_ready_.notify_all();
+    const std::size_t finished = claim_and_execute(fn, n);
+    std::unique_lock lock{mutex_};
+    done_ += finished;
+    work_done_.wait(lock, [&] { return done_ >= task_count_; });
+    task_ = nullptr;
+  }
+
+  std::size_t thread_count() const noexcept { return workers_.size(); }
+
+ private:
+  std::size_t claim_and_execute(const std::function<void(std::size_t)>& fn,
+                                std::size_t n) {
+    std::size_t finished = 0;
+    for (;;) {
+      const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      fn(i);
+      ++finished;
+    }
+    return finished;
+  }
+
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    std::unique_lock lock{mutex_};
+    for (;;) {
+      work_ready_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+      if (stop_) return;
+      seen = epoch_;
+      const auto* task = task_;
+      const std::size_t count = task_count_;
+      lock.unlock();
+      // task_ may already be null if the epoch completed before this
+      // worker woke; next_ >= count then, so nothing is dereferenced.
+      std::size_t finished = 0;
+      if (task != nullptr) finished = claim_and_execute(*task, count);
+      lock.lock();
+      done_ += finished;
+      if (done_ >= task_count_) work_done_.notify_all();
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  std::vector<std::thread> workers_;
+  const std::function<void(std::size_t)>* task_ = nullptr;  // guarded by mutex_
+  std::size_t task_count_ = 0;
+  std::size_t done_ = 0;
+  std::uint64_t epoch_ = 0;
+  bool stop_ = false;
+  std::atomic<std::size_t> next_{0};
+};
 
 /// A two-stage threaded pipeline segment: consumes items of type In from an
 /// input ring buffer, transforms them, and pushes items of type Out to an

@@ -4,11 +4,12 @@
 #include <cstddef>
 #include <mutex>
 #include <optional>
+#include <utility>
 #include <vector>
 
 namespace arachnet::dsp {
 
-/// Bounded single-producer/single-consumer queue with back-pressure.
+/// Bounded producer/consumer queue with back-pressure.
 ///
 /// The paper's reader software connects adjacent processing blocks with
 /// "a buffer with a back-pressure mechanism to manage data flow"
@@ -16,18 +17,23 @@ namespace arachnet::dsp {
 /// (back-pressure on the producer); `pop` blocks while it is empty.
 /// `close()` wakes everyone and makes further pushes fail and pops drain
 /// then return nullopt — the shutdown path.
+///
+/// Storage is an index-based circular array whose capacity is fixed at
+/// construction: push and pop are O(1), with no element shifting on the
+/// real-time hot path (the previous vector-backed version erased from the
+/// front, O(n) per pop).
 template <typename T>
 class RingBuffer {
  public:
   explicit RingBuffer(std::size_t capacity)
-      : capacity_(capacity == 0 ? 1 : capacity) {}
+      : slots_(capacity == 0 ? 1 : capacity) {}
 
   /// Blocking push; returns false if the buffer was closed.
   bool push(T value) {
     std::unique_lock lock{mutex_};
-    not_full_.wait(lock, [&] { return queue_.size() < capacity_ || closed_; });
+    not_full_.wait(lock, [&] { return count_ < slots_.size() || closed_; });
     if (closed_) return false;
-    queue_.push_back(std::move(value));
+    enqueue(std::move(value));
     lock.unlock();
     not_empty_.notify_one();
     return true;
@@ -37,8 +43,8 @@ class RingBuffer {
   bool try_push(T value) {
     {
       std::lock_guard lock{mutex_};
-      if (closed_ || queue_.size() >= capacity_) return false;
-      queue_.push_back(std::move(value));
+      if (closed_ || count_ >= slots_.size()) return false;
+      enqueue(std::move(value));
     }
     not_empty_.notify_one();
     return true;
@@ -47,10 +53,9 @@ class RingBuffer {
   /// Blocking pop; returns nullopt once closed and drained.
   std::optional<T> pop() {
     std::unique_lock lock{mutex_};
-    not_empty_.wait(lock, [&] { return !queue_.empty() || closed_; });
-    if (queue_.empty()) return std::nullopt;  // closed and drained
-    T value = std::move(queue_.front());
-    queue_.erase(queue_.begin());
+    not_empty_.wait(lock, [&] { return count_ > 0 || closed_; });
+    if (count_ == 0) return std::nullopt;  // closed and drained
+    std::optional<T> value = dequeue();
     lock.unlock();
     not_full_.notify_one();
     return value;
@@ -61,9 +66,8 @@ class RingBuffer {
     std::optional<T> value;
     {
       std::lock_guard lock{mutex_};
-      if (queue_.empty()) return std::nullopt;
-      value = std::move(queue_.front());
-      queue_.erase(queue_.begin());
+      if (count_ == 0) return std::nullopt;
+      value = dequeue();
     }
     not_full_.notify_one();
     return value;
@@ -86,17 +90,33 @@ class RingBuffer {
 
   std::size_t size() const {
     std::lock_guard lock{mutex_};
-    return queue_.size();
+    return count_;
   }
 
-  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t capacity() const noexcept { return slots_.size(); }
 
  private:
-  const std::size_t capacity_;
+  void enqueue(T value) {
+    std::size_t tail = head_ + count_;
+    if (tail >= slots_.size()) tail -= slots_.size();
+    slots_[tail].emplace(std::move(value));
+    ++count_;
+  }
+
+  T dequeue() {
+    T value = std::move(*slots_[head_]);
+    slots_[head_].reset();  // release the payload eagerly
+    head_ = (head_ + 1 == slots_.size()) ? 0 : head_ + 1;
+    --count_;
+    return value;
+  }
+
   mutable std::mutex mutex_;
   std::condition_variable not_full_;
   std::condition_variable not_empty_;
-  std::vector<T> queue_;
+  std::vector<std::optional<T>> slots_;  ///< circular; capacity == size()
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
   bool closed_ = false;
 };
 

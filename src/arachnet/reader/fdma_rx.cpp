@@ -1,18 +1,12 @@
 #include "arachnet/reader/fdma_rx.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 #include <stdexcept>
+#include <thread>
 
 namespace arachnet::reader {
-namespace {
-
-// Per-chip dynamics targets mirror RxChain's resolve_* helpers.
-double per_sample(double per_chip, double samples_per_chip) {
-  return 1.0 - std::pow(1.0 - per_chip, 1.0 / samples_per_chip);
-}
-
-}  // namespace
 
 FdmaRxChain::Channel::Channel(double hz, double iq_rate, double chip_rate,
                               std::vector<double> coeffs,
@@ -22,13 +16,66 @@ FdmaRxChain::Channel::Channel(double hz, double iq_rate, double chip_rate,
       nco_step(-2.0 * std::numbers::pi * hz / iq_rate),
       lpf(std::move(coeffs)),
       slicer(sp),
-      debouncer(debounce) {
-  fm0 = std::make_unique<Fm0StreamDecoder>(
-      Fm0StreamDecoder::Params{.chip_duration_s = 1.0 / chip_rate,
-                               .tolerance = 0.35},
-      [this](bool bit) { framer->push(bit); }, [this] { framer->reset(); });
-  framer = std::make_unique<phy::UlFramer>(
-      [this](const phy::UlPacket& pkt) { packets.push_back(pkt); });
+      debouncer(debounce),
+      framer([this](const phy::UlPacket& pkt) {
+        packets.push_back(pkt);
+        packet_iq_index.push_back(cursor);
+      }),
+      fm0(Fm0StreamDecoder::Params{.chip_duration_s = 1.0 / chip_rate,
+                                   .tolerance = 0.35},
+          [this](bool bit) {
+            ++bits;
+            framer.push(bit);
+          },
+          [this] { framer.reset(); }) {}
+
+void FdmaRxChain::Channel::process_block(const std::complex<double>* iq,
+                                         std::size_t n, double axis_alpha,
+                                         double iq_rate,
+                                         std::uint64_t base_index) {
+  iq_samples += n;
+  // Stage 1 (batch): shift this channel's subcarrier band to DC. The
+  // carrier leak sits at baseband DC, i.e. at -f_sc after the shift —
+  // outside the channel low-pass, so no explicit leak cancellation is
+  // needed here.
+  mixed.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::complex<double> osc{std::cos(nco_phase), std::sin(nco_phase)};
+    nco_phase += nco_step;
+    if (nco_phase < -2.0 * std::numbers::pi) {
+      nco_phase += 2.0 * std::numbers::pi;
+    }
+    mixed[i] = iq[i] * osc;
+  }
+  // Stage 2 (batch): channel low-pass over the contiguous block.
+  lpf.process(mixed.data(), mixed.data(), n);
+  // Stage 3: axis projection and the decision chain. The subcarrier
+  // fundamental flips polarity with the FM0 chip, so after the shift the
+  // chip value lives on a fixed line through the origin in the IQ plane.
+  for (std::size_t i = 0; i < n; ++i) {
+    cursor = base_index + i;
+    const std::complex<double> shifted = mixed[i];
+    pseudo_variance += axis_alpha * (shifted * shifted - pseudo_variance);
+    const double angle = 0.5 * std::arg(pseudo_variance);
+    std::complex<double> axis{std::cos(angle), std::sin(angle)};
+    if (axis.real() * prev_axis.real() + axis.imag() * prev_axis.imag() <
+        0.0) {
+      axis = -axis;
+    }
+    prev_axis = axis;
+    const double envelope =
+        shifted.real() * axis.real() + shifted.imag() * axis.imag();
+
+    const bool level = debouncer.push(slicer.push(envelope));
+    if (const auto run = runs.push(level)) {
+      fm0.push_run(static_cast<double>(run->samples) / iq_rate);
+    }
+  }
+  // Publish counters for cross-thread stats readers (block granularity).
+  pub_iq_samples.store(iq_samples, std::memory_order_relaxed);
+  pub_bits.store(bits, std::memory_order_relaxed);
+  pub_frames.store(framer.packets(), std::memory_order_relaxed);
+  pub_crc.store(framer.crc_failures(), std::memory_order_relaxed);
 }
 
 FdmaRxChain::FdmaRxChain(Params params)
@@ -36,8 +83,8 @@ FdmaRxChain::FdmaRxChain(Params params)
       ddc_([&] {
         dsp::Ddc::Params ddc = params.ddc;
         // The main down-converter must pass the highest subcarrier plus
-        // its modulation sidebands.
-        double top = 0.0;
+        // its modulation sidebands (or the provisioned headroom).
+        double top = params.max_subcarrier_hz;
         for (const auto& c : params.channels) {
           top = std::max(top, c.subcarrier_hz);
         }
@@ -49,75 +96,71 @@ FdmaRxChain::FdmaRxChain(Params params)
     throw std::invalid_argument("FdmaRxChain: no channels");
   }
   const double samples_per_chip = iq_rate_ / params_.chip_rate;
-  axis_alpha_ = per_sample(0.5, samples_per_chip);
-  for (std::size_t a = 0; a < params_.channels.size(); ++a) {
-    for (std::size_t b = a + 1; b < params_.channels.size(); ++b) {
-      if (std::abs(params_.channels[a].subcarrier_hz -
-                   params_.channels[b].subcarrier_hz) <
-          3.0 * params_.chip_rate) {
-        throw std::invalid_argument(
-            "FdmaRxChain: subcarriers closer than 3x chip rate");
-      }
-    }
-  }
-  dsp::AdaptiveSlicer::Params sp;
-  sp.floor = 0.001;
-  sp.track_alpha = per_sample(0.98, samples_per_chip);
-  sp.leak_alpha = per_sample(0.04, samples_per_chip);
-  const auto debounce = static_cast<std::size_t>(
-      std::max(1.0, 0.12 * samples_per_chip));
+  axis_alpha_ = per_sample_alpha(0.5, samples_per_chip);
+  slicer_params_.floor = 0.001;
+  slicer_params_.track_alpha = per_sample_alpha(0.98, samples_per_chip);
+  slicer_params_.leak_alpha = per_sample_alpha(0.04, samples_per_chip);
+  debounce_ =
+      static_cast<std::size_t>(std::max(1.0, 0.12 * samples_per_chip));
   // Channel low-pass: passes the FM0 main lobe, rejects the neighbour
-  // subcarrier one spacing away.
-  const auto coeffs =
-      dsp::design_lowpass(1.4 * params_.chip_rate, iq_rate_, 127);
+  // subcarrier one spacing away. The tap count scales with the IQ rate so
+  // the transition width stays ~2.2 chip rates regardless of the DDC
+  // decimation (127 taps at the default 31.25 kS/s IQ rate).
+  const auto taps = std::clamp<std::size_t>(
+      static_cast<std::size_t>(3.3 * iq_rate_ / (2.2 * params_.chip_rate)) |
+          1,
+      127, 511);
+  channel_coeffs_ = dsp::design_lowpass(1.4 * params_.chip_rate, iq_rate_,
+                                        taps);
+
+  workers_ = params_.workers;
+  if (workers_ == 0) {
+    workers_ = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  // The calling thread participates in run(), so the pool only needs
+  // workers_ - 1 extra threads.
+  pool_ = std::make_unique<dsp::WorkerPool>(workers_ - 1);
+
   for (const auto& spec : params_.channels) {
-    channels_.push_back(std::make_unique<Channel>(
-        spec.subcarrier_hz, iq_rate_, params_.chip_rate, coeffs, sp,
-        debounce));
+    validate_subcarrier(spec.subcarrier_hz);
+    channels_.push_back(make_channel(spec.subcarrier_hz));
   }
 }
 
-void FdmaRxChain::on_iq(std::complex<double> iq) {
-  ++iq_index_;
-  for (auto& ch : channels_) {
-    // Shift the channel's subcarrier band to DC. The carrier leak sits at
-    // baseband DC, i.e. at -f_sc after the shift — outside the channel
-    // low-pass, so no explicit leak cancellation is needed here.
-    const std::complex<double> osc{std::cos(ch->nco_phase),
-                                   std::sin(ch->nco_phase)};
-    ch->nco_phase += ch->nco_step;
-    if (ch->nco_phase < -2.0 * std::numbers::pi) {
-      ch->nco_phase += 2.0 * std::numbers::pi;
-    }
-    const auto shifted = ch->lpf.push(iq * osc);
+std::unique_ptr<FdmaRxChain::Channel> FdmaRxChain::make_channel(
+    double subcarrier_hz) const {
+  return std::make_unique<Channel>(subcarrier_hz, iq_rate_,
+                                   params_.chip_rate, channel_coeffs_,
+                                   slicer_params_, debounce_);
+}
 
-    // Axis projection: the subcarrier fundamental flips polarity with the
-    // FM0 chip, so after the shift the chip value lives on a fixed line
-    // through the origin in the IQ plane.
-    ch->pseudo_variance +=
-        axis_alpha_ * (shifted * shifted - ch->pseudo_variance);
-    const double angle = 0.5 * std::arg(ch->pseudo_variance);
-    std::complex<double> axis{std::cos(angle), std::sin(angle)};
-    if (axis.real() * ch->prev_axis.real() +
-            axis.imag() * ch->prev_axis.imag() <
-        0.0) {
-      axis = -axis;
-    }
-    ch->prev_axis = axis;
-    const double envelope =
-        shifted.real() * axis.real() + shifted.imag() * axis.imag();
-
-    const bool level = ch->debouncer.push(ch->slicer.push(envelope));
-    if (const auto run = ch->runs.push(level)) {
-      ch->fm0->push_run(static_cast<double>(run->samples) / iq_rate_);
+void FdmaRxChain::validate_subcarrier(double hz) const {
+  if (hz + 3.0 * params_.chip_rate > ddc_.params().cutoff_hz + 1e-9) {
+    throw std::invalid_argument(
+        "FdmaRxChain: subcarrier outside the provisioned DDC passband");
+  }
+  for (const auto& ch : channels_) {
+    if (std::abs(ch->subcarrier_hz - hz) < 3.0 * params_.chip_rate) {
+      throw std::invalid_argument(
+          "FdmaRxChain: subcarriers closer than 3x chip rate");
     }
   }
+}
+
+void FdmaRxChain::add_channel(ChannelSpec spec) {
+  validate_subcarrier(spec.subcarrier_hz);
+  channels_.push_back(make_channel(spec.subcarrier_hz));
+  params_.channels.push_back(spec);
 }
 
 void FdmaRxChain::process(const std::vector<double>& samples) {
-  for (double s : samples) {
-    if (const auto iq = ddc_.push(s)) on_iq(*iq);
-  }
+  const auto iq = ddc_.process(samples);
+  if (iq.empty()) return;
+  pool_->run(channels_.size(), [&](std::size_t c) {
+    channels_[c]->process_block(iq.data(), iq.size(), axis_alpha_, iq_rate_,
+                                iq_index_);
+  });
+  iq_index_ += iq.size();
 }
 
 const std::vector<phy::UlPacket>& FdmaRxChain::packets(
@@ -125,8 +168,54 @@ const std::vector<phy::UlPacket>& FdmaRxChain::packets(
   return channels_.at(channel)->packets;
 }
 
+std::vector<RxPacket> FdmaRxChain::drain_packets() {
+  std::vector<RxPacket> merged;
+  for (std::size_t c = 0; c < channels_.size(); ++c) {
+    auto& ch = *channels_[c];
+    for (std::size_t i = ch.drained; i < ch.packets.size(); ++i) {
+      merged.push_back(RxPacket{
+          ch.packets[i],
+          static_cast<double>(ch.packet_iq_index[i]) / iq_rate_, c});
+    }
+    ch.drained = ch.packets.size();
+  }
+  // Deterministic cross-channel order: completion sample, then channel.
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const RxPacket& a, const RxPacket& b) {
+                     if (a.time_s != b.time_s) return a.time_s < b.time_s;
+                     return a.channel < b.channel;
+                   });
+  return merged;
+}
+
 void FdmaRxChain::clear_packets() {
-  for (auto& ch : channels_) ch->packets.clear();
+  for (auto& ch : channels_) {
+    ch->packets.clear();
+    ch->packet_iq_index.clear();
+    ch->drained = 0;
+  }
+}
+
+FdmaRxChain::ChannelStats FdmaRxChain::channel_stats(
+    std::size_t channel) const {
+  const auto& ch = *channels_.at(channel);
+  ChannelStats s;
+  s.subcarrier_hz = ch.subcarrier_hz;
+  s.iq_samples = ch.pub_iq_samples.load(std::memory_order_relaxed);
+  s.bits = ch.pub_bits.load(std::memory_order_relaxed);
+  s.frames_ok = ch.pub_frames.load(std::memory_order_relaxed);
+  s.crc_failures = ch.pub_crc.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::vector<FdmaRxChain::ChannelStats> FdmaRxChain::all_channel_stats()
+    const {
+  std::vector<ChannelStats> all;
+  all.reserve(channels_.size());
+  for (std::size_t c = 0; c < channels_.size(); ++c) {
+    all.push_back(channel_stats(c));
+  }
+  return all;
 }
 
 }  // namespace arachnet::reader

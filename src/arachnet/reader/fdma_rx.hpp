@@ -1,16 +1,20 @@
 #pragma once
 
+#include <atomic>
 #include <complex>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "arachnet/dsp/ddc.hpp"
 #include "arachnet/dsp/fir.hpp"
+#include "arachnet/dsp/pipeline.hpp"
 #include "arachnet/dsp/schmitt.hpp"
 #include "arachnet/dsp/slicer.hpp"
 #include "arachnet/phy/framer.hpp"
 #include "arachnet/phy/packet.hpp"
 #include "arachnet/reader/fm0_stream_decoder.hpp"
+#include "arachnet/reader/rx_chain.hpp"
 
 namespace arachnet::reader {
 
@@ -21,61 +25,138 @@ namespace arachnet::reader {
 /// filters it against the neighbours, and runs the usual
 /// slicer -> FM0 -> framer chain. Tags on different subcarriers decode
 /// simultaneously — the paper's FDMA extension path (Sec. 6.3).
+///
+/// Threading model: the main DDC runs on the calling thread, then each
+/// sample block fans out across a persistent dsp::WorkerPool with one task
+/// per channel. Channels are pinned on the heap and never share mutable
+/// state, so the parallel bank is bit-identical to the sequential one
+/// (`Params::workers = 1`); decoded packets merge deterministically by
+/// (completion sample, channel index) via drain_packets().
 class FdmaRxChain {
  public:
   struct ChannelSpec {
     double subcarrier_hz = 3000.0;
   };
 
+  /// Per-channel decode counters (monotonic since construction). Safe to
+  /// read from any thread; values are published at block granularity.
+  struct ChannelStats {
+    double subcarrier_hz = 0.0;
+    std::uint64_t iq_samples = 0;    ///< baseband samples through the channel
+    std::uint64_t bits = 0;          ///< FM0 bits recovered (pre-framing)
+    std::uint64_t frames_ok = 0;     ///< CRC-valid packets
+    std::uint64_t crc_failures = 0;  ///< framed bodies that failed CRC
+  };
+
   struct Params {
     dsp::Ddc::Params ddc{};   ///< cutoff must cover the highest subcarrier
     double chip_rate = phy::kDefaultUlRawBitRate;
     std::vector<ChannelSpec> channels;
+    /// Worker threads for the per-block channel fan-out. 0 = auto (one per
+    /// hardware thread); 1 = strictly sequential on the calling thread.
+    std::size_t workers = 0;
+    /// When nonzero, the main down-converter passband is provisioned for
+    /// this subcarrier instead of the highest initial channel, leaving
+    /// headroom for add_channel() to place channels above the initial set.
+    double max_subcarrier_hz = 0.0;
   };
 
   explicit FdmaRxChain(Params params);
 
-  /// Processes raw DAQ samples.
+  /// Adds a subcarrier channel at runtime (e.g. when a new tag is
+  /// commissioned). Validates spacing against the existing bank and that
+  /// the subcarrier fits the provisioned down-converter passband. Existing
+  /// channels keep their DSP state: each channel is pinned on the heap, so
+  /// growing the bank past the channel list's capacity cannot invalidate
+  /// the decoder callbacks (the regression behind this API).
+  void add_channel(ChannelSpec spec);
+
+  /// Processes raw DAQ samples. Not reentrant: one processing thread at a
+  /// time (the worker fan-out happens internally).
   void process(const std::vector<double>& samples);
 
   /// Packets decoded on channel `i` so far.
   const std::vector<phy::UlPacket>& packets(std::size_t channel) const;
 
-  /// Clears decoded packets on all channels.
+  /// Drains packets decoded since the last drain, merged across channels
+  /// in a deterministic order: by the IQ sample at which the packet
+  /// completed, then by channel index. Independent of worker scheduling.
+  std::vector<RxPacket> drain_packets();
+
+  /// Clears decoded packets on all channels (and the drain cursors).
   void clear_packets();
 
+  /// Thread-safe snapshot of one channel's counters.
+  ChannelStats channel_stats(std::size_t channel) const;
+
+  /// Snapshots of all channels, in channel order.
+  std::vector<ChannelStats> all_channel_stats() const;
+
   std::size_t channel_count() const noexcept { return channels_.size(); }
+
+  /// Threads used for the channel fan-out (1 = sequential).
+  std::size_t worker_count() const noexcept { return workers_; }
 
   const Params& params() const noexcept { return params_; }
 
  private:
+  /// One subcarrier's full decode state. Pinned: the fm0/framer callbacks
+  /// capture `this`, so the object is heap-allocated and must never be
+  /// copied or moved — enforced by deleting both (construction in
+  /// make_channel() is the only way to obtain one).
   struct Channel {
+    Channel(double hz, double iq_rate, double chip_rate,
+            std::vector<double> coeffs, dsp::AdaptiveSlicer::Params sp,
+            std::size_t debounce);
+    Channel(const Channel&) = delete;
+    Channel& operator=(const Channel&) = delete;
+
+    /// Runs NCO mix -> FIR -> axis projection -> slicer -> FM0 -> framer
+    /// over a contiguous IQ block. `base_index` is the absolute IQ index
+    /// of `iq[0]` (for packet timestamps and the deterministic merge).
+    void process_block(const std::complex<double>* iq, std::size_t n,
+                       double axis_alpha, double iq_rate,
+                       std::uint64_t base_index);
+
     double subcarrier_hz;
     double nco_phase = 0.0;
     double nco_step = 0.0;
     dsp::FirFilter<std::complex<double>> lpf;
+    std::vector<std::complex<double>> mixed;  ///< per-block scratch
     std::complex<double> pseudo_variance{0.0, 0.0};
     std::complex<double> prev_axis{1.0, 0.0};
     dsp::AdaptiveSlicer slicer;
     dsp::Debouncer debouncer;
     dsp::RunLengthEncoder runs;
-    std::unique_ptr<Fm0StreamDecoder> fm0;
-    std::unique_ptr<phy::UlFramer> framer;
+    phy::UlFramer framer;
+    Fm0StreamDecoder fm0;
     std::vector<phy::UlPacket> packets;
-
-    Channel(double hz, double iq_rate, double chip_rate,
-            std::vector<double> coeffs, dsp::AdaptiveSlicer::Params sp,
-            std::size_t debounce);
+    std::vector<std::uint64_t> packet_iq_index;  ///< parallel to `packets`
+    std::size_t drained = 0;          ///< drain_packets() cursor
+    std::uint64_t cursor = 0;         ///< absolute IQ index being decoded
+    std::uint64_t iq_samples = 0;     ///< working counter (decode thread)
+    std::uint64_t bits = 0;           ///< working counter (decode thread)
+    // Published at block granularity for cross-thread stats readers.
+    std::atomic<std::uint64_t> pub_iq_samples{0};
+    std::atomic<std::uint64_t> pub_bits{0};
+    std::atomic<std::uint64_t> pub_frames{0};
+    std::atomic<std::uint64_t> pub_crc{0};
   };
 
-  void on_iq(std::complex<double> iq);
+  std::unique_ptr<Channel> make_channel(double subcarrier_hz) const;
+  void validate_subcarrier(double hz) const;
 
   Params params_;
   dsp::Ddc ddc_;
   double iq_rate_;
   double axis_alpha_;
+  std::vector<double> channel_coeffs_;
+  dsp::AdaptiveSlicer::Params slicer_params_{};
+  std::size_t debounce_ = 1;
+  std::size_t workers_ = 1;
+  std::unique_ptr<dsp::WorkerPool> pool_;
   std::vector<std::unique_ptr<Channel>> channels_;
-  std::size_t iq_index_ = 0;
+  std::uint64_t iq_index_ = 0;  ///< absolute IQ samples produced so far
 };
 
 }  // namespace arachnet::reader

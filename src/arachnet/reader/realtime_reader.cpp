@@ -5,6 +5,8 @@ namespace arachnet::reader {
 RealtimeReader::RealtimeReader(Params params)
     : params_(params),
       chain_(params.chain),
+      fdma_(params.fdma ? std::make_unique<FdmaRxChain>(*params.fdma)
+                        : nullptr),
       input_(params.input_capacity),
       output_(params.output_capacity) {}
 
@@ -18,6 +20,14 @@ void RealtimeReader::start() {
 
 void RealtimeReader::worker_loop() {
   while (auto block = input_.pop()) {
+    if (fdma_) {
+      fdma_->process(*block);
+      samples_processed_.fetch_add(block->size(), std::memory_order_relaxed);
+      for (auto& pkt : fdma_->drain_packets()) {
+        output_.push(std::move(pkt));
+      }
+      continue;
+    }
     if (resync_requested_.exchange(false)) chain_.resync();
     chain_.process(*block);
     samples_processed_.fetch_add(block->size(), std::memory_order_relaxed);
@@ -27,6 +37,9 @@ void RealtimeReader::worker_loop() {
       output_.push(packets[packets_emitted_]);
       ++packets_emitted_;
     }
+    chain_bits_.store(chain_.bits_decoded(), std::memory_order_relaxed);
+    chain_frames_.store(packets.size(), std::memory_order_relaxed);
+    chain_crc_.store(chain_.crc_failures(), std::memory_order_relaxed);
   }
   output_.close();
 }
@@ -46,6 +59,26 @@ std::optional<RxPacket> RealtimeReader::wait_packet() {
 void RealtimeReader::stop() {
   input_.close();
   if (worker_.joinable()) worker_.join();
+}
+
+RealtimeReader::Stats RealtimeReader::stats() const {
+  Stats s;
+  s.samples_processed = samples_processed();
+  s.input_depth = input_.size();
+  s.input_capacity = input_.capacity();
+  s.output_depth = output_.size();
+  if (fdma_) {
+    s.channels = fdma_->all_channel_stats();
+  } else {
+    FdmaRxChain::ChannelStats ch;
+    ch.subcarrier_hz = 0.0;  // baseband OOK, no subcarrier
+    ch.iq_samples = 0;
+    ch.bits = chain_bits_.load(std::memory_order_relaxed);
+    ch.frames_ok = chain_frames_.load(std::memory_order_relaxed);
+    ch.crc_failures = chain_crc_.load(std::memory_order_relaxed);
+    s.channels.push_back(ch);
+  }
+  return s;
 }
 
 }  // namespace arachnet::reader

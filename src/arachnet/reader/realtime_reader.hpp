@@ -2,10 +2,12 @@
 
 #include <atomic>
 #include <memory>
+#include <optional>
 #include <thread>
 #include <vector>
 
 #include "arachnet/dsp/ring_buffer.hpp"
+#include "arachnet/reader/fdma_rx.hpp"
 #include "arachnet/reader/rx_chain.hpp"
 
 namespace arachnet::reader {
@@ -15,14 +17,32 @@ namespace arachnet::reader {
 /// that outruns the DSP), a worker thread runs the receive chain, and
 /// decoded packets stream out through a second buffer — the architecture
 /// the paper describes for its real-time reader software (Sec. 6.1).
+///
+/// Two chain modes share the same submit/poll surface:
+///  - single-channel (default): the slotted RxChain, packets on channel 0;
+///  - FDMA bank (Params::fdma set): the multi-subcarrier FdmaRxChain, whose
+///    worker-pool fan-out parallelizes the per-channel DSP inside the
+///    reader's DSP thread; packets carry their channel index.
 class RealtimeReader {
  public:
   using Block = std::vector<double>;
 
   struct Params {
     RxChain::Params chain{};
+    /// When set, run the FDMA subcarrier bank instead of the single chain.
+    std::optional<FdmaRxChain::Params> fdma{};
     std::size_t input_capacity = 8;    ///< blocks in flight
     std::size_t output_capacity = 256; ///< decoded packets buffered
+  };
+
+  /// Live counters: queue depths plus per-channel decode statistics
+  /// (one entry per FDMA channel; a single entry in single-channel mode).
+  struct Stats {
+    std::uint64_t samples_processed = 0;
+    std::size_t input_depth = 0;   ///< raw blocks waiting for the DSP
+    std::size_t input_capacity = 0;
+    std::size_t output_depth = 0;  ///< decoded packets not yet fetched
+    std::vector<FdmaRxChain::ChannelStats> channels;
   };
 
   explicit RealtimeReader(Params params);
@@ -44,7 +64,9 @@ class RealtimeReader {
   /// Blocking fetch; nullopt once stopped and drained.
   std::optional<RxPacket> wait_packet();
 
-  /// Closes the input, drains the worker, and joins it.
+  /// Closes the input, drains the worker, and joins it. Blocks already
+  /// accepted by submit() are still fully processed and their packets
+  /// remain fetchable — shutdown loses nothing before the close point.
   void stop();
 
   /// Raw samples processed so far (worker-side).
@@ -52,8 +74,11 @@ class RealtimeReader {
     return samples_processed_.load(std::memory_order_relaxed);
   }
 
+  /// Thread-safe snapshot of queue depths and per-channel counters.
+  Stats stats() const;
+
   /// Requests a slot-boundary resync (applied by the worker before the
-  /// next block).
+  /// next block; single-channel mode only — the FDMA bank free-runs).
   void request_resync() { resync_requested_.store(true); }
 
  private:
@@ -61,11 +86,16 @@ class RealtimeReader {
 
   Params params_;
   RxChain chain_;
+  std::unique_ptr<FdmaRxChain> fdma_;
   dsp::RingBuffer<Block> input_;
   dsp::RingBuffer<RxPacket> output_;
   std::thread worker_;
   std::atomic<std::uint64_t> samples_processed_{0};
   std::atomic<bool> resync_requested_{false};
+  // Single-channel counters, published by the worker at block granularity.
+  std::atomic<std::uint64_t> chain_bits_{0};
+  std::atomic<std::uint64_t> chain_frames_{0};
+  std::atomic<std::uint64_t> chain_crc_{0};
   std::size_t packets_emitted_ = 0;
   bool started_ = false;
 };

@@ -16,6 +16,10 @@ dsp::Ddc::Params resolve_ddc(const RxChain::Params& p) {
 
 }  // namespace
 
+double per_sample_alpha(double per_chip, double samples_per_chip) {
+  return 1.0 - std::pow(1.0 - per_chip, 1.0 / samples_per_chip);
+}
+
 dsp::AdaptiveSlicer::Params resolve_slicer(const RxChain::Params& p) {
   dsp::AdaptiveSlicer::Params slicer = p.slicer;
   if (p.auto_bandwidth) {
@@ -28,11 +32,8 @@ dsp::AdaptiveSlicer::Params resolve_slicer(const RxChain::Params& p) {
     const double iq_rate =
         p.ddc.sample_rate_hz / static_cast<double>(p.ddc.decimation);
     const double samples_per_chip = iq_rate / p.chip_rate;
-    const auto per_sample = [&](double per_chip) {
-      return 1.0 - std::pow(1.0 - per_chip, 1.0 / samples_per_chip);
-    };
-    slicer.track_alpha = per_sample(0.98);
-    slicer.leak_alpha = per_sample(0.04);
+    slicer.track_alpha = per_sample_alpha(0.98, samples_per_chip);
+    slicer.leak_alpha = per_sample_alpha(0.04, samples_per_chip);
   }
   return slicer;
 }
@@ -49,17 +50,15 @@ double resolve_leak_alpha(const RxChain::Params& p) {
   if (!p.auto_bandwidth) return p.leak_ema_alpha;
   const double iq_rate =
       p.ddc.sample_rate_hz / static_cast<double>(p.ddc.decimation);
-  const double samples_per_chip = iq_rate / p.chip_rate;
-  return 1.0 - std::pow(1.0 - p.leak_ema_alpha, 1.0 / samples_per_chip);
+  return per_sample_alpha(p.leak_ema_alpha, iq_rate / p.chip_rate);
 }
 
 double resolve_axis_alpha(const RxChain::Params& p) {
   if (!p.auto_bandwidth) return p.axis_ema_alpha;
   const double iq_rate =
       p.ddc.sample_rate_hz / static_cast<double>(p.ddc.decimation);
-  const double samples_per_chip = iq_rate / p.chip_rate;
   // ~50% convergence per chip: locks within the pilot at every rate.
-  return 1.0 - std::pow(0.5, 1.0 / samples_per_chip);
+  return per_sample_alpha(0.5, iq_rate / p.chip_rate);
 }
 
 RxChain::RxChain(Params params)
@@ -71,7 +70,11 @@ RxChain::RxChain(Params params)
       leak_alpha_(resolve_leak_alpha(params)),
       fm0_(Fm0StreamDecoder::Params{.chip_duration_s = 1.0 / params.chip_rate,
                                     .tolerance = 0.35},
-           /*on_bit=*/[this](bool bit) { framer_.push(bit); },
+           /*on_bit=*/
+           [this](bool bit) {
+             ++bits_decoded_;
+             framer_.push(bit);
+           },
            /*on_desync=*/[this] { framer_.reset(); }),
       framer_([this](const phy::UlPacket& pkt) {
         packets_.push_back(RxPacket{

@@ -2,6 +2,7 @@
 
 #include <complex>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "arachnet/dsp/cluster.hpp"
@@ -19,8 +20,16 @@ namespace arachnet::reader {
 /// A decoded uplink packet with its arrival time.
 struct RxPacket {
   phy::UlPacket packet;
-  double time_s = 0.0;  ///< time of the last sample of the packet
+  double time_s = 0.0;     ///< time of the last sample of the packet
+  std::size_t channel = 0; ///< FDMA subcarrier channel (0 for the single-
+                           ///< channel chain)
 };
+
+/// Converts a per-chip dynamics target (e.g. "98% level acquisition per
+/// chip") into the per-sample EMA alpha that achieves it at
+/// `samples_per_chip`. Shared by RxChain's resolve_* helpers and the FDMA
+/// bank so the two chains cannot drift apart.
+double per_sample_alpha(double per_chip, double samples_per_chip);
 
 /// The reader's uplink receive chain — the paper's real-time software path
 /// (Sec. 6.1): down conversion -> low-pass filtering and decimation ->
@@ -76,6 +85,9 @@ class RxChain {
   /// CRC failures observed by the framer.
   std::size_t crc_failures() const noexcept { return framer_.crc_failures(); }
 
+  /// FM0 bits recovered so far (pre-framing).
+  std::uint64_t bits_decoded() const noexcept { return bits_decoded_; }
+
   /// Decimated IQ points accumulated since the last clear — input to the
   /// IQ-cluster collision detector.
   const std::vector<std::complex<double>>& iq_points() const noexcept {
@@ -113,6 +125,7 @@ class RxChain {
   Fm0StreamDecoder fm0_;
   phy::UlFramer framer_;
   std::vector<RxPacket> packets_;
+  std::uint64_t bits_decoded_ = 0;
   std::vector<std::complex<double>> iq_points_;
   std::size_t sample_count_ = 0;
   std::size_t iq_sample_index_ = 0;

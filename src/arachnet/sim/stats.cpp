@@ -63,11 +63,21 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 
 void Histogram::add(double x) noexcept {
   ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
   const double t = (x - lo_) / (hi_ - lo_);
-  auto idx = static_cast<std::ptrdiff_t>(t * static_cast<double>(counts_.size()));
-  idx = std::clamp<std::ptrdiff_t>(idx, 0,
-                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
-  ++counts_[static_cast<std::size_t>(idx)];
+  auto idx =
+      static_cast<std::size_t>(t * static_cast<double>(counts_.size()));
+  // x just below hi_ can still round onto counts_.size() — keep it in the
+  // top bin.
+  if (idx >= counts_.size()) idx = counts_.size() - 1;
+  ++counts_[idx];
 }
 
 double Histogram::bin_lo(std::size_t i) const noexcept {

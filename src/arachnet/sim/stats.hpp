@@ -45,6 +45,11 @@ class Percentiles {
 };
 
 /// Fixed-bin histogram for simple terminal output in the benches.
+///
+/// Samples outside [lo, hi) are counted as underflow/overflow rather than
+/// clamped into the edge bins: clamping silently corrupted the tail bins
+/// in long-run benches, hiding exactly the outliers a histogram is meant
+/// to expose.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
@@ -53,12 +58,21 @@ class Histogram {
   std::size_t bins() const noexcept { return counts_.size(); }
   double bin_lo(std::size_t i) const noexcept;
   double bin_hi(std::size_t i) const noexcept;
+  /// All samples seen, including out-of-range ones.
   std::size_t total() const noexcept { return total_; }
+  /// Samples below lo / at-or-above hi, kept out of the edge bins.
+  std::size_t underflow() const noexcept { return underflow_; }
+  std::size_t overflow() const noexcept { return overflow_; }
+  std::size_t in_range() const noexcept {
+    return total_ - underflow_ - overflow_;
+  }
 
  private:
   double lo_, hi_;
   std::vector<std::size_t> counts_;
   std::size_t total_ = 0;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
 };
 
 }  // namespace arachnet::sim

@@ -2,6 +2,7 @@
 // event queue ordering, cancellation, and time semantics.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
 #include "arachnet/sim/event_queue.hpp"
@@ -201,17 +202,31 @@ TEST(Stats, PercentilesInterpolate) {
   EXPECT_DOUBLE_EQ(p.cdf(100.0), 1.0);
 }
 
-TEST(Stats, HistogramBinsAndClamps) {
+TEST(Stats, HistogramBinsAndOutOfRangeCounters) {
   Histogram h{0.0, 10.0, 10};
   h.add(0.5);
   h.add(9.5);
-  h.add(-1.0);   // clamps to first bin
-  h.add(100.0);  // clamps to last bin
-  EXPECT_EQ(h.bin_count(0), 2u);
-  EXPECT_EQ(h.bin_count(9), 2u);
+  h.add(-1.0);   // underflow: must NOT land in the first bin
+  h.add(100.0);  // overflow: must NOT land in the last bin
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(9), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
   EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.in_range(), 2u);
   EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
   EXPECT_DOUBLE_EQ(h.bin_hi(9), 10.0);
+}
+
+TEST(Stats, HistogramEdgeSemantics) {
+  Histogram h{0.0, 10.0, 10};
+  h.add(0.0);                          // lo is inclusive
+  h.add(10.0);                         // hi is exclusive -> overflow
+  h.add(std::nextafter(10.0, 0.0));    // just inside -> top bin
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(9), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.underflow(), 0u);
 }
 
 TEST(Units, DbConversionsRoundTrip) {
