@@ -3,6 +3,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -19,8 +20,13 @@ namespace arachnet::dsp {
 /// the calling thread, returning once all indices completed. Threads are
 /// spawned once and parked between calls, so per-block dispatch overhead
 /// stays in the microseconds — suitable for the reader's per-sample-block
-/// channel fan-out. Indices are claimed from a shared atomic counter, so
-/// uneven per-index cost self-balances.
+/// channel fan-out. Indices are claimed from a shared epoch-tagged ticket,
+/// so uneven per-index cost self-balances and a worker that oversleeps one
+/// dispatch can never claim (or execute) indices of a later one.
+///
+/// If fn throws, the remaining indices still execute; the first exception
+/// is captured and rethrown by run() on the calling thread, leaving the
+/// pool reusable.
 ///
 /// `run` is not reentrant and must always be called from one thread at a
 /// time (the FDMA bank calls it from its processing thread only).
@@ -48,37 +54,78 @@ class WorkerPool {
   WorkerPool& operator=(const WorkerPool&) = delete;
 
   void run(std::size_t n, const std::function<void(std::size_t)>& fn) {
-    if (workers_.empty() || n <= 1) {
+    if (workers_.empty() || n <= 1 || n > kIndexMask) {
       for (std::size_t i = 0; i < n; ++i) fn(i);
       return;
     }
+    std::uint64_t epoch;
     {
       std::lock_guard lock{mutex_};
-      task_ = &fn;
+      // Stored by value: a stale worker can at worst read a live member,
+      // never a dangling pointer to the caller's temporary.
+      task_ = fn;
       task_count_ = n;
       done_ = 0;
-      next_.store(0, std::memory_order_relaxed);
-      ++epoch_;
+      epoch = ++epoch_;
+      // Published after task_ is in place; a successful claim on this
+      // ticket value acquire-synchronizes with this release store.
+      ticket_.store(pack(epoch, 0), std::memory_order_release);
     }
     work_ready_.notify_all();
-    const std::size_t finished = claim_and_execute(fn, n);
+    const std::size_t finished = claim_and_execute(epoch, n);
     std::unique_lock lock{mutex_};
     done_ += finished;
     work_done_.wait(lock, [&] { return done_ >= task_count_; });
     task_ = nullptr;
+    if (error_) {
+      auto err = error_;
+      error_ = nullptr;
+      lock.unlock();
+      std::rethrow_exception(err);
+    }
   }
 
   std::size_t thread_count() const noexcept { return workers_.size(); }
 
  private:
-  std::size_t claim_and_execute(const std::function<void(std::size_t)>& fn,
-                                std::size_t n) {
+  // The ticket packs (epoch, next index) into one atomic word so claiming
+  // is epoch-safe: a compare-exchange only succeeds while the ticket still
+  // carries the claimer's epoch. Without the tag, a worker preempted
+  // between waking for epoch N and its first claim could steal indices of
+  // epoch N+1 while executing epoch N's task (the dispatch it overslept
+  // having completed meanwhile). The epoch tag is truncated to 32 bits; a
+  // stale claim would additionally need the worker to sleep across exactly
+  // 2^32 dispatches, which at microseconds each cannot line up in practice.
+  static constexpr std::uint64_t kIndexBits = 32;
+  static constexpr std::uint64_t kIndexMask = (std::uint64_t{1} << kIndexBits) - 1;
+
+  static constexpr std::uint64_t pack(std::uint64_t epoch, std::uint64_t index) {
+    return (epoch << kIndexBits) | index;
+  }
+
+  /// Claims and executes indices for `epoch` until the ticket runs out of
+  /// indices or moves to a newer epoch. Returns how many were executed.
+  std::size_t claim_and_execute(std::uint64_t epoch, std::size_t n) {
+    const std::uint64_t tag = pack(epoch, 0) & ~kIndexMask;
     std::size_t finished = 0;
+    std::uint64_t cur = ticket_.load(std::memory_order_acquire);
     for (;;) {
-      const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) break;
-      fn(i);
+      if ((cur & ~kIndexMask) != tag) break;  // superseded by a newer dispatch
+      const std::uint64_t index = cur & kIndexMask;
+      if (index >= n) break;  // every index of this epoch already claimed
+      if (!ticket_.compare_exchange_weak(cur, cur + 1,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
+        continue;  // cur reloaded by the failed exchange
+      }
+      try {
+        task_(static_cast<std::size_t>(index));
+      } catch (...) {
+        std::lock_guard lock{mutex_};
+        if (!error_) error_ = std::current_exception();
+      }
       ++finished;
+      cur = ticket_.load(std::memory_order_acquire);
     }
     return finished;
   }
@@ -90,14 +137,12 @@ class WorkerPool {
       work_ready_.wait(lock, [&] { return stop_ || epoch_ != seen; });
       if (stop_) return;
       seen = epoch_;
-      const auto* task = task_;
       const std::size_t count = task_count_;
       lock.unlock();
-      // task_ may already be null if the epoch completed before this
-      // worker woke; next_ >= count then, so nothing is dereferenced.
-      std::size_t finished = 0;
-      if (task != nullptr) finished = claim_and_execute(*task, count);
+      const std::size_t finished = claim_and_execute(seen, count);
       lock.lock();
+      // finished > 0 implies run(seen) is still waiting on done_, so this
+      // credit can never leak into a later epoch's completion count.
       done_ += finished;
       if (done_ >= task_count_) work_done_.notify_all();
     }
@@ -107,12 +152,13 @@ class WorkerPool {
   std::condition_variable work_ready_;
   std::condition_variable work_done_;
   std::vector<std::thread> workers_;
-  const std::function<void(std::size_t)>* task_ = nullptr;  // guarded by mutex_
+  std::function<void(std::size_t)> task_;  // guarded by mutex_ for writes
   std::size_t task_count_ = 0;
   std::size_t done_ = 0;
   std::uint64_t epoch_ = 0;
   bool stop_ = false;
-  std::atomic<std::size_t> next_{0};
+  std::exception_ptr error_;  // first fn exception; guarded by mutex_
+  std::atomic<std::uint64_t> ticket_{0};
 };
 
 /// A two-stage threaded pipeline segment: consumes items of type In from an

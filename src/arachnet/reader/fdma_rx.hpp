@@ -69,6 +69,12 @@ class FdmaRxChain {
   /// channels keep their DSP state: each channel is pinned on the heap, so
   /// growing the bank past the channel list's capacity cannot invalidate
   /// the decoder callbacks (the regression behind this API).
+  ///
+  /// Not thread-safe: like process(), this mutates the channel list and
+  /// must not run concurrently with process(), drain_packets(), packets(),
+  /// or the channel_stats() readers. When the chain is owned by a
+  /// RealtimeReader (which processes on its worker thread), stop the
+  /// reader — or otherwise serialize against its worker — before calling.
   void add_channel(ChannelSpec spec);
 
   /// Processes raw DAQ samples. Not reentrant: one processing thread at a

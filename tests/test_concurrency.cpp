@@ -6,9 +6,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <numeric>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -128,6 +130,45 @@ TEST(WorkerPool, ZeroThreadsRunsInline) {
   std::vector<int> order;
   pool.run(4, [&](std::size_t i) { order.push_back(static_cast<int>(i)); });
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(WorkerPool, BackToBackDispatchesNeverLeakAcrossEpochs) {
+  // Regression for the stale-worker epoch race: with more workers than
+  // indices and back-to-back dispatches, a worker that wakes for round r
+  // but is preempted before its first claim must not steal indices of
+  // round r+1 (it would execute round r's already-destroyed task). Each
+  // round targets a fresh stack array, so a cross-epoch claim shows up as
+  // a missed index in the current round.
+  dsp::WorkerPool pool{4};
+  constexpr int kRounds = 4000;
+  constexpr std::size_t kN = 2;  // caller claims most; workers oversleep
+  for (int r = 0; r < kRounds; ++r) {
+    std::array<std::atomic<int>, kN> hits{};
+    pool.run(kN, [&hits](std::size_t i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "round " << r << " index " << i;
+    }
+  }
+}
+
+TEST(WorkerPool, TaskExceptionRethrownOnCallerAndPoolStaysUsable) {
+  dsp::WorkerPool pool{2};
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.run(8,
+                        [&](std::size_t i) {
+                          if (i == 3) throw std::runtime_error{"boom"};
+                          ran.fetch_add(1, std::memory_order_relaxed);
+                        }),
+               std::runtime_error);
+  // The throwing index is still credited; the other seven executed.
+  EXPECT_EQ(ran.load(), 7);
+  // Epoch/completion state must be left consistent for the next dispatch.
+  std::atomic<int> after{0};
+  pool.run(5,
+           [&](std::size_t) { after.fetch_add(1, std::memory_order_relaxed); });
+  EXPECT_EQ(after.load(), 5);
 }
 
 // ----------------------------------------------- FDMA parallel parity
