@@ -10,6 +10,8 @@
 #include "arachnet/core/experiment_configs.hpp"
 #include "arachnet/sim/stats.hpp"
 
+#include "bench_report.hpp"
+
 using namespace arachnet;
 using core::SlotNetwork;
 
@@ -58,6 +60,8 @@ LongRun long_run(SlotNetwork::Params base) {
 
 int main(int argc, char** argv) {
   const int seeds = argc > 1 ? std::atoi(argv[1]) : 15;
+  arachnet::bench::Report report{"ablation_protocol"};
+  char name[64];
 
   std::printf("=== Ablation 1: NACK threshold N (Sec. 5.3; paper uses 3) ===\n\n");
   std::printf("%-4s %18s %18s %12s %12s\n", "N", "conv med (c3)",
@@ -70,6 +74,10 @@ int main(int argc, char** argv) {
     const auto lr = long_run(p);
     std::printf("%-4d %18.0f %18.0f %12.3f %12.3f\n", n, c3, c5, lr.non_empty,
                 lr.collision);
+    std::snprintf(name, sizeof(name), "nack%d.conv_med_c3_slots", n);
+    report.metric(name, c3, "slots");
+    std::snprintf(name, sizeof(name), "nack%d.collision", n);
+    report.metric(name, lr.collision);
   }
   std::printf("\nsmall N: settled tags give up their slots too eagerly after\n"
               "stray NACKs; large N: colliding pairs take longer to break.\n\n");
@@ -84,6 +92,8 @@ int main(int argc, char** argv) {
     const auto lr = long_run(p);
     std::printf("%-9.2f %18.0f %12.3f %12.3f\n", cap, c3, lr.non_empty,
                 lr.collision);
+    std::snprintf(name, sizeof(name), "capture%g.conv_med_c3_slots", cap);
+    report.metric(name, c3, "slots");
   }
   std::printf("\nthe cluster detector NACKs capture decodes during\n"
               "collisions, so capture strength barely matters — the check\n"
@@ -99,6 +109,8 @@ int main(int argc, char** argv) {
     const auto lr = long_run(p);
     std::printf("%-12.2f %18.0f %12.3f %12.3f\n", det, c3, lr.non_empty,
                 lr.collision);
+    std::snprintf(name, sizeof(name), "detect%g.collision", det);
+    report.metric(name, lr.collision);
   }
   std::printf("\nmissed collisions get falsely ACKed, settling two tags into\n"
               "the same slot; efficiency degrades steadily below ~95%%.\n\n");
@@ -121,6 +133,7 @@ int main(int argc, char** argv) {
          p.reader.future_collision_avoidance = false;
        }},
   };
+  int variant_idx = 0;
   for (const auto& v : variants) {
     SlotNetwork::Params p;
     v.mutate(p);
@@ -128,6 +141,9 @@ int main(int argc, char** argv) {
     const auto lr = long_run(p);
     std::printf("%-36s %18.0f %12.3f %12.3f\n", v.name, c3, lr.non_empty,
                 lr.collision);
+    std::snprintf(name, sizeof(name), "variant%d.conv_med_c3_slots",
+                  variant_idx++);
+    report.metric(name, c3, "slots");
   }
   std::printf("\nnote: EMPTY gating applies to newly *activated* tags, so a\n"
               "RESET-based measurement shows no difference; its effect is\n"

@@ -9,6 +9,8 @@
 #include "arachnet/core/markov_theory.hpp"
 #include "arachnet/core/slot_network.hpp"
 
+#include "bench_report.hpp"
+
 using namespace arachnet::core;
 
 namespace {
@@ -44,6 +46,8 @@ double simulate_mean(const std::vector<int>& periods, int runs) {
 }  // namespace
 
 int main() {
+  arachnet::bench::Report report{"appendix_c"};
+  char name[64];
   std::printf("=== Appendix C: Convergence, Exactly ===\n\n");
   std::printf("state = (slot phase, per-tag {MIGRATE/SETTLE, offset, NACK "
               "counter}); N = 3\n\n");
@@ -64,13 +68,20 @@ int main() {
     std::printf("%-12s %8zu %10zu %10s", label, mk.state_count(),
                 mk.absorbing_count(),
                 mk.is_absorbing_chain() ? "yes" : "NO");
+    std::snprintf(name, sizeof(name), "p%s.absorbing_chain", label);
+    report.gauge(name, mk.is_absorbing_chain() ? 1.0 : 0.0);
     if (big) {
       // Fundamental-matrix solve is cubic; skip E[T] for the largest case.
       std::printf(" %14s", "(skipped)");
     } else {
       std::printf(" %14.2f", mk.expected_absorption_time());
+      std::snprintf(name, sizeof(name), "p%s.theory_et_slots", label);
+      report.metric(name, mk.expected_absorption_time(), "slots");
     }
-    std::printf(" %16.2f\n", simulate_mean(periods, 800));
+    const double sim_mean = simulate_mean(periods, 800);
+    std::printf(" %16.2f\n", sim_mean);
+    std::snprintf(name, sizeof(name), "p%s.sim_mean_slots", label);
+    report.metric(name, sim_mean, "slots");
   }
 
   std::printf("\nTheorem 4 verified state-by-state: from EVERY reachable\n"

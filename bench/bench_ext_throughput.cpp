@@ -21,6 +21,8 @@
 #include "arachnet/reader/rx_chain.hpp"
 #include "arachnet/sim/stats.hpp"
 
+#include "bench_report.hpp"
+
 using namespace arachnet;
 
 namespace {
@@ -44,24 +46,10 @@ double run_bank(reader::FdmaRxChain& bank,
   return std::chrono::duration<double>(clock::now() - t0).count();
 }
 
-void print_histogram(const sim::Histogram& h, const char* title) {
-  std::printf("%s (n=%zu, underflow=%zu, overflow=%zu)\n", title, h.total(),
-              h.underflow(), h.overflow());
-  for (std::size_t i = 0; i < h.bins(); ++i) {
-    std::printf("  [%5.1f, %5.1f) ms %6zu ", h.bin_lo(i), h.bin_hi(i),
-                h.bin_count(i));
-    const std::size_t stars =
-        h.in_range() ? 40 * h.bin_count(i) / std::max<std::size_t>(
-                                                1, h.in_range())
-                     : 0;
-    for (std::size_t s = 0; s < stars; ++s) std::printf("*");
-    std::printf("\n");
-  }
-}
-
 }  // namespace
 
 int main() {
+  arachnet::bench::Report report{"ext_throughput"};
   // ---------------------------------------------------------------- FDMA
   std::printf("=== Extension 1: FDMA Subcarrier Backscatter ===\n\n");
   {
@@ -103,6 +91,9 @@ int main() {
                 rounds, delivered, 2 * rounds);
     std::printf("aggregate throughput: %.1fx the single-tag TDMA slot\n",
                 delivered / static_cast<double>(rounds));
+    report.counter("fdma.delivered", static_cast<std::uint64_t>(delivered));
+    report.metric("fdma.throughput_x",
+                  delivered / static_cast<double>(rounds));
     std::printf("(baseline ARACHNET decodes at most 1 packet per slot)\n\n");
   }
 
@@ -184,12 +175,19 @@ int main() {
                 total_samples / par_s, par_pkts);
     std::printf("parallel speedup: %.2fx (parity: packets %s)\n\n",
                 seq_s / par_s, seq_pkts == par_pkts ? "equal" : "DIFFER");
+    report.metric("bank.sequential_s", seq_s, "s");
+    report.metric("bank.parallel_s", par_s, "s");
+    report.metric("bank.speedup_x", seq_s / par_s);
+    report.counter("bank.sequential_packets", seq_pkts);
+    report.counter("bank.parallel_packets", par_pkts);
+    report.histogram("bank.parallel_block_latency_ms", latency, "ms");
 
-    print_histogram(latency, "parallel per-block latency");
+    arachnet::bench::print_histogram(latency, "parallel per-block latency");
 
     std::printf("\nper-channel decode counters (parallel bank):\n");
     std::printf("%8s %12s %10s %10s %8s\n", "f_sc", "iq samples", "bits",
                 "frames", "crc-err");
+    char name[48];
     for (const auto& ch : par_bank.all_channel_stats()) {
       std::printf("%7.0f%s %12llu %10llu %10llu %8llu\n",
                   ch.subcarrier_hz, "",
@@ -197,6 +195,12 @@ int main() {
                   static_cast<unsigned long long>(ch.bits),
                   static_cast<unsigned long long>(ch.frames_ok),
                   static_cast<unsigned long long>(ch.crc_failures));
+      std::snprintf(name, sizeof(name), "bank.f%.0f.frames_ok",
+                    ch.subcarrier_hz);
+      report.counter(name, static_cast<std::uint64_t>(ch.frames_ok));
+      std::snprintf(name, sizeof(name), "bank.f%.0f.crc_failures",
+                    ch.subcarrier_hz);
+      report.counter(name, static_cast<std::uint64_t>(ch.crc_failures));
     }
     std::printf("\n");
   }

@@ -7,9 +7,12 @@
 #include "arachnet/acoustic/deployment.hpp"
 #include "arachnet/energy/harvester.hpp"
 
+#include "bench_report.hpp"
+
 using namespace arachnet;
 
 int main() {
+  arachnet::bench::Report report{"fig11_energy"};
   const auto deployment = acoustic::Deployment::onvo_l60();
 
   std::printf("=== Fig. 11(a): Amplified Voltage vs Stage Number ===\n\n");
@@ -45,7 +48,18 @@ int main() {
     std::printf("%-5d %12.2f %13.1fs %18.1f %13.1fs\n", site.tid,
                 h.amplified_voltage(), t_cold,
                 h.net_charging_power(hth) * 1e6, t_resume);
+    char name[48];
+    std::snprintf(name, sizeof(name), "tag%d.amp16_v", site.tid);
+    report.metric(name, h.amplified_voltage(), "V");
+    std::snprintf(name, sizeof(name), "tag%d.charge_cold_s", site.tid);
+    report.metric(name, t_cold, "s");
+    std::snprintf(name, sizeof(name), "tag%d.charge_resume_s", site.tid);
+    report.metric(name, t_resume, "s");
+    std::snprintf(name, sizeof(name), "tag%d.net_power_uw", site.tid);
+    report.metric(name, h.net_charging_power(hth) * 1e6, "uW");
   }
+  report.metric("charge_cold_min_s", t_min, "s");
+  report.metric("charge_cold_max_s", t_max, "s");
   std::printf("\nrange: %.1f s - %.1f s (paper: 4.5 s - 56.2 s)\n", t_min,
               t_max);
   std::printf("paper: net charging power 587.8 uW (fastest) to 47.1 uW\n"

@@ -18,6 +18,8 @@
 #include "arachnet/reader/rx_chain.hpp"
 #include "arachnet/sim/rng.hpp"
 
+#include "bench_report.hpp"
+
 using namespace arachnet;
 
 namespace {
@@ -132,13 +134,20 @@ int main(int argc, char** argv) {
   };
   const double rates[] = {93.75, 187.5, 375.0, 750.0, 1500.0, 3000.0};
 
+  arachnet::bench::Report report{"fig12_uplink"};
+  report.counter("packets_per_point", static_cast<std::uint64_t>(packets));
+
   std::printf("=== Fig. 12(a): Uplink SNR vs Bit Rate (dB) ===\n\n");
   std::printf("%-9s %8s %8s %8s\n", "rate", "Tag 8", "Tag 4", "Tag 11");
   sim::Rng rng{2025};
+  char name[48];
   for (double rate : rates) {
     std::printf("%-9.5g", rate);
     for (const auto& tag : tags) {
-      std::printf(" %8.1f", measure_snr(tag, rate, rng));
+      const double snr = measure_snr(tag, rate, rng);
+      std::printf(" %8.1f", snr);
+      std::snprintf(name, sizeof(name), "tag%d.snr_db.r%g", tag.tid, rate);
+      report.metric(name, snr, "dB");
     }
     std::printf("\n");
   }
@@ -154,6 +163,9 @@ int main(int argc, char** argv) {
     for (const auto& tag : tags) {
       const int lost = measure_loss(tag, rate, packets, rng);
       std::printf(" %8.0f", 1000.0 * lost / packets);
+      std::snprintf(name, sizeof(name), "tag%d.loss_per_1000.r%g", tag.tid,
+                    rate);
+      report.metric(name, 1000.0 * lost / packets);
     }
     std::printf("\n");
   }

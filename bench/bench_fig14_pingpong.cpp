@@ -18,9 +18,12 @@
 #include "arachnet/sim/rng.hpp"
 #include "arachnet/sim/stats.hpp"
 
+#include "bench_report.hpp"
+
 using namespace arachnet;
 
 int main() {
+  arachnet::bench::Report report{"fig14_pingpong"};
   sim::Rng rng{314};
   constexpr int kTrials = 2000;
   constexpr double kSampleRate = 500e3;
@@ -62,14 +65,16 @@ int main() {
 
   std::printf("%-22s %8s %8s %8s %8s\n", "quantity (ms)", "p50", "p90",
               "p99", "max");
-  const auto row = [](const char* name, const sim::Percentiles& p) {
-    std::printf("%-22s %8.1f %8.1f %8.1f %8.1f\n", name, p.at(0.5) * 1e3,
-                p.at(0.9) * 1e3, p.at(0.99) * 1e3, p.at(1.0) * 1e3);
-  };
-  row("stage 1 (DL tx)", p1);
-  row("stage 2 (DL end->UL)", p2);
-  row("  of which software", ps);
-  row("total ping-pong", pt);
+  arachnet::bench::print_percentile_row("stage 1 (DL tx)", p1);
+  arachnet::bench::print_percentile_row("stage 2 (DL end->UL)", p2);
+  arachnet::bench::print_percentile_row("  of which software", ps);
+  arachnet::bench::print_percentile_row("total ping-pong", pt);
+  const std::initializer_list<double> qs{0.1, 0.25, 0.5,  0.75,
+                                         0.9, 0.95, 0.99, 1.0};
+  report.percentiles("stage1_ms", p1, qs, "ms", 1e3);
+  report.percentiles("stage2_ms", p2, qs, "ms", 1e3);
+  report.percentiles("software_ms", ps, qs, "ms", 1e3);
+  report.percentiles("total_ms", pt, qs, "ms", 1e3);
 
   std::printf("\nCDF of stage 2 delay:\n");
   for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99}) {

@@ -7,10 +7,13 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <vector>
 
 #include "arachnet/core/experiment_configs.hpp"
 #include "arachnet/sim/stats.hpp"
+
+#include "bench_report.hpp"
 
 using namespace arachnet;
 using core::ExperimentConfig;
@@ -47,6 +50,20 @@ Result measure(const ExperimentConfig& cfg, int seeds) {
 
 int main(int argc, char** argv) {
   const int seeds = argc > 1 ? std::atoi(argv[1]) : 25;
+  arachnet::bench::Report report{"fig15_convergence"};
+  char name[48];
+  const auto report_cfg = [&](const char* cfg_name, const Result& r) {
+    std::snprintf(name, sizeof(name), "%s.p25_slots", cfg_name);
+    report.metric(name, r.p25, "slots");
+    std::snprintf(name, sizeof(name), "%s.median_slots", cfg_name);
+    report.metric(name, r.median, "slots");
+    std::snprintf(name, sizeof(name), "%s.p75_slots", cfg_name);
+    report.metric(name, r.p75, "slots");
+    std::snprintf(name, sizeof(name), "%s.max_slots", cfg_name);
+    report.metric(name, r.max, "slots");
+    std::snprintf(name, sizeof(name), "%s.failures", cfg_name);
+    report.counter(name, static_cast<std::uint64_t>(r.failures));
+  };
 
   std::printf("=== Table 3: Tag Transmission Patterns ===\n\n");
   std::printf("%-10s", "TX Period");
@@ -78,12 +95,13 @@ int main(int argc, char** argv) {
   std::printf("(%d seeds per configuration; slots)\n\n", seeds);
   std::printf("%-5s %8s %8s %10s %10s %10s %8s\n", "cfg", "U", "tags",
               "p25", "median", "p75", "max");
-  for (const char* name : {"c1", "c2", "c3", "c4", "c5"}) {
-    const auto& cfg = core::table3_config(name);
+  for (const char* cfg_name : {"c1", "c2", "c3", "c4", "c5"}) {
+    const auto& cfg = core::table3_config(cfg_name);
     const auto r = measure(cfg, seeds);
-    std::printf("%-5s %8.4g %8d %10.0f %10.0f %10.0f %8.0f%s\n", name,
+    std::printf("%-5s %8.4g %8d %10.0f %10.0f %10.0f %8.0f%s\n", cfg_name,
                 cfg.utilization(), cfg.tag_count(), r.p25, r.median, r.p75,
                 r.max, r.failures ? " (!)" : "");
+    report_cfg(cfg_name, r);
   }
   std::printf("\npaper: median rises from 139 (c1, U=0.38) to 1712 (c5,\n"
               "U=1.0) — convergence time grows sharply with utilization.\n\n");
@@ -91,12 +109,14 @@ int main(int argc, char** argv) {
   std::printf("=== Fig. 15(b): First Convergence Time, Fixed U = 0.75 ===\n\n");
   std::printf("%-5s %8s %8s %10s %10s %10s %8s\n", "cfg", "U", "tags",
               "p25", "median", "p75", "max");
-  for (const char* name : {"c2", "c6", "c7", "c8", "c9"}) {
-    const auto& cfg = core::table3_config(name);
+  for (const char* cfg_name : {"c2", "c6", "c7", "c8", "c9"}) {
+    const auto& cfg = core::table3_config(cfg_name);
     const auto r = measure(cfg, seeds);
-    std::printf("%-5s %8.4g %8d %10.0f %10.0f %10.0f %8.0f%s\n", name,
+    std::printf("%-5s %8.4g %8d %10.0f %10.0f %10.0f %8.0f%s\n", cfg_name,
                 cfg.utilization(), cfg.tag_count(), r.p25, r.median, r.p75,
                 r.max, r.failures ? " (!)" : "");
+    // c2 already reported in the Fig. 15(a) block above.
+    if (std::strcmp(cfg_name, "c2") != 0) report_cfg(cfg_name, r);
   }
   std::printf("\npaper: at fixed utilization the spread across period mixes\n"
               "is small — slot utilization, not the period mix, is the\n"

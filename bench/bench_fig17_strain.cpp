@@ -9,9 +9,12 @@
 #include "arachnet/sensing/strain.hpp"
 #include "arachnet/sim/rng.hpp"
 
+#include "bench_report.hpp"
+
 using namespace arachnet;
 
 int main() {
+  arachnet::bench::Report report{"fig17_strain"};
   sim::Rng rng{99};
 
   // Tags A, B, C sit at slightly different positions along the sheet, so
@@ -56,6 +59,9 @@ int main() {
   const double var_v = sum_vv / n - (sum_v / n) * (sum_v / n);
   const double corr = cov / std::sqrt(var_d * var_v);
   std::printf("\ndisplacement-voltage correlation (tag A): %.4f\n", corr);
+  report.metric("tagA.displacement_voltage_corr", corr);
+  report.metric("sample_power_mw",
+                sensing::StrainSensorModule::kSamplePowerW * 1e3, "mW");
   std::printf("\npaper: a clear correlation between voltage and displacement\n"
               "confirms the system's potential for structural health\n"
               "monitoring. The ADC+amplifier draw ~%.1f mW, so the tag takes\n"

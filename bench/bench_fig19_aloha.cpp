@@ -9,6 +9,8 @@
 #include "arachnet/energy/harvester.hpp"
 #include "arachnet/net/aloha.hpp"
 
+#include "bench_report.hpp"
+
 using namespace arachnet;
 
 int main() {
@@ -39,6 +41,12 @@ int main() {
               static_cast<long long>(stats.total_collided()));
   std::printf("overall collision-free rate: %.1f%% (paper: 34.0%%)\n",
               100.0 * stats.overall_success_rate());
+  arachnet::bench::Report report{"fig19_aloha"};
+  report.counter("total_transmissions",
+                 static_cast<std::uint64_t>(stats.total_transmissions()));
+  report.counter("total_collided",
+                 static_cast<std::uint64_t>(stats.total_collided()));
+  report.metric("overall_success_rate", stats.overall_success_rate());
   std::printf("\npaper: fast-charging tags (Tag 8, 4.5 s) transmit >11,000\n"
               "times yet collide in over 60%% of attempts; slow tags\n"
               "(Tag 11, 56.2 s) transmit rarely and still collide >70%%.\n"

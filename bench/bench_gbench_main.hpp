@@ -1,0 +1,62 @@
+#pragma once
+
+// Shared main() for the google-benchmark micro benches: runs the
+// registered benchmarks with the usual console output while capturing
+// every finished run into a BENCH_<name>.json report (arachnet.bench.v1),
+// so the micro benches emit the same machine-readable sidecar as the
+// experiment benches. Use via
+//   ARACHNET_GBENCH_MAIN("micro_dsp")
+// instead of linking benchmark_main.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_report.hpp"
+
+namespace arachnet::bench {
+
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit CaptureReporter(Report& report) : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const auto& run : runs) {
+      if (run.error_occurred) continue;
+      const std::string base = run.benchmark_name();
+      const char* unit = benchmark::GetTimeUnitString(run.time_unit);
+      report_.metric(base + ".real_time", run.GetAdjustedRealTime(), unit);
+      report_.metric(base + ".cpu_time", run.GetAdjustedCPUTime(), unit);
+      if (run.iterations > 0) {
+        report_.counter(base + ".iterations",
+                        static_cast<std::uint64_t>(run.iterations));
+      }
+      for (const auto& [name, counter] : run.counters) {
+        report_.metric(base + "." + name, counter.value);
+      }
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  Report& report_;
+};
+
+inline int run_gbench_main(const char* bench_name, int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  Report report{bench_name};
+  CaptureReporter reporter{report};
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace arachnet::bench
+
+#define ARACHNET_GBENCH_MAIN(bench_name_)                    \
+  int main(int argc, char** argv) {                          \
+    return ::arachnet::bench::run_gbench_main(bench_name_,   \
+                                              argc, argv);   \
+  }

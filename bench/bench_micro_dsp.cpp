@@ -170,3 +170,6 @@ static void BM_AdaptiveSlicer(benchmark::State& state) {
                           static_cast<int64_t>(env.size()));
 }
 BENCHMARK(BM_AdaptiveSlicer);
+
+#include "bench_gbench_main.hpp"
+ARACHNET_GBENCH_MAIN("micro_dsp")

@@ -78,3 +78,6 @@ static void BM_Aloha1000s(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Aloha1000s);
+
+#include "bench_gbench_main.hpp"
+ARACHNET_GBENCH_MAIN("micro_protocol")

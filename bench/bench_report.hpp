@@ -1,0 +1,135 @@
+#pragma once
+
+// Shared bench reporting. Two halves:
+//  - Report: machine-readable sidecar. Every bench creates one and feeds
+//    it the numbers it prints; on destruction the report is written as
+//    BENCH_<name>.json — JSON lines in the arachnet.bench.v1 schema (see
+//    src/arachnet/telemetry/export.hpp), one self-describing record per
+//    line. Destination directory is the working directory, overridable
+//    with the ARACHNET_BENCH_DIR environment variable.
+//  - Terminal helpers shared by the benches (histogram bars, percentile
+//    rows) so the printing and the exported numbers come from one place.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "arachnet/sim/stats.hpp"
+#include "arachnet/telemetry/export.hpp"
+#include "arachnet/telemetry/metrics.hpp"
+
+namespace arachnet::bench {
+
+class Report {
+ public:
+  explicit Report(std::string name)
+      : name_(std::move(name)),
+        exporter_(std::string{telemetry::JsonlExporter::kBenchSchema},
+                  name_) {}
+
+  ~Report() { write(); }
+
+  Report(const Report&) = delete;
+  Report& operator=(const Report&) = delete;
+
+  const std::string& name() const noexcept { return name_; }
+
+  void metric(std::string_view n, double v, std::string_view unit = "") {
+    exporter_.add_metric(n, v, unit);
+  }
+
+  void counter(std::string_view n, std::uint64_t v,
+               std::string_view unit = "") {
+    exporter_.add_counter(n, v, unit);
+  }
+
+  void gauge(std::string_view n, double v, std::string_view unit = "") {
+    exporter_.add_gauge(n, v, unit);
+  }
+
+  void percentiles(std::string_view n, const sim::Percentiles& p,
+                   std::initializer_list<double> qs,
+                   std::string_view unit = "", double scale = 1.0) {
+    std::vector<std::pair<double, double>> points;
+    points.reserve(qs.size());
+    for (double q : qs) points.emplace_back(q, p.at(q) * scale);
+    exporter_.add_percentiles(n, points, unit);
+  }
+
+  void histogram(std::string_view n, const sim::Histogram& h,
+                 std::string_view unit = "") {
+    std::vector<std::uint64_t> counts(h.bins());
+    for (std::size_t i = 0; i < h.bins(); ++i) counts[i] = h.bin_count(i);
+    const double lo = h.bins() ? h.bin_lo(0) : 0.0;
+    const double hi = h.bins() ? h.bin_hi(h.bins() - 1) : 0.0;
+    exporter_.add_histogram(n, lo, hi, counts, h.underflow(), h.overflow(),
+                            unit);
+  }
+
+  /// Dumps every metric of a registry snapshot into the report.
+  void snapshot(const telemetry::MetricsSnapshot& s) {
+    exporter_.add_snapshot(s);
+  }
+
+  /// BENCH_<name>.json in ARACHNET_BENCH_DIR (or the working directory).
+  std::string path() const {
+    std::string p;
+    if (const char* dir = std::getenv("ARACHNET_BENCH_DIR");
+        dir != nullptr && dir[0] != '\0') {
+      p = dir;
+      if (p.back() != '/') p += '/';
+    }
+    p += "BENCH_" + name_ + ".json";
+    return p;
+  }
+
+  /// Writes the sidecar (idempotent; also called by the destructor).
+  bool write() {
+    if (written_) return true;
+    written_ = true;
+    const std::string p = path();
+    if (!exporter_.write_file(p)) {
+      std::fprintf(stderr, "bench report: cannot write %s\n", p.c_str());
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  std::string name_;
+  telemetry::JsonlExporter exporter_;
+  bool written_ = false;
+};
+
+/// Terminal histogram with proportional star bars (shared by the benches;
+/// formerly private to bench_ext_throughput).
+inline void print_histogram(const sim::Histogram& h, const char* title,
+                            const char* unit = "ms") {
+  std::printf("%s (n=%zu, underflow=%zu, overflow=%zu)\n", title, h.total(),
+              h.underflow(), h.overflow());
+  for (std::size_t i = 0; i < h.bins(); ++i) {
+    std::printf("  [%5.1f, %5.1f) %s %6zu ", h.bin_lo(i), h.bin_hi(i), unit,
+                h.bin_count(i));
+    const std::size_t stars =
+        h.in_range()
+            ? 40 * h.bin_count(i) / std::max<std::size_t>(1, h.in_range())
+            : 0;
+    for (std::size_t s = 0; s < stars; ++s) std::printf("*");
+    std::printf("\n");
+  }
+}
+
+/// One `name  p50 p90 p99 max` terminal row (the Fig. 14-style layout),
+/// values scaled by `scale` (e.g. 1e3 for seconds -> ms).
+inline void print_percentile_row(const char* name, const sim::Percentiles& p,
+                                 double scale = 1.0) {
+  std::printf("%-22s %8.1f %8.1f %8.1f %8.1f\n", name, p.at(0.5) * scale,
+              p.at(0.9) * scale, p.at(0.99) * scale, p.at(1.0) * scale);
+}
+
+}  // namespace arachnet::bench

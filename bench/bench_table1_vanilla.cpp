@@ -5,8 +5,11 @@
 
 #include "arachnet/net/vanilla.hpp"
 
+#include "bench_report.hpp"
+
 int main() {
   using namespace arachnet::net;
+  arachnet::bench::Report report{"table1_vanilla"};
 
   std::printf("=== Table 1: Illustrative Slot Allocation (vanilla, Sec. 5.2) ===\n\n");
 
@@ -38,15 +41,24 @@ int main() {
   }
   std::printf("\nnon-overlapping: %s; slot utilization: %d/%zu\n",
               max_per_slot <= 1 ? "yes" : "NO", used, grid.size());
+  report.gauge("max_tags_per_slot", max_per_slot);
+  report.metric("slot_utilization",
+                static_cast<double>(used) / static_cast<double>(grid.size()));
 
   std::printf("\n--- fragility under beacon loss (motivates Sec. 5.3) ---\n");
   std::printf("%-14s %-16s %-16s\n", "beacon loss", "collision ratio",
               "non-empty ratio");
+  char name[48];
   for (double loss : {0.0, 0.001, 0.01, 0.05}) {
     VanillaSimulator sim{{.dl_loss = loss, .seed = 42}, *alloc};
     const auto stats = sim.run(50000);
     std::printf("%-14g %-16.4f %-16.4f\n", loss, stats.collision_ratio(),
                 static_cast<double>(stats.non_empty_slots) / stats.slots);
+    std::snprintf(name, sizeof(name), "collision_ratio.loss%g", loss);
+    report.metric(name, stats.collision_ratio());
+    std::snprintf(name, sizeof(name), "non_empty_ratio.loss%g", loss);
+    report.metric(name, static_cast<double>(stats.non_empty_slots) /
+                            static_cast<double>(stats.slots));
   }
   std::printf("\npaper: a single missed beacon silently shifts a tag's slot\n"
               "(Eq. 3); with no feedback the static schedule cannot recover.\n");

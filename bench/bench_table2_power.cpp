@@ -9,20 +9,28 @@
 #include "arachnet/core/tag_firmware.hpp"
 #include "arachnet/energy/tag_power.hpp"
 #include "arachnet/sim/event_queue.hpp"
+#include "arachnet/telemetry/metrics.hpp"
+
+#include "bench_report.hpp"
 
 using namespace arachnet;
 
 int main() {
+  arachnet::bench::Report report{"table2_power"};
   std::printf("=== Table 2: Tag Power Consumption in Different Modes ===\n\n");
   const energy::TagPowerModel model;
   std::printf("%-6s %14s %14s %10s %12s\n", "Mode", "MCU I (uA)",
               "Total I (uA)", "V (V)", "Power (uW)");
+  char name[48];
   for (auto mode : {energy::TagMode::kRx, energy::TagMode::kTx,
                     energy::TagMode::kIdle}) {
     std::printf("%-6s %14.1f %14.1f %10.1f %12.1f\n",
                 std::string(energy::to_string(mode)).c_str(),
                 model.mcu_current_ua(mode), model.total_current_ua(mode),
                 model.rail_voltage, model.power_uw(mode));
+    std::snprintf(name, sizeof(name), "model.%s.power_uw",
+                  std::string(energy::to_string(mode)).c_str());
+    report.metric(name, model.power_uw(mode), "uW");
   }
   std::printf("\npaper:  RX 24.8 uW | TX 51.0 uW | IDLE 7.6 uW\n");
   std::printf("interrupt-driven MCU saving vs continuous active (40-50 uA):\n");
@@ -56,7 +64,11 @@ int main() {
     queue.run_until(queue.now() + 1.0);
   }
 
-  auto& meter = fw.mcu().meter();
+  auto& meter = fw.mcu().mutable_meter();
+  // Live gauges from the co-simulated tag's power meter (bind publishes
+  // the already-accumulated totals immediately).
+  telemetry::MetricsRegistry registry;
+  meter.bind_metrics(registry, "energy.tag8");
   std::printf("activated after %.1f s; ran %.0f s of slots\n", charged_at,
               meter.total_time());
   std::printf("%-6s %12s %14s\n", "Mode", "time (s)", "energy (mJ)");
@@ -65,6 +77,12 @@ int main() {
     std::printf("%-6s %12.2f %14.4f\n",
                 std::string(energy::to_string(mode)).c_str(),
                 meter.time_in(mode), meter.energy_in(mode) * 1e3);
+    std::snprintf(name, sizeof(name), "cosim.%s.time_s",
+                  std::string(energy::to_string(mode)).c_str());
+    report.metric(name, meter.time_in(mode), "s");
+    std::snprintf(name, sizeof(name), "cosim.%s.energy_mj",
+                  std::string(energy::to_string(mode)).c_str());
+    report.metric(name, meter.energy_in(mode) * 1e3, "mJ");
   }
   std::printf("duty-cycled average power: %.1f uW\n",
               meter.average_power() * 1e6);
@@ -72,6 +90,13 @@ int main() {
               static_cast<long long>(fw.packets_sent()),
               static_cast<long long>(fw.beacons_decoded()),
               static_cast<long long>(fw.brownouts()));
+  report.metric("cosim.avg_power_uw", meter.average_power() * 1e6, "uW");
+  report.counter("packets_sent",
+                 static_cast<std::uint64_t>(fw.packets_sent()));
+  report.counter("beacons_decoded",
+                 static_cast<std::uint64_t>(fw.beacons_decoded()));
+  report.counter("brownouts", static_cast<std::uint64_t>(fw.brownouts()));
+  report.snapshot(registry.snapshot());
   std::printf("\ncontext: weakest-link net charging power is ~47.1 uW; the\n"
               "duty-cycled average must sit below it for sustained operation\n"
               "(TX alone, 51.0 uW, exceeds it — hence the interrupt-driven\n"

@@ -2,17 +2,21 @@
 //
 // Builds the reference SUV deployment, synthesizes one uplink packet from
 // Tag 8 through the acoustic channel, and decodes it with the reader's
-// receive chain — waveform in, sensor reading out.
+// threaded real-time pipeline — waveform in, sensor reading out, plus the
+// telemetry the pipeline collected along the way.
 //
 //   cmake -B build -G Ninja && cmake --build build
 //   ./build/examples/example_quickstart
+#include <algorithm>
 #include <cstdio>
+#include <sstream>
 
 #include "arachnet/acoustic/deployment.hpp"
 #include "arachnet/acoustic/waveform_channel.hpp"
 #include "arachnet/phy/fm0.hpp"
 #include "arachnet/phy/packet.hpp"
-#include "arachnet/reader/rx_chain.hpp"
+#include "arachnet/reader/realtime_reader.hpp"
+#include "arachnet/telemetry/telemetry.hpp"
 
 using namespace arachnet;
 
@@ -44,17 +48,37 @@ int main() {
   const auto waveform = synth.synthesize({source}, 0.35, rng);
   std::printf("channel: %zu samples at 500 kS/s\n", waveform.size());
 
-  // 4. The reader: down-convert, slice, FM0-decode, frame, CRC-check.
-  reader::RxChain rx{reader::RxChain::Params{}};
-  rx.process(waveform);
-  if (rx.packets().empty()) {
+  // 4. The reader: the threaded real-time pipeline (DAQ thread -> ring
+  //    buffer -> DSP worker), instrumented with a metrics registry.
+  telemetry::MetricsRegistry metrics;
+  reader::RealtimeReader::Params rp;
+  rp.metrics = &metrics;
+  reader::RealtimeReader rt{rp};
+  rt.start();
+  constexpr std::size_t kBlock = 12500;  // 25 ms DAQ blocks
+  for (std::size_t off = 0; off < waveform.size(); off += kBlock) {
+    const std::size_t len = std::min(kBlock, waveform.size() - off);
+    rt.submit({waveform.begin() + off, waveform.begin() + off + len});
+  }
+  rt.stop();
+
+  const auto rxp = rt.poll_packet();
+  if (!rxp) {
     std::printf("no packet decoded!\n");
     return 1;
   }
-  const auto& rxp = rx.packets().front();
   std::printf("reader decoded: tid=%u payload=0x%03X at t=%.3f s\n",
-              rxp.packet.tid, rxp.packet.payload, rxp.time_s);
+              rxp->packet.tid, rxp->packet.payload, rxp->time_s);
   std::printf("round trip %s\n",
-              rxp.packet == packet ? "MATCHES" : "DOES NOT MATCH");
-  return rxp.packet == packet ? 0 : 1;
+              rxp->packet == packet ? "MATCHES" : "DOES NOT MATCH");
+
+  // 5. What the pipeline saw: dump the metrics snapshot as JSON lines
+  //    (the same format the benches write to BENCH_<name>.json).
+  std::printf("\ntelemetry snapshot:\n");
+  telemetry::JsonlExporter exporter{"arachnet.metrics.v1", "quickstart"};
+  exporter.add_snapshot(metrics.snapshot());
+  std::ostringstream lines;
+  exporter.write(lines);
+  std::printf("%s", lines.str().c_str());
+  return rxp->packet == packet ? 0 : 1;
 }

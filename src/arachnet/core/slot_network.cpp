@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "arachnet/telemetry/log.hpp"
+
 namespace arachnet::core {
 
 SlotNetwork::SlotNetwork(Params params, std::vector<TagSpec> tags)
@@ -19,6 +21,13 @@ SlotNetwork::SlotNetwork(Params params, std::vector<TagSpec> tags)
   }
   // The very first beacon: nothing to acknowledge, schedule empty.
   current_beacon_ = phy::DlCommand{.ack = false, .empty = true, .reset = false};
+  if (auto* m = params_.metrics) {
+    c_empty_ = &m->counter("slot.empty");
+    c_success_ = &m->counter("slot.success");
+    c_collision_ = &m->counter("slot.collision");
+    c_lost_ = &m->counter("slot.lost");
+    h_convergence_ = &m->histogram("slot.convergence_slots", 0.0, 1024.0, 64);
+  }
 }
 
 const TagStateMachine& SlotNetwork::tag_machine(int tid) const {
@@ -72,6 +81,18 @@ SlotNetwork::SlotRecord SlotNetwork::step() {
     record.collision_detected = rng_.bernoulli(params_.collision_detect_prob);
   }
 
+  if (c_empty_ != nullptr) {
+    if (record.transmitters.empty()) {
+      c_empty_->add();
+    } else if (record.collision_truth) {
+      c_collision_->add();
+    } else if (record.decoded_tid) {
+      c_success_->add();
+    } else {
+      c_lost_->add();  // single transmitter, UL decode failed
+    }
+  }
+
   SlotObservation obs;
   obs.decoded_tid = record.decoded_tid;
   obs.collision_detected = record.collision_detected;
@@ -94,8 +115,18 @@ std::optional<std::int64_t> SlotNetwork::measure_convergence(
   step();  // slot carrying the RESET beacon out
   for (std::int64_t i = 0; i < max_slots; ++i) {
     step();
-    if (reader_.converged()) return reader_.convergence_slots();
+    if (reader_.converged()) {
+      const std::int64_t rounds = reader_.convergence_slots();
+      if (h_convergence_ != nullptr) {
+        h_convergence_->record(static_cast<double>(rounds));
+      }
+      ARACHNET_LOG_DEBUG("slot", "network converged",
+                         {"slots", rounds}, {"tags", tags_.size()});
+      return rounds;
+    }
   }
+  ARACHNET_LOG_WARN("slot", "convergence not reached",
+                    {"max_slots", max_slots}, {"tags", tags_.size()});
   return std::nullopt;
 }
 

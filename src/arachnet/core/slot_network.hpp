@@ -7,6 +7,7 @@
 #include "arachnet/core/reader_controller.hpp"
 #include "arachnet/core/tag_state_machine.hpp"
 #include "arachnet/sim/rng.hpp"
+#include "arachnet/telemetry/metrics.hpp"
 
 namespace arachnet::core {
 
@@ -41,6 +42,11 @@ class SlotNetwork {
     /// False-positive rate of the detector on clean slots.
     double false_collision_prob = 0.001;
     std::uint64_t seed = 1;
+    /// Optional metrics registry (must outlive the network). Registers
+    /// slot-outcome counters (`slot.{empty,success,collision,lost}`) and
+    /// the `slot.convergence_slots` histogram. nullptr = no
+    /// instrumentation.
+    telemetry::MetricsRegistry* metrics = nullptr;
   };
 
   /// What happened in one simulated slot.
@@ -87,6 +93,12 @@ class SlotNetwork {
   std::vector<TagRuntime> tags_;
   phy::DlCommand current_beacon_;
   std::int64_t slot_ = 0;
+  // Registry instruments (nullable; bound once in the constructor).
+  telemetry::Counter* c_empty_ = nullptr;
+  telemetry::Counter* c_success_ = nullptr;
+  telemetry::Counter* c_collision_ = nullptr;
+  telemetry::Counter* c_lost_ = nullptr;
+  telemetry::LatencyHistogram* h_convergence_ = nullptr;
 };
 
 }  // namespace arachnet::core

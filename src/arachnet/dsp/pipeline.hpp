@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "arachnet/dsp/ring_buffer.hpp"
+#include "arachnet/telemetry/metrics.hpp"
 
 namespace arachnet::dsp {
 
@@ -67,6 +68,9 @@ class WorkerPool {
       task_count_ = n;
       done_ = 0;
       epoch = ++epoch_;
+      // Plain store: made visible to workers by the release store of the
+      // ticket below (their successful acquire claim synchronizes with it).
+      if (dispatch_hist_ != nullptr) run_publish_ns_ = steady_now_ns();
       // Published after task_ is in place; a successful claim on this
       // ticket value acquire-synchronizes with this release store.
       ticket_.store(pack(epoch, 0), std::memory_order_release);
@@ -87,7 +91,22 @@ class WorkerPool {
 
   std::size_t thread_count() const noexcept { return workers_.size(); }
 
+  /// Optional dispatch-latency instrumentation: each claimed index records
+  /// the microseconds between run() publishing the work ticket and the
+  /// claim, i.e. wake-up plus queueing delay. Pass nullptr to disable
+  /// (the hot path then pays one pointer load per dispatch). Call only
+  /// while the pool is idle.
+  void set_dispatch_histogram(telemetry::LatencyHistogram* hist) noexcept {
+    dispatch_hist_ = hist;
+  }
+
  private:
+  static std::uint64_t steady_now_ns() noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
   // The ticket packs (epoch, next index) into one atomic word so claiming
   // is epoch-safe: a compare-exchange only succeeds while the ticket still
   // carries the claimer's epoch. Without the tag, a worker preempted
@@ -117,6 +136,10 @@ class WorkerPool {
                                          std::memory_order_acq_rel,
                                          std::memory_order_acquire)) {
         continue;  // cur reloaded by the failed exchange
+      }
+      if (auto* hist = dispatch_hist_; hist != nullptr) {
+        hist->record(static_cast<double>(steady_now_ns() - run_publish_ns_) *
+                     1e-3);
       }
       try {
         task_(static_cast<std::size_t>(index));
@@ -159,6 +182,8 @@ class WorkerPool {
   bool stop_ = false;
   std::exception_ptr error_;  // first fn exception; guarded by mutex_
   std::atomic<std::uint64_t> ticket_{0};
+  telemetry::LatencyHistogram* dispatch_hist_ = nullptr;
+  std::uint64_t run_publish_ns_ = 0;  // see run(); published via ticket_
 };
 
 /// A two-stage threaded pipeline segment: consumes items of type In from an

@@ -1,7 +1,9 @@
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <mutex>
 #include <optional>
 #include <utility>
@@ -29,9 +31,28 @@ class RingBuffer {
       : slots_(capacity == 0 ? 1 : capacity) {}
 
   /// Blocking push; returns false if the buffer was closed.
-  bool push(T value) {
+  bool push(T value) { return push(std::move(value), nullptr); }
+
+  /// Blocking push that accumulates back-pressure stall time: when the
+  /// queue is full, the nanoseconds spent waiting for space are added to
+  /// `*stall_ns` (untouched on the fast path, so the clock is only read
+  /// when the producer actually blocks). Returns false if closed.
+  bool push(T value, std::uint64_t* stall_ns) {
     std::unique_lock lock{mutex_};
-    not_full_.wait(lock, [&] { return count_ < slots_.size() || closed_; });
+    if (count_ >= slots_.size() && !closed_) {
+      if (stall_ns != nullptr) {
+        const auto t0 = std::chrono::steady_clock::now();
+        not_full_.wait(lock,
+                       [&] { return count_ < slots_.size() || closed_; });
+        *stall_ns += static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count());
+      } else {
+        not_full_.wait(lock,
+                       [&] { return count_ < slots_.size() || closed_; });
+      }
+    }
     if (closed_) return false;
     enqueue(std::move(value));
     lock.unlock();

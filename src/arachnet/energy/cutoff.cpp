@@ -1,5 +1,9 @@
 #include "arachnet/energy/cutoff.hpp"
 
+#include <string>
+
+#include "arachnet/telemetry/log.hpp"
+
 namespace arachnet::energy {
 
 double CutoffCircuit::high_threshold() const noexcept {
@@ -15,10 +19,28 @@ double CutoffCircuit::low_threshold() const noexcept {
 bool CutoffCircuit::update(double cap_voltage) noexcept {
   if (!engaged_ && cap_voltage >= high_threshold()) {
     engaged_ = true;
+    if (c_connect_ != nullptr) c_connect_->add();
+    ARACHNET_LOG_DEBUG("energy", "cutoff connect", {"cap_v", cap_voltage});
   } else if (engaged_ && cap_voltage <= low_threshold()) {
     engaged_ = false;
+    if (c_disconnect_ != nullptr) c_disconnect_->add();
+    ARACHNET_LOG_DEBUG("energy", "cutoff disconnect", {"cap_v", cap_voltage});
+  }
+  if (g_cap_v_ != nullptr) {
+    g_cap_v_->set(cap_voltage);
+    g_engaged_->set(engaged_ ? 1.0 : 0.0);
   }
   return engaged_;
+}
+
+void CutoffCircuit::bind_metrics(telemetry::MetricsRegistry& registry,
+                                 std::string_view prefix) {
+  const std::string base{prefix};
+  c_connect_ = &registry.counter(base + ".connect_events");
+  c_disconnect_ = &registry.counter(base + ".disconnect_events");
+  g_cap_v_ = &registry.gauge(base + ".cap_v");
+  g_engaged_ = &registry.gauge(base + ".engaged");
+  g_engaged_->set(engaged_ ? 1.0 : 0.0);
 }
 
 double CutoffCircuit::quiescent_power(double cap_voltage) const noexcept {

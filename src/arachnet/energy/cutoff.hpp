@@ -1,5 +1,9 @@
 #pragma once
 
+#include <string_view>
+
+#include "arachnet/telemetry/metrics.hpp"
+
 namespace arachnet::energy {
 
 /// Low-voltage cutoff circuit with hysteresis (paper Appendix A).
@@ -44,9 +48,21 @@ class CutoffCircuit {
 
   const Params& params() const noexcept { return params_; }
 
+  /// Publishes connect/disconnect event counters and a live cap-voltage
+  /// gauge into `registry` under `prefix` (e.g. "energy.cutoff" yields
+  /// `energy.cutoff.connect_events`, `.disconnect_events`, `.cap_v`,
+  /// `.engaged`), updated on every update(). The registry must outlive
+  /// the circuit.
+  void bind_metrics(telemetry::MetricsRegistry& registry,
+                    std::string_view prefix);
+
  private:
   Params params_{};
   bool engaged_ = false;
+  telemetry::Counter* c_connect_ = nullptr;
+  telemetry::Counter* c_disconnect_ = nullptr;
+  telemetry::Gauge* g_cap_v_ = nullptr;
+  telemetry::Gauge* g_engaged_ = nullptr;
 };
 
 }  // namespace arachnet::energy

@@ -1,6 +1,7 @@
 #include "arachnet/energy/tag_power.hpp"
 
 #include <stdexcept>
+#include <string>
 
 namespace arachnet::energy {
 
@@ -61,6 +62,7 @@ void PowerMeter::accumulate(TagMode mode, double duration) {
     throw std::invalid_argument("PowerMeter: negative duration");
   }
   seconds_[static_cast<std::size_t>(mode)] += duration;
+  if (g_avg_power_uw_ != nullptr) publish_metrics();
 }
 
 double PowerMeter::time_in(TagMode mode) const noexcept {
@@ -90,6 +92,33 @@ double PowerMeter::average_power() const noexcept {
   return t > 0.0 ? total_energy() / t : 0.0;
 }
 
-void PowerMeter::reset() noexcept { seconds_.fill(0.0); }
+void PowerMeter::reset() noexcept {
+  seconds_.fill(0.0);
+  if (g_avg_power_uw_ != nullptr) publish_metrics();
+}
+
+void PowerMeter::bind_metrics(telemetry::MetricsRegistry& registry,
+                              std::string_view prefix) {
+  const std::string base{prefix};
+  g_avg_power_uw_ = &registry.gauge(base + ".avg_power_uw");
+  g_energy_uj_ = &registry.gauge(base + ".energy_uj");
+  for (std::size_t i = 0; i < kTagModeCount; ++i) {
+    std::string name = base + ".time_";
+    for (char c : to_string(static_cast<TagMode>(i))) {
+      name += static_cast<char>(c + ('a' - 'A'));  // lowercase ASCII mode
+    }
+    name += "_s";
+    g_time_s_[i] = &registry.gauge(name);
+  }
+  publish_metrics();
+}
+
+void PowerMeter::publish_metrics() noexcept {
+  g_avg_power_uw_->set(average_power() * 1e6);
+  g_energy_uj_->set(total_energy() * 1e6);
+  for (std::size_t i = 0; i < kTagModeCount; ++i) {
+    g_time_s_[i]->set(seconds_[i]);
+  }
+}
 
 }  // namespace arachnet::energy

@@ -4,6 +4,8 @@
 #include <cstddef>
 #include <string_view>
 
+#include "arachnet/telemetry/metrics.hpp"
+
 namespace arachnet::energy {
 
 /// Tag operating modes as defined by the protocol (paper Table 2).
@@ -73,9 +75,21 @@ class PowerMeter {
   const TagPowerModel& model() const noexcept { return model_; }
   void reset() noexcept;
 
+  /// Publishes live gauges into `registry` under `prefix` (e.g. prefix
+  /// "energy.tag0" yields `energy.tag0.avg_power_uw`, `.energy_uj`, and
+  /// per-mode `.time_<mode>_s`), refreshed on every accumulate(). The
+  /// registry must outlive the meter.
+  void bind_metrics(telemetry::MetricsRegistry& registry,
+                    std::string_view prefix);
+
  private:
+  void publish_metrics() noexcept;
+
   TagPowerModel model_;
   std::array<double, kTagModeCount> seconds_{};
+  telemetry::Gauge* g_avg_power_uw_ = nullptr;
+  telemetry::Gauge* g_energy_uj_ = nullptr;
+  std::array<telemetry::Gauge*, kTagModeCount> g_time_s_{};
 };
 
 }  // namespace arachnet::energy

@@ -34,6 +34,11 @@ const energy::PowerMeter& Msp430::meter() {
   return meter_;
 }
 
+energy::PowerMeter& Msp430::mutable_meter() {
+  flush_residency();
+  return meter_;
+}
+
 void Msp430::power_up() {
   flush_residency();
   powered_ = true;

@@ -39,6 +39,10 @@ class Msp430 {
   /// Flushes residency accounting up to now and returns the meter.
   const energy::PowerMeter& meter();
 
+  /// Mutable access to the meter (e.g. to bind telemetry gauges);
+  /// flushes residency accounting first like meter().
+  energy::PowerMeter& mutable_meter();
+
   /// Supply voltage (from the harvester); shifts the VLO.
   void set_supply(double volts) noexcept { supply_v_ = volts; }
   double supply() const noexcept { return supply_v_; }

@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <numbers>
 #include <stdexcept>
 #include <thread>
+
+#include "arachnet/telemetry/log.hpp"
+#include "arachnet/telemetry/trace.hpp"
 
 namespace arachnet::reader {
 
@@ -33,6 +37,10 @@ void FdmaRxChain::Channel::process_block(const std::complex<double>* iq,
                                          std::size_t n, double axis_alpha,
                                          double iq_rate,
                                          std::uint64_t base_index) {
+  ARACHNET_TRACE_SPAN("fdma.channel");
+  const std::uint64_t prev_bits = bits;
+  const std::uint64_t prev_frames = framer.packets();
+  const std::uint64_t prev_crc = framer.crc_failures();
   iq_samples += n;
   // Stage 1 (batch): shift this channel's subcarrier band to DC. The
   // carrier leak sits at baseband DC, i.e. at -f_sc after the shift —
@@ -76,6 +84,13 @@ void FdmaRxChain::Channel::process_block(const std::complex<double>* iq,
   pub_bits.store(bits, std::memory_order_relaxed);
   pub_frames.store(framer.packets(), std::memory_order_relaxed);
   pub_crc.store(framer.crc_failures(), std::memory_order_relaxed);
+  // Registry counters, as per-block deltas (one pointer test when unbound).
+  if (m_iq != nullptr) {
+    m_iq->add(n);
+    m_bits->add(bits - prev_bits);
+    m_frames->add(framer.packets() - prev_frames);
+    m_crc->add(framer.crc_failures() - prev_crc);
+  }
 }
 
 FdmaRxChain::FdmaRxChain(Params params)
@@ -124,7 +139,30 @@ FdmaRxChain::FdmaRxChain(Params params)
   for (const auto& spec : params_.channels) {
     validate_subcarrier(spec.subcarrier_hz);
     channels_.push_back(make_channel(spec.subcarrier_hz));
+    bind_channel_metrics(channels_.size() - 1);
   }
+  if (params_.metrics != nullptr) {
+    pool_->set_dispatch_histogram(
+        &params_.metrics->histogram("fdma.dispatch_us", 0.0, 2000.0, 64));
+  }
+  ARACHNET_LOG_DEBUG("fdma", "chain ready",
+                     {"channels", channels_.size()},
+                     {"workers", workers_},
+                     {"iq_rate_hz", iq_rate_});
+}
+
+void FdmaRxChain::bind_channel_metrics(std::size_t index) {
+  if (params_.metrics == nullptr) return;
+  auto& ch = *channels_[index];
+  char name[48];
+  const auto bind = [&](const char* suffix) -> telemetry::Counter* {
+    std::snprintf(name, sizeof(name), "fdma.ch%zu.%s", index, suffix);
+    return &params_.metrics->counter(name);
+  };
+  ch.m_iq = bind("iq_samples");
+  ch.m_bits = bind("bits");
+  ch.m_frames = bind("frames");
+  ch.m_crc = bind("crc_failures");
 }
 
 std::unique_ptr<FdmaRxChain::Channel> FdmaRxChain::make_channel(
@@ -151,9 +189,14 @@ void FdmaRxChain::add_channel(ChannelSpec spec) {
   validate_subcarrier(spec.subcarrier_hz);
   channels_.push_back(make_channel(spec.subcarrier_hz));
   params_.channels.push_back(spec);
+  bind_channel_metrics(channels_.size() - 1);
+  ARACHNET_LOG_INFO("fdma", "channel added",
+                    {"subcarrier_hz", spec.subcarrier_hz},
+                    {"channels", channels_.size()});
 }
 
 void FdmaRxChain::process(const std::vector<double>& samples) {
+  ARACHNET_TRACE_SPAN("fdma.process");
   const auto iq = ddc_.process(samples);
   if (iq.empty()) return;
   pool_->run(channels_.size(), [&](std::size_t c) {

@@ -15,6 +15,7 @@
 #include "arachnet/phy/packet.hpp"
 #include "arachnet/reader/fm0_stream_decoder.hpp"
 #include "arachnet/reader/rx_chain.hpp"
+#include "arachnet/telemetry/metrics.hpp"
 
 namespace arachnet::reader {
 
@@ -59,6 +60,11 @@ class FdmaRxChain {
     /// this subcarrier instead of the highest initial channel, leaving
     /// headroom for add_channel() to place channels above the initial set.
     double max_subcarrier_hz = 0.0;
+    /// Optional metrics registry. When set, the chain registers per-channel
+    /// decode counters (`fdma.ch<i>.{iq_samples,bits,frames,crc_failures}`)
+    /// and a worker-pool dispatch-latency histogram (`fdma.dispatch_us`).
+    /// The registry must outlive the chain. nullptr = no instrumentation.
+    telemetry::MetricsRegistry* metrics = nullptr;
   };
 
   explicit FdmaRxChain(Params params);
@@ -147,10 +153,18 @@ class FdmaRxChain {
     std::atomic<std::uint64_t> pub_bits{0};
     std::atomic<std::uint64_t> pub_frames{0};
     std::atomic<std::uint64_t> pub_crc{0};
+    // Registry counters (nullable; bound once at channel creation). Each
+    // channel is processed by exactly one worker task per block, so the
+    // per-block delta adds never contend on the same counter.
+    telemetry::Counter* m_iq = nullptr;
+    telemetry::Counter* m_bits = nullptr;
+    telemetry::Counter* m_frames = nullptr;
+    telemetry::Counter* m_crc = nullptr;
   };
 
   std::unique_ptr<Channel> make_channel(double subcarrier_hz) const;
   void validate_subcarrier(double hz) const;
+  void bind_channel_metrics(std::size_t index);
 
   Params params_;
   dsp::Ddc ddc_;

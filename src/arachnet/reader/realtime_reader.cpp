@@ -1,51 +1,128 @@
 #include "arachnet/reader/realtime_reader.hpp"
 
+#include <chrono>
+
+#include "arachnet/telemetry/log.hpp"
+#include "arachnet/telemetry/trace.hpp"
+
 namespace arachnet::reader {
+
+namespace {
+
+std::uint64_t steady_now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Forwards the reader's registry into the FDMA bank params unless the
+/// caller already bound one there.
+std::optional<FdmaRxChain::Params> with_metrics(
+    std::optional<FdmaRxChain::Params> fdma,
+    telemetry::MetricsRegistry* metrics) {
+  if (fdma && fdma->metrics == nullptr) fdma->metrics = metrics;
+  return fdma;
+}
+
+}  // namespace
 
 RealtimeReader::RealtimeReader(Params params)
     : params_(params),
       chain_(params.chain),
-      fdma_(params.fdma ? std::make_unique<FdmaRxChain>(*params.fdma)
+      fdma_(params.fdma ? std::make_unique<FdmaRxChain>(
+                              *with_metrics(params.fdma, params.metrics))
                         : nullptr),
       input_(params.input_capacity),
-      output_(params.output_capacity) {}
+      output_(params.output_capacity) {
+  if (auto* m = params_.metrics) {
+    h_block_ms_ = &m->histogram("reader.block_ms", 0.0, 50.0, 64);
+    g_input_depth_ = &m->gauge("reader.input_depth");
+    g_output_depth_ = &m->gauge("reader.output_depth");
+    c_packets_emitted_ = &m->counter("reader.packets_emitted");
+    c_packets_dropped_ = &m->counter("reader.packets_dropped");
+    c_stall_ns_ = &m->counter("reader.backpressure_stall_ns");
+    c_blocks_ = &m->counter("reader.blocks");
+  }
+}
 
 RealtimeReader::~RealtimeReader() { stop(); }
 
 void RealtimeReader::start() {
   if (started_) return;
   started_ = true;
+  ARACHNET_LOG_INFO("reader", "starting DSP worker",
+                    {"mode", fdma_ ? "fdma" : "single"},
+                    {"input_capacity", input_.capacity()},
+                    {"output_capacity", output_.capacity()});
   worker_ = std::thread([this] { worker_loop(); });
 }
 
 void RealtimeReader::worker_loop() {
   while (auto block = input_.pop()) {
+    ARACHNET_TRACE_SPAN("reader.block");
+    const std::uint64_t t0 =
+        (h_block_ms_ != nullptr) ? steady_now_ns() : 0;
+    std::uint64_t out_stall_ns = 0;
+    std::uint64_t emitted = 0;
     if (fdma_) {
       fdma_->process(*block);
       samples_processed_.fetch_add(block->size(), std::memory_order_relaxed);
       for (auto& pkt : fdma_->drain_packets()) {
-        output_.push(std::move(pkt));
+        if (output_.push(std::move(pkt), &out_stall_ns)) {
+          ++emitted;
+        } else if (c_packets_dropped_ != nullptr) {
+          c_packets_dropped_->add();
+        }
       }
-      continue;
+      packets_emitted_.fetch_add(emitted, std::memory_order_relaxed);
+    } else {
+      if (resync_requested_.exchange(false)) chain_.resync();
+      chain_.process(*block);
+      samples_processed_.fetch_add(block->size(), std::memory_order_relaxed);
+      // Emit any packets decoded so far. packets_emitted_ is the emission
+      // cursor; only this thread writes it.
+      const auto& packets = chain_.packets();
+      std::uint64_t cursor = packets_emitted_.load(std::memory_order_relaxed);
+      while (cursor < packets.size()) {
+        if (output_.push(packets[cursor], &out_stall_ns)) {
+          ++emitted;
+        } else if (c_packets_dropped_ != nullptr) {
+          c_packets_dropped_->add();
+        }
+        ++cursor;
+        packets_emitted_.store(cursor, std::memory_order_relaxed);
+      }
+      chain_bits_.store(chain_.bits_decoded(), std::memory_order_relaxed);
+      chain_frames_.store(packets.size(), std::memory_order_relaxed);
+      chain_crc_.store(chain_.crc_failures(), std::memory_order_relaxed);
     }
-    if (resync_requested_.exchange(false)) chain_.resync();
-    chain_.process(*block);
-    samples_processed_.fetch_add(block->size(), std::memory_order_relaxed);
-    // Emit any packets decoded so far.
-    const auto& packets = chain_.packets();
-    while (packets_emitted_ < packets.size()) {
-      output_.push(packets[packets_emitted_]);
-      ++packets_emitted_;
+    if (out_stall_ns != 0) {
+      stall_ns_.fetch_add(out_stall_ns, std::memory_order_relaxed);
+      if (c_stall_ns_ != nullptr) c_stall_ns_->add(out_stall_ns);
     }
-    chain_bits_.store(chain_.bits_decoded(), std::memory_order_relaxed);
-    chain_frames_.store(packets.size(), std::memory_order_relaxed);
-    chain_crc_.store(chain_.crc_failures(), std::memory_order_relaxed);
+    if (h_block_ms_ != nullptr) {
+      h_block_ms_->record(static_cast<double>(steady_now_ns() - t0) * 1e-6);
+      c_blocks_->add();
+      if (emitted != 0) c_packets_emitted_->add(emitted);
+      g_input_depth_->set(static_cast<double>(input_.size()));
+      g_output_depth_->set(static_cast<double>(output_.size()));
+    }
   }
   output_.close();
+  ARACHNET_LOG_INFO("reader", "DSP worker drained",
+                    {"samples", samples_processed()},
+                    {"packets", packets_emitted_.load()});
 }
 
 bool RealtimeReader::submit(Block block) {
-  return input_.push(std::move(block));
+  std::uint64_t stall = 0;
+  const bool ok = input_.push(std::move(block), &stall);
+  if (stall != 0) {
+    stall_ns_.fetch_add(stall, std::memory_order_relaxed);
+    if (c_stall_ns_ != nullptr) c_stall_ns_->add(stall);
+  }
+  return ok;
 }
 
 std::optional<RxPacket> RealtimeReader::poll_packet() {
@@ -64,9 +141,12 @@ void RealtimeReader::stop() {
 RealtimeReader::Stats RealtimeReader::stats() const {
   Stats s;
   s.samples_processed = samples_processed();
+  s.packets_emitted = packets_emitted_.load(std::memory_order_relaxed);
   s.input_depth = input_.size();
   s.input_capacity = input_.capacity();
   s.output_depth = output_.size();
+  s.backpressure_stall_s =
+      static_cast<double>(stall_ns_.load(std::memory_order_relaxed)) * 1e-9;
   if (fdma_) {
     s.channels = fdma_->all_channel_stats();
   } else {

@@ -33,15 +33,24 @@ class RealtimeReader {
     std::optional<FdmaRxChain::Params> fdma{};
     std::size_t input_capacity = 8;    ///< blocks in flight
     std::size_t output_capacity = 256; ///< decoded packets buffered
+    /// Optional metrics registry (must outlive the reader). Registers the
+    /// `reader.*` block-latency histogram, queue-depth gauges, and
+    /// packet/stall counters, and is forwarded to the FDMA bank unless the
+    /// bank params carry their own registry. nullptr = no instrumentation.
+    telemetry::MetricsRegistry* metrics = nullptr;
   };
 
   /// Live counters: queue depths plus per-channel decode statistics
   /// (one entry per FDMA channel; a single entry in single-channel mode).
   struct Stats {
     std::uint64_t samples_processed = 0;
+    std::uint64_t packets_emitted = 0;  ///< packets pushed to the output
     std::size_t input_depth = 0;   ///< raw blocks waiting for the DSP
     std::size_t input_capacity = 0;
     std::size_t output_depth = 0;  ///< decoded packets not yet fetched
+    /// Total time producers/worker spent blocked on a full queue
+    /// (back-pressure): submit() stalls plus output-side stalls.
+    double backpressure_stall_s = 0.0;
     std::vector<FdmaRxChain::ChannelStats> channels;
   };
 
@@ -96,7 +105,19 @@ class RealtimeReader {
   std::atomic<std::uint64_t> chain_bits_{0};
   std::atomic<std::uint64_t> chain_frames_{0};
   std::atomic<std::uint64_t> chain_crc_{0};
-  std::size_t packets_emitted_ = 0;
+  /// Doubles as the single-chain emission cursor (worker-only writes) and
+  /// the cross-thread emitted-packet count read by stats().
+  std::atomic<std::uint64_t> packets_emitted_{0};
+  /// Nanoseconds spent blocked on full queues (submit + output side).
+  std::atomic<std::uint64_t> stall_ns_{0};
+  // Registry instruments (nullable; bound once in the constructor).
+  telemetry::LatencyHistogram* h_block_ms_ = nullptr;
+  telemetry::Gauge* g_input_depth_ = nullptr;
+  telemetry::Gauge* g_output_depth_ = nullptr;
+  telemetry::Counter* c_packets_emitted_ = nullptr;
+  telemetry::Counter* c_packets_dropped_ = nullptr;
+  telemetry::Counter* c_stall_ns_ = nullptr;
+  telemetry::Counter* c_blocks_ = nullptr;
   bool started_ = false;
 };
 

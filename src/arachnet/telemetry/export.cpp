@@ -1,0 +1,153 @@
+#include "arachnet/telemetry/export.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "arachnet/telemetry/json.hpp"
+
+namespace arachnet::telemetry {
+
+/// Builds one line with the shared envelope already written; finish() with
+/// the writer still inside the envelope object.
+class JsonlExporter::LineBuilder {
+ public:
+  LineBuilder(const JsonlExporter& exporter, std::string_view kind,
+              std::string_view name, std::string_view unit) {
+    w.begin_object();
+    w.key("schema");
+    w.value(exporter.schema_);
+    w.key("bench");
+    w.value(exporter.source_);
+    w.key("kind");
+    w.value(kind);
+    w.key("name");
+    w.value(name);
+    if (!unit.empty()) {
+      w.key("unit");
+      w.value(unit);
+    }
+  }
+
+  std::string finish() {
+    w.end_object();
+    return w.take();
+  }
+
+  JsonWriter w;
+};
+
+JsonlExporter::JsonlExporter(std::string schema, std::string source)
+    : schema_(std::move(schema)), source_(std::move(source)) {}
+
+void JsonlExporter::add_metric(std::string_view name, double value,
+                               std::string_view unit) {
+  LineBuilder line{*this, "metric", name, unit};
+  line.w.key("value");
+  line.w.value(value);
+  lines_.push_back(line.finish());
+}
+
+void JsonlExporter::add_counter(std::string_view name, std::uint64_t value,
+                                std::string_view unit) {
+  LineBuilder line{*this, "counter", name, unit};
+  line.w.key("value");
+  line.w.value(value);
+  lines_.push_back(line.finish());
+}
+
+void JsonlExporter::add_gauge(std::string_view name, double value,
+                              std::string_view unit) {
+  LineBuilder line{*this, "gauge", name, unit};
+  line.w.key("value");
+  line.w.value(value);
+  lines_.push_back(line.finish());
+}
+
+void JsonlExporter::add_percentiles(
+    std::string_view name,
+    const std::vector<std::pair<double, double>>& points,
+    std::string_view unit) {
+  LineBuilder line{*this, "percentiles", name, unit};
+  line.w.key("points");
+  line.w.begin_object();
+  for (const auto& [q, v] : points) {
+    char key[16];
+    std::snprintf(key, sizeof(key), "p%g", q * 100.0);
+    line.w.key(key);
+    line.w.value(v);
+  }
+  line.w.end_object();
+  lines_.push_back(line.finish());
+}
+
+void JsonlExporter::add_histogram(std::string_view name, double lo, double hi,
+                                  const std::vector<std::uint64_t>& counts,
+                                  std::uint64_t underflow,
+                                  std::uint64_t overflow,
+                                  std::string_view unit) {
+  LineBuilder line{*this, "histogram", name, unit};
+  line.w.key("lo");
+  line.w.value(lo);
+  line.w.key("hi");
+  line.w.value(hi);
+  line.w.key("counts");
+  line.w.begin_array();
+  for (std::uint64_t c : counts) line.w.value(c);
+  line.w.end_array();
+  line.w.key("underflow");
+  line.w.value(underflow);
+  line.w.key("overflow");
+  line.w.value(overflow);
+  lines_.push_back(line.finish());
+}
+
+void JsonlExporter::add_histogram(const MetricsSnapshot::HistogramValue& h,
+                                  std::string_view unit) {
+  LineBuilder line{*this, "histogram", h.name, unit};
+  line.w.key("lo");
+  line.w.value(h.lo);
+  line.w.key("hi");
+  line.w.value(h.hi);
+  line.w.key("counts");
+  line.w.begin_array();
+  for (std::uint64_t c : h.counts) line.w.value(c);
+  line.w.end_array();
+  line.w.key("underflow");
+  line.w.value(h.underflow);
+  line.w.key("overflow");
+  line.w.value(h.overflow);
+  line.w.key("count");
+  line.w.value(h.count);
+  line.w.key("mean");
+  line.w.value(h.mean());
+  line.w.key("min");
+  line.w.value(h.count ? h.min : 0.0);
+  line.w.key("max");
+  line.w.value(h.count ? h.max : 0.0);
+  line.w.key("p50");
+  line.w.value(h.percentile(0.5));
+  line.w.key("p95");
+  line.w.value(h.percentile(0.95));
+  line.w.key("p99");
+  line.w.value(h.percentile(0.99));
+  lines_.push_back(line.finish());
+}
+
+void JsonlExporter::add_snapshot(const MetricsSnapshot& snapshot) {
+  for (const auto& c : snapshot.counters) add_counter(c.name, c.value);
+  for (const auto& g : snapshot.gauges) add_gauge(g.name, g.value);
+  for (const auto& h : snapshot.histograms) add_histogram(h);
+}
+
+void JsonlExporter::write(std::ostream& out) const {
+  for (const auto& line : lines_) out << line << '\n';
+}
+
+bool JsonlExporter::write_file(const std::string& path) const {
+  std::ofstream out{path};
+  if (!out) return false;
+  write(out);
+  return out.good();
+}
+
+}  // namespace arachnet::telemetry

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "arachnet/telemetry/metrics.hpp"
+
+namespace arachnet::telemetry {
+
+/// JSON-lines exporter: accumulates one self-describing JSON object per
+/// record, every line carrying the same envelope
+///   {"schema": <schema>, "bench": <source>, "kind": ..., "name": ...}
+/// so downstream tooling can concatenate files from different benches and
+/// still group/filter on stable keys. Used by the bench reports
+/// (BENCH_<name>.json) and for dumping MetricsRegistry snapshots.
+class JsonlExporter {
+ public:
+  /// `schema` names the line format (use kBenchSchema for bench output);
+  /// `source` identifies the producer (the bench or component name).
+  JsonlExporter(std::string schema, std::string source);
+
+  static constexpr std::string_view kBenchSchema = "arachnet.bench.v1";
+
+  /// A scalar measurement (kind "metric").
+  void add_metric(std::string_view name, double value,
+                  std::string_view unit = "");
+  /// A monotonic count (kind "counter").
+  void add_counter(std::string_view name, std::uint64_t value,
+                   std::string_view unit = "");
+  /// A last-value reading (kind "gauge").
+  void add_gauge(std::string_view name, double value,
+                 std::string_view unit = "");
+  /// Quantile summary (kind "percentiles"): `points` = {q, value} pairs.
+  void add_percentiles(std::string_view name,
+                       const std::vector<std::pair<double, double>>& points,
+                       std::string_view unit = "");
+  /// Full histogram (kind "histogram"): bin edges derived from lo/hi/counts.
+  void add_histogram(std::string_view name, double lo, double hi,
+                     const std::vector<std::uint64_t>& counts,
+                     std::uint64_t underflow, std::uint64_t overflow,
+                     std::string_view unit = "");
+  void add_histogram(const MetricsSnapshot::HistogramValue& h,
+                     std::string_view unit = "");
+
+  /// Every metric in the snapshot, one line each.
+  void add_snapshot(const MetricsSnapshot& snapshot);
+
+  std::size_t line_count() const noexcept { return lines_.size(); }
+
+  void write(std::ostream& out) const;
+  /// Returns false if the file could not be opened/written.
+  bool write_file(const std::string& path) const;
+
+ private:
+  class LineBuilder;
+
+  std::string schema_;
+  std::string source_;
+  std::vector<std::string> lines_;
+};
+
+}  // namespace arachnet::telemetry

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace arachnet::telemetry {
+
+/// Minimal streaming JSON writer: builds one JSON value into an internal
+/// string with correct comma placement, string escaping, and shortest
+/// round-trip number formatting. No external dependencies — just enough
+/// for the metrics/trace exporters and the bench reports.
+///
+/// Usage:
+///   JsonWriter w;
+///   w.begin_object();
+///   w.key("name"); w.value("fdma.dispatch_ms");
+///   w.key("counts"); w.begin_array(); w.value(1); w.value(2); w.end_array();
+///   w.end_object();
+///   w.str();  // {"name":"fdma.dispatch_ms","counts":[1,2]}
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Writes an object key (must be inside an object, before its value).
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view{v}); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(unsigned v) { return value(static_cast<std::uint64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  /// Splices a pre-rendered JSON fragment in value position (caller
+  /// guarantees it is valid JSON).
+  JsonWriter& raw(std::string_view fragment);
+
+  const std::string& str() const noexcept { return out_; }
+  std::string take() { return std::move(out_); }
+
+  /// Appends `v` to `out` with JSON string escaping (no quotes added).
+  static void escape(std::string_view v, std::string& out);
+
+ private:
+  void before_value();
+
+  enum class Scope : unsigned char { kObject, kArray };
+  struct Frame {
+    Scope scope;
+    bool has_items = false;
+    bool expecting_value = false;  ///< object: key() written, value pending
+  };
+
+  std::string out_;
+  std::vector<Frame> stack_;
+};
+
+}  // namespace arachnet::telemetry

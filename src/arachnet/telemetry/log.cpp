@@ -1,0 +1,118 @@
+#include "arachnet/telemetry/log.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace arachnet::telemetry {
+
+namespace {
+
+// Sink + user pointer swap atomically enough for our use: both are set
+// together from configuration code before logging threads start, and
+// individually-atomic loads never produce a torn pointer.
+std::atomic<LogSink> g_sink{&stderr_log_sink};
+std::atomic<void*> g_sink_user{nullptr};
+std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+
+}  // namespace
+
+std::string_view to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+void set_log_sink(LogSink sink, void* user) noexcept {
+  g_sink_user.store(user, std::memory_order_relaxed);
+  g_sink.store(sink ? sink : &stderr_log_sink, std::memory_order_release);
+}
+
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() noexcept {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+bool should_log(LogLevel level) noexcept {
+  return static_cast<int>(level) >= g_level.load(std::memory_order_relaxed);
+}
+
+void log_emit(LogLevel level, std::string_view component,
+              std::string_view message,
+              std::initializer_list<LogField> fields) noexcept {
+  LogRecord record;
+  record.level = level;
+  record.component = component;
+  record.message = message;
+  record.fields = fields.begin();
+  record.field_count = fields.size();
+  const LogSink sink = g_sink.load(std::memory_order_acquire);
+  sink(record, g_sink_user.load(std::memory_order_relaxed));
+}
+
+void stderr_log_sink(const LogRecord& record, void* /*user*/) {
+  // One buffered line per record so concurrent loggers don't interleave
+  // mid-line. Fixed buffer: log lines are short by construction.
+  char line[512];
+  int n = std::snprintf(line, sizeof(line), "[%.*s] %.*s: %.*s",
+                        static_cast<int>(to_string(record.level).size()),
+                        to_string(record.level).data(),
+                        static_cast<int>(record.component.size()),
+                        record.component.data(),
+                        static_cast<int>(record.message.size()),
+                        record.message.data());
+  for (std::size_t i = 0; i < record.field_count && n > 0 &&
+                          n < static_cast<int>(sizeof(line));
+       ++i) {
+    const LogField& f = record.fields[i];
+    const int room = static_cast<int>(sizeof(line)) - n;
+    int wrote = 0;
+    switch (f.kind) {
+      case LogField::Kind::kInt:
+        wrote = std::snprintf(line + n, room, " %.*s=%lld",
+                              static_cast<int>(f.key.size()), f.key.data(),
+                              static_cast<long long>(f.i));
+        break;
+      case LogField::Kind::kUint:
+        wrote = std::snprintf(line + n, room, " %.*s=%llu",
+                              static_cast<int>(f.key.size()), f.key.data(),
+                              static_cast<unsigned long long>(f.u));
+        break;
+      case LogField::Kind::kDouble:
+        wrote = std::snprintf(line + n, room, " %.*s=%g",
+                              static_cast<int>(f.key.size()), f.key.data(),
+                              f.d);
+        break;
+      case LogField::Kind::kBool:
+        wrote = std::snprintf(line + n, room, " %.*s=%s",
+                              static_cast<int>(f.key.size()), f.key.data(),
+                              f.b ? "true" : "false");
+        break;
+      case LogField::Kind::kString:
+        wrote = std::snprintf(line + n, room, " %.*s=%.*s",
+                              static_cast<int>(f.key.size()), f.key.data(),
+                              static_cast<int>(f.s.size()), f.s.data());
+        break;
+    }
+    if (wrote < 0) break;
+    n += wrote;
+  }
+  if (n >= static_cast<int>(sizeof(line))) n = sizeof(line) - 1;
+  std::fprintf(stderr, "%.*s\n", n, line);
+}
+
+}  // namespace arachnet::telemetry

@@ -1,0 +1,123 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <string_view>
+
+namespace arachnet::telemetry {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+std::string_view to_string(LogLevel level) noexcept;
+
+/// One structured key/value pair. Holds views and PODs only — building a
+/// field list never allocates; sinks that need the data beyond the log
+/// call must copy it.
+struct LogField {
+  enum class Kind : unsigned char { kInt, kUint, kDouble, kBool, kString };
+
+  std::string_view key;
+  Kind kind;
+  union {
+    std::int64_t i;
+    std::uint64_t u;
+    double d;
+    bool b;
+  };
+  std::string_view s;  ///< valid when kind == kString
+
+  constexpr LogField(std::string_view k, std::int64_t v)
+      : key(k), kind(Kind::kInt), i(v) {}
+  constexpr LogField(std::string_view k, int v)
+      : LogField(k, static_cast<std::int64_t>(v)) {}
+  constexpr LogField(std::string_view k, std::uint64_t v)
+      : key(k), kind(Kind::kUint), u(v) {}
+  constexpr LogField(std::string_view k, unsigned v)
+      : LogField(k, static_cast<std::uint64_t>(v)) {}
+  constexpr LogField(std::string_view k, double v)
+      : key(k), kind(Kind::kDouble), d(v) {}
+  constexpr LogField(std::string_view k, bool v)
+      : key(k), kind(Kind::kBool), b(v) {}
+  constexpr LogField(std::string_view k, std::string_view v)
+      : key(k), kind(Kind::kString), i(0), s(v) {}
+  constexpr LogField(std::string_view k, const char* v)
+      : LogField(k, std::string_view{v}) {}
+};
+
+/// A log call, handed to the sink by reference. Field storage lives on the
+/// caller's stack for the duration of the sink call only.
+struct LogRecord {
+  LogLevel level = LogLevel::kInfo;
+  std::string_view component;
+  std::string_view message;
+  const LogField* fields = nullptr;
+  std::size_t field_count = 0;
+};
+
+/// Pluggable sink. The default writes a `level component: message k=v ...`
+/// line to stderr. Sinks must be callable from any thread.
+using LogSink = void (*)(const LogRecord& record, void* user);
+
+void set_log_sink(LogSink sink, void* user = nullptr) noexcept;
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Runtime level check — one relaxed atomic load, done before any field
+/// evaluation so a disabled log call costs nothing else.
+bool should_log(LogLevel level) noexcept;
+
+/// Dispatches to the installed sink. Call through the macros, which apply
+/// the compile-time and runtime level gates first.
+void log_emit(LogLevel level, std::string_view component,
+              std::string_view message,
+              std::initializer_list<LogField> fields) noexcept;
+
+/// The built-in stderr sink, exposed so callers can restore it.
+void stderr_log_sink(const LogRecord& record, void* user);
+
+}  // namespace arachnet::telemetry
+
+/// Logs below this level are compiled out entirely (the statement
+/// disappears: no field evaluation, no branch). Levels: 0 trace, 1 debug,
+/// 2 info, 3 warn, 4 error.
+#ifndef ARACHNET_LOG_MIN_LEVEL
+#define ARACHNET_LOG_MIN_LEVEL 0
+#endif
+
+#ifdef ARACHNET_TELEMETRY_DISABLED
+#define ARACHNET_LOG(level_, component_, message_, ...) ((void)0)
+#else
+#define ARACHNET_LOG(level_, component_, message_, ...)                    \
+  do {                                                                     \
+    if constexpr (static_cast<int>(level_) >= ARACHNET_LOG_MIN_LEVEL) {    \
+      if (::arachnet::telemetry::should_log(level_)) {                     \
+        ::arachnet::telemetry::log_emit(level_, component_, message_,      \
+                                        {__VA_ARGS__});                    \
+      }                                                                    \
+    }                                                                      \
+  } while (0)
+#endif
+
+#define ARACHNET_LOG_TRACE(component_, message_, ...)                     \
+  ARACHNET_LOG(::arachnet::telemetry::LogLevel::kTrace, component_,       \
+               message_ __VA_OPT__(, ) __VA_ARGS__)
+#define ARACHNET_LOG_DEBUG(component_, message_, ...)                     \
+  ARACHNET_LOG(::arachnet::telemetry::LogLevel::kDebug, component_,       \
+               message_ __VA_OPT__(, ) __VA_ARGS__)
+#define ARACHNET_LOG_INFO(component_, message_, ...)                      \
+  ARACHNET_LOG(::arachnet::telemetry::LogLevel::kInfo, component_,        \
+               message_ __VA_OPT__(, ) __VA_ARGS__)
+#define ARACHNET_LOG_WARN(component_, message_, ...)                      \
+  ARACHNET_LOG(::arachnet::telemetry::LogLevel::kWarn, component_,        \
+               message_ __VA_OPT__(, ) __VA_ARGS__)
+#define ARACHNET_LOG_ERROR(component_, message_, ...)                     \
+  ARACHNET_LOG(::arachnet::telemetry::LogLevel::kError, component_,       \
+               message_ __VA_OPT__(, ) __VA_ARGS__)

@@ -1,0 +1,128 @@
+#include "arachnet/telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace arachnet::telemetry {
+
+LatencyHistogram::LatencyHistogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins == 0 ? 1 : bins) {
+  if (!(hi > lo)) {
+    throw std::invalid_argument("LatencyHistogram: invalid range");
+  }
+}
+
+void LatencyHistogram::record(double x) noexcept {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(x, std::memory_order_relaxed);
+  // min/max: relaxed CAS loops; contention is rare (block-granularity
+  // events) and the loop converges in one or two rounds.
+  double cur = min_.load(std::memory_order_relaxed);
+  while (x < cur &&
+         !min_.compare_exchange_weak(cur, x, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (x > cur &&
+         !max_.compare_exchange_weak(cur, x, std::memory_order_relaxed)) {
+  }
+  if (x < lo_) {
+    underflow_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (x >= hi_) {
+    overflow_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const double t = (x - lo_) / (hi_ - lo_);
+  auto idx = static_cast<std::size_t>(t * static_cast<double>(counts_.size()));
+  if (idx >= counts_.size()) idx = counts_.size() - 1;
+  counts_[idx].fetch_add(1, std::memory_order_relaxed);
+}
+
+double MetricsSnapshot::HistogramValue::percentile(double q) const noexcept {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  // Underflow samples sit below lo: clamp them to lo.
+  double cum = static_cast<double>(underflow);
+  if (target <= cum) return lo;
+  const double width = (hi - lo) / static_cast<double>(counts.size());
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double next = cum + static_cast<double>(counts[i]);
+    if (target <= next && counts[i] > 0) {
+      const double frac = (target - cum) / static_cast<double>(counts[i]);
+      return lo + width * (static_cast<double>(i) + frac);
+    }
+    cum = next;
+  }
+  return hi;  // lands among the overflow samples: clamp to hi
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard lock{mutex_};
+  for (auto& [n, c] : counters_) {
+    if (n == name) return c;
+  }
+  counters_.emplace_back(std::piecewise_construct,
+                         std::forward_as_tuple(name), std::forward_as_tuple());
+  return counters_.back().second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard lock{mutex_};
+  for (auto& [n, g] : gauges_) {
+    if (n == name) return g;
+  }
+  gauges_.emplace_back(std::piecewise_construct, std::forward_as_tuple(name),
+                       std::forward_as_tuple());
+  return gauges_.back().second;
+}
+
+LatencyHistogram& MetricsRegistry::histogram(std::string_view name, double lo,
+                                             double hi, std::size_t bins) {
+  std::lock_guard lock{mutex_};
+  for (auto& [n, h] : histograms_) {
+    if (n == name) return h;
+  }
+  histograms_.emplace_back(std::piecewise_construct,
+                           std::forward_as_tuple(name),
+                           std::forward_as_tuple(lo, hi, bins));
+  return histograms_.back().second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard lock{mutex_};
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.push_back({name, c.value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.push_back({name, g.value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::HistogramValue v;
+    v.name = name;
+    v.lo = h.lo();
+    v.hi = h.hi();
+    v.counts.resize(h.bins());
+    for (std::size_t i = 0; i < h.bins(); ++i) v.counts[i] = h.bin_count(i);
+    v.count = h.count();
+    v.underflow = h.underflow();
+    v.overflow = h.overflow();
+    v.sum = h.sum();
+    v.min = h.min();
+    v.max = h.max();
+    snap.histograms.push_back(std::move(v));
+  }
+  return snap;
+}
+
+MetricsRegistry& global_registry() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace arachnet::telemetry

@@ -1,0 +1,22 @@
+#pragma once
+
+/// Umbrella header for the observability layer: metrics registry
+/// (counters / gauges / latency histograms), scoped tracing with Chrome
+/// trace export, leveled structured logging, and the JSON-lines exporter.
+///
+/// Conventions (see DESIGN.md "Observability"):
+///  - metric names are dot-separated, lowercase, unit-suffixed where the
+///    unit is not obvious: `reader.block_ms`, `fdma.ch0.bits`,
+///    `slot.collision`, `energy.cutoff.connect_events`;
+///  - span names mirror the owning layer: `reader.block`, `fdma.process`,
+///    `fdma.channel`;
+///  - defining ARACHNET_TELEMETRY_DISABLED compiles out every
+///    ARACHNET_TRACE_SPAN / ARACHNET_LOG_* statement; metrics hooks are
+///    runtime-gated on the (nullable) registry pointer each component
+///    takes.
+
+#include "arachnet/telemetry/export.hpp"
+#include "arachnet/telemetry/json.hpp"
+#include "arachnet/telemetry/log.hpp"
+#include "arachnet/telemetry/metrics.hpp"
+#include "arachnet/telemetry/trace.hpp"

@@ -1,0 +1,123 @@
+#include "arachnet/telemetry/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "arachnet/telemetry/json.hpp"
+
+namespace arachnet::telemetry {
+
+TraceRecorder& TraceRecorder::instance() {
+  static TraceRecorder recorder;
+  return recorder;
+}
+
+void TraceRecorder::enable(std::size_t events_per_thread) {
+  {
+    std::lock_guard lock{mutex_};
+    ring_capacity_ = std::max<std::size_t>(1, events_per_thread);
+    epoch_ns_ = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+TraceRecorder::ThreadRing* TraceRecorder::local_ring() {
+  thread_local ThreadRing* ring = nullptr;
+  thread_local const TraceRecorder* owner = nullptr;
+  if (ring == nullptr || owner != this) {
+    std::lock_guard lock{mutex_};
+    rings_.push_back(std::make_unique<ThreadRing>(
+        ring_capacity_, static_cast<int>(rings_.size())));
+    ring = rings_.back().get();
+    owner = this;
+  }
+  return ring;
+}
+
+void TraceRecorder::record(const char* name, std::uint64_t start_ns,
+                           std::uint64_t dur_ns) noexcept {
+  ThreadRing* ring = local_ring();
+  const std::uint64_t w = ring->written.load(std::memory_order_relaxed);
+  ring->events[w % ring->events.size()] = TraceEvent{name, start_ns, dur_ns};
+  ring->written.store(w + 1, std::memory_order_release);
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard lock{mutex_};
+  for (auto& ring : rings_) {
+    ring->written.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::size_t TraceRecorder::event_count() const {
+  std::lock_guard lock{mutex_};
+  std::size_t total = 0;
+  for (const auto& ring : rings_) {
+    total += std::min<std::uint64_t>(
+        ring->written.load(std::memory_order_acquire), ring->events.size());
+  }
+  return total;
+}
+
+std::uint64_t TraceRecorder::dropped() const {
+  std::lock_guard lock{mutex_};
+  std::uint64_t total = 0;
+  for (const auto& ring : rings_) {
+    const std::uint64_t w = ring->written.load(std::memory_order_acquire);
+    if (w > ring->events.size()) total += w - ring->events.size();
+  }
+  return total;
+}
+
+void TraceRecorder::write_chrome_trace(std::ostream& out) const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("displayTimeUnit");
+  w.value("ms");
+  w.key("traceEvents");
+  w.begin_array();
+  {
+    std::lock_guard lock{mutex_};
+    for (const auto& ring : rings_) {
+      const std::uint64_t written =
+          ring->written.load(std::memory_order_acquire);
+      const std::uint64_t held =
+          std::min<std::uint64_t>(written, ring->events.size());
+      // Oldest surviving event first.
+      for (std::uint64_t i = written - held; i < written; ++i) {
+        const TraceEvent& ev = ring->events[i % ring->events.size()];
+        w.begin_object();
+        w.key("name");
+        w.value(ev.name);
+        w.key("cat");
+        w.value("arachnet");
+        w.key("ph");
+        w.value("X");  // complete event: timestamp + duration
+        w.key("ts");
+        w.value(static_cast<double>(ev.start_ns) / 1e3);  // microseconds
+        w.key("dur");
+        w.value(static_cast<double>(ev.dur_ns) / 1e3);
+        w.key("pid");
+        w.value(std::int64_t{1});
+        w.key("tid");
+        w.value(static_cast<std::int64_t>(ring->tid));
+        w.end_object();
+      }
+    }
+  }
+  w.end_array();
+  w.end_object();
+  out << w.str() << '\n';
+}
+
+bool TraceRecorder::write_chrome_trace_file(const std::string& path) const {
+  std::ofstream out{path};
+  if (!out) return false;
+  write_chrome_trace(out);
+  return out.good();
+}
+
+}  // namespace arachnet::telemetry

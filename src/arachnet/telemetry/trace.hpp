@@ -1,0 +1,129 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace arachnet::telemetry {
+
+/// One completed span. `name` must point at a string with static storage
+/// duration (a literal): events are recorded by pointer, never copied.
+struct TraceEvent {
+  const char* name = nullptr;
+  std::uint64_t start_ns = 0;  ///< since the recorder epoch
+  std::uint64_t dur_ns = 0;
+};
+
+/// Process-wide scoped-span recorder. Disabled (the default) a span costs
+/// one relaxed atomic load; enabled it costs two steady_clock reads plus a
+/// bounded-ring write into a per-thread buffer — no locks, no allocation
+/// on the record path (each thread's ring is allocated once on its first
+/// span). When a ring wraps, the oldest events are overwritten and counted
+/// in dropped().
+///
+/// Export with write_chrome_trace(): the Chrome `trace_event` JSON array
+/// format, loadable in chrome://tracing or https://ui.perfetto.dev.
+/// Exporting while spans are still being recorded is racy — quiesce (join
+/// workers or disable()) first; benches and tests export after shutdown.
+class TraceRecorder {
+ public:
+  static TraceRecorder& instance();
+
+  /// Starts recording; sizes rings created after this call. Also resets
+  /// the epoch so exported timestamps start near zero.
+  void enable(std::size_t events_per_thread = 1 << 14);
+  void disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  std::uint64_t now_ns() const noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count()) -
+           epoch_ns_;
+  }
+
+  void record(const char* name, std::uint64_t start_ns,
+              std::uint64_t dur_ns) noexcept;
+
+  /// Drops all recorded events (rings stay allocated for their threads).
+  void clear();
+
+  /// Total events currently held across all thread rings.
+  std::size_t event_count() const;
+
+  /// Events overwritten by ring wrap-around since the last clear().
+  std::uint64_t dropped() const;
+
+  void write_chrome_trace(std::ostream& out) const;
+  /// Returns false if the file could not be opened.
+  bool write_chrome_trace_file(const std::string& path) const;
+
+ private:
+  struct ThreadRing {
+    explicit ThreadRing(std::size_t capacity, int tid_)
+        : events(capacity), tid(tid_) {}
+    std::vector<TraceEvent> events;  ///< ring storage, fixed capacity
+    std::atomic<std::uint64_t> written{0};  ///< monotonic write cursor
+    int tid;
+  };
+
+  TraceRecorder() = default;
+  ThreadRing* local_ring();
+
+  std::atomic<bool> enabled_{false};
+  std::uint64_t epoch_ns_ = 0;
+  std::size_t ring_capacity_ = 1 << 14;
+  mutable std::mutex mutex_;  ///< guards rings_ (registration & export)
+  std::vector<std::unique_ptr<ThreadRing>> rings_;
+};
+
+/// RAII span: records [construction, destruction) into the recorder when
+/// tracing is enabled at construction time. `name` must be a string
+/// literal (or otherwise outlive the recorder's contents).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) noexcept {
+    auto& rec = TraceRecorder::instance();
+    if (rec.enabled()) {
+      name_ = name;
+      start_ns_ = rec.now_ns();
+    }
+  }
+  ~TraceSpan() {
+    if (name_) {
+      auto& rec = TraceRecorder::instance();
+      rec.record(name_, start_ns_, rec.now_ns() - start_ns_);
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+};
+
+}  // namespace arachnet::telemetry
+
+#define ARACHNET_TELEMETRY_CONCAT_(a, b) a##b
+#define ARACHNET_TELEMETRY_CONCAT(a, b) ARACHNET_TELEMETRY_CONCAT_(a, b)
+
+/// Scoped trace span; compiles to nothing with ARACHNET_TELEMETRY_DISABLED.
+#ifdef ARACHNET_TELEMETRY_DISABLED
+#define ARACHNET_TRACE_SPAN(name) ((void)0)
+#else
+#define ARACHNET_TRACE_SPAN(name)                          \
+  ::arachnet::telemetry::TraceSpan ARACHNET_TELEMETRY_CONCAT( \
+      arachnet_trace_span_, __LINE__) {                    \
+    name                                                   \
+  }
+#endif

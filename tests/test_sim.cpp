@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 #include <vector>
 
 #include "arachnet/sim/event_queue.hpp"
@@ -200,6 +201,43 @@ TEST(Stats, PercentilesInterpolate) {
   EXPECT_DOUBLE_EQ(p.cdf(2.0), 0.5);
   EXPECT_DOUBLE_EQ(p.cdf(0.5), 0.0);
   EXPECT_DOUBLE_EQ(p.cdf(100.0), 1.0);
+}
+
+TEST(Stats, PercentilesEdgeCases) {
+  // Empty sample sets are a caller bug, not a silent zero.
+  EXPECT_THROW(Percentiles{std::vector<double>{}}, std::invalid_argument);
+  EXPECT_THROW(arachnet::sim::percentile({}, 0.5), std::invalid_argument);
+
+  // A single sample answers every quantile.
+  Percentiles one{{7.5}};
+  EXPECT_DOUBLE_EQ(one.at(0.0), 7.5);
+  EXPECT_DOUBLE_EQ(one.at(0.5), 7.5);
+  EXPECT_DOUBLE_EQ(one.at(1.0), 7.5);
+  EXPECT_EQ(one.count(), 1u);
+
+  // Duplicates: quantiles inside a run of equal values stay on the value.
+  Percentiles dup{{2.0, 2.0, 2.0, 2.0, 8.0}};
+  EXPECT_DOUBLE_EQ(dup.at(0.25), 2.0);
+  EXPECT_DOUBLE_EQ(dup.at(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(dup.at(1.0), 8.0);
+  EXPECT_DOUBLE_EQ(dup.cdf(2.0), 0.8);
+  EXPECT_DOUBLE_EQ(dup.cdf(1.999), 0.0);
+
+  // Unsorted input is sorted internally; the free function agrees with
+  // the class on the same data.
+  const std::vector<double> data{5.0, 1.0, 4.0, 2.0, 3.0};
+  Percentiles p{data};
+  for (double q : {0.0, 0.1, 0.37, 0.5, 0.9, 1.0}) {
+    EXPECT_DOUBLE_EQ(p.at(q), arachnet::sim::percentile(data, q)) << q;
+  }
+  EXPECT_DOUBLE_EQ(p.at(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(p.at(1.0), 5.0);
+}
+
+TEST(Stats, HistogramRejectsInvalidConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);   // empty range
+  EXPECT_THROW(Histogram(2.0, 1.0, 4), std::invalid_argument);   // inverted
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);   // no bins
 }
 
 TEST(Stats, HistogramBinsAndOutOfRangeCounters) {
