@@ -1,19 +1,32 @@
 // Micro-benchmarks for the reader's hot DSP path: FFT, Welch PSD, FIR
 // filtering, the full DDC, FM0 chip decoding, IQ k-means, and the SPSC
 // ring buffer — the blocks that must sustain 500 kS/s in real time.
+//
+// The BM_*Scalar / BM_*Block pairs measure the two kernel policies on the
+// same workload; CI compares their real_time from the BENCH_micro_dsp.json
+// sidecar and fails if the block path ever regresses below the scalar one.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
 #include <complex>
+#include <span>
 #include <vector>
 
+#include "arachnet/acoustic/waveform_channel.hpp"
 #include "arachnet/dsp/cluster.hpp"
 #include "arachnet/dsp/ddc.hpp"
 #include "arachnet/dsp/fft.hpp"
 #include "arachnet/dsp/fir.hpp"
+#include "arachnet/dsp/kernels/fft_plan.hpp"
+#include "arachnet/dsp/kernels/fir_kernels.hpp"
+#include "arachnet/dsp/kernels/kernel_policy.hpp"
+#include "arachnet/dsp/kernels/nco.hpp"
 #include "arachnet/dsp/psd.hpp"
 #include "arachnet/dsp/ring_buffer.hpp"
 #include "arachnet/dsp/slicer.hpp"
 #include "arachnet/phy/fm0.hpp"
+#include "arachnet/phy/subcarrier.hpp"
+#include "arachnet/reader/fdma_rx.hpp"
 #include "arachnet/reader/rx_chain.hpp"
 #include "arachnet/sim/rng.hpp"
 
@@ -76,6 +89,195 @@ static void BM_DdcFullRate(benchmark::State& state) {
                           static_cast<int64_t>(block.size()));
 }
 BENCHMARK(BM_DdcFullRate);
+
+// ----------------------------------------------------- policy pairs
+
+namespace {
+
+void ddc_policy_bench(benchmark::State& state, dsp::KernelPolicy policy) {
+  dsp::Ddc::Params p;
+  p.kernels = policy;
+  dsp::Ddc ddc{p};
+  sim::Rng rng{4};
+  std::vector<double> block(16384);
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    block[i] = std::cos(2.0 * 3.14159 * 90e3 * i / 500e3) + rng.normal() * 0.01;
+  }
+  std::vector<std::complex<double>> iq;
+  for (auto _ : state) {
+    iq.clear();
+    ddc.process(std::span<const double>{block}, iq);
+    benchmark::DoNotOptimize(iq.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(block.size()));
+}
+
+// One 0.3 s four-subcarrier capture (decodes on every channel), reused by
+// both FDMA policy benches so they chew identical samples.
+const std::vector<double>& fdma_capture() {
+  static const std::vector<double> wave = [] {
+    acoustic::UplinkWaveformSynth synth{
+        acoustic::UplinkWaveformSynth::Params{}};
+    sim::Rng rng{101};
+    std::vector<acoustic::BackscatterSource> srcs;
+    for (int k = 0; k < 4; ++k) {
+      const phy::UlPacket pkt{.tid = static_cast<std::uint8_t>(k + 1),
+                              .payload =
+                                  static_cast<std::uint16_t>(0x500 + k)};
+      phy::SubcarrierModulator mod{{375.0, 3000.0 + 1500.0 * k}};
+      acoustic::BackscatterSource s;
+      s.chips = mod.modulate(phy::Fm0Encoder::encode_frame(pkt.serialize()));
+      s.chip_rate = mod.subchip_rate();
+      s.start_s = 0.03;
+      s.amplitude = 0.12 + 0.01 * k;
+      s.phase_rad = 0.5 + 0.4 * k;
+      srcs.push_back(s);
+    }
+    return synth.synthesize(srcs, 0.3, rng);
+  }();
+  return wave;
+}
+
+reader::FdmaRxChain::Params fdma_bench_params(dsp::KernelPolicy policy) {
+  reader::FdmaRxChain::Params fp;
+  fp.ddc.decimation = 8;
+  fp.workers = 1;  // sequential: measure the kernels, not the threading
+  fp.kernels = policy;
+  for (int k = 0; k < 4; ++k) fp.channels.push_back({3000.0 + 1500.0 * k});
+  return fp;
+}
+
+void fdma_policy_bench(benchmark::State& state, dsp::KernelPolicy policy) {
+  const auto& wave = fdma_capture();
+  reader::FdmaRxChain bank{fdma_bench_params(policy)};
+  std::uint64_t packets = 0;
+  for (auto _ : state) {
+    bank.process(wave);
+    packets += bank.drain_packets().size();
+  }
+  benchmark::DoNotOptimize(packets);
+  state.counters["packets"] = static_cast<double>(packets);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(wave.size()));
+}
+
+}  // namespace
+
+static void BM_DdcScalar(benchmark::State& state) {
+  ddc_policy_bench(state, dsp::KernelPolicy::kScalar);
+}
+BENCHMARK(BM_DdcScalar);
+
+static void BM_DdcBlock(benchmark::State& state) {
+  ddc_policy_bench(state, dsp::KernelPolicy::kBlock);
+}
+BENCHMARK(BM_DdcBlock);
+
+static void BM_FdmaBankScalar(benchmark::State& state) {
+  fdma_policy_bench(state, dsp::KernelPolicy::kScalar);
+}
+BENCHMARK(BM_FdmaBankScalar);
+
+static void BM_FdmaBankBlock(benchmark::State& state) {
+  fdma_policy_bench(state, dsp::KernelPolicy::kBlock);
+}
+BENCHMARK(BM_FdmaBankBlock);
+
+static void BM_NcoFill(benchmark::State& state) {
+  dsp::PhasorNco nco{0.0, 1.131};
+  std::vector<std::complex<double>> buf(8192);
+  for (auto _ : state) {
+    nco.fill(buf.data(), buf.size());
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(buf.size()));
+}
+BENCHMARK(BM_NcoFill);
+
+static void BM_TrigOscillator(benchmark::State& state) {
+  // The per-sample cos/sin pair the NCO replaces, on the same workload.
+  std::vector<std::complex<double>> buf(8192);
+  double phase = 0.0;
+  for (auto _ : state) {
+    for (auto& v : buf) {
+      v = {std::cos(phase), std::sin(phase)};
+      phase += 1.131;
+      if (phase > 2.0 * 3.14159265358979323846) {
+        phase -= 2.0 * 3.14159265358979323846;
+      }
+    }
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(buf.size()));
+}
+BENCHMARK(BM_TrigOscillator);
+
+static void BM_FirBlockFilter(benchmark::State& state) {
+  // Folded block kernel on the BM_FirFilter workload (same taps/blocks).
+  const auto taps = static_cast<std::size_t>(state.range(0));
+  dsp::FirBlockFilter<double> lpf{dsp::design_lowpass(5e3, 500e3, taps)};
+  sim::Rng rng{3};
+  std::vector<double> block(8192), out(8192);
+  for (auto& s : block) s = rng.normal();
+  for (auto _ : state) {
+    lpf.process(block.data(), out.data(), block.size());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(block.size()));
+}
+BENCHMARK(BM_FirBlockFilter)->Arg(65)->Arg(129)->Arg(257);
+
+static void BM_FftRealPlan(benchmark::State& state) {
+  // Cached-plan real-input transform (the Welch PSD inner loop).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::Rng rng{1};
+  std::vector<double> data(n);
+  for (auto& x : data) x = rng.normal();
+  const auto plan = dsp::FftPlan::get(n);
+  std::vector<std::complex<double>> out;
+  for (auto _ : state) {
+    plan->forward_real(data.data(), data.size(), out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_FftRealPlan)->Arg(1024)->Arg(4096);
+
+static void BM_PolicyPacketParity(benchmark::State& state) {
+  // Not a timing bench: records packet-level scalar/block parity into the
+  // sidecar so CI can assert the speedup comparison is between paths that
+  // decode the same packets. parity == 1 means identical packet sets.
+  const auto& wave = fdma_capture();
+  std::uint64_t scalar_packets = 0, block_packets = 0;
+  bool equal = true;
+  {
+    reader::FdmaRxChain scalar{
+        fdma_bench_params(dsp::KernelPolicy::kScalar)};
+    reader::FdmaRxChain block{fdma_bench_params(dsp::KernelPolicy::kBlock)};
+    scalar.process(wave);
+    block.process(wave);
+    const auto a = scalar.drain_packets();
+    const auto b = block.drain_packets();
+    scalar_packets = a.size();
+    block_packets = b.size();
+    equal = a.size() == b.size();
+    for (std::size_t i = 0; equal && i < a.size(); ++i) {
+      equal = a[i].packet == b[i].packet && a[i].channel == b[i].channel &&
+              a[i].time_s == b[i].time_s;
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(equal);
+  }
+  state.counters["parity"] = equal ? 1.0 : 0.0;
+  state.counters["scalar_packets"] = static_cast<double>(scalar_packets);
+  state.counters["block_packets"] = static_cast<double>(block_packets);
+}
+BENCHMARK(BM_PolicyPacketParity);
 
 static void BM_RxChainEndToEnd(benchmark::State& state) {
   // Raw-sample throughput of the whole receive chain (must beat 500 kS/s

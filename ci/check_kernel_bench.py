@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""CI gate over the BENCH_micro_dsp.json sidecar (arachnet.bench.v1).
+
+Asserts the two kernel-policy invariants the block DSP layer promises:
+
+  1. parity  — BM_PolicyPacketParity.parity == 1: the scalar and block
+     policies decoded byte-identical packet sets (same packets, channels
+     and timestamps). A speedup between paths that decode different
+     packets is meaningless, so this is checked first.
+  2. speed   — for each BM_<X>Scalar / BM_<X>Block pair, the block path's
+     real_time must not exceed the scalar path's. The block kernels exist
+     only to be faster; a regression below scalar fails the build.
+
+Usage: check_kernel_bench.py path/to/BENCH_micro_dsp.json
+"""
+
+import json
+import sys
+
+PAIRS = [
+    ("BM_DdcScalar.real_time", "BM_DdcBlock.real_time"),
+    ("BM_FdmaBankScalar.real_time", "BM_FdmaBankBlock.real_time"),
+]
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    metrics = {}
+    with open(sys.argv[1]) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            if rec.get("schema") != "arachnet.bench.v1":
+                print(f"unexpected schema in record: {rec}", file=sys.stderr)
+                return 2
+            metrics[rec["name"]] = rec["value"]
+
+    parity = metrics.get("BM_PolicyPacketParity.parity")
+    if parity != 1:
+        print(
+            f"::error::kernel policies decoded different packets "
+            f"(parity={parity}, scalar="
+            f"{metrics.get('BM_PolicyPacketParity.scalar_packets')}, block="
+            f"{metrics.get('BM_PolicyPacketParity.block_packets')})"
+        )
+        return 1
+
+    failed = False
+    for scalar, block in PAIRS:
+        if scalar not in metrics or block not in metrics:
+            print(f"::error::missing metric {scalar} or {block}")
+            failed = True
+            continue
+        s, b = metrics[scalar], metrics[block]
+        print(f"{scalar.split('.')[0]} -> {block.split('.')[0]}: {s / b:.2f}x")
+        if b > s:
+            print(
+                f"::error::block path slower than scalar "
+                f"({block}={b:.0f}ns vs {scalar}={s:.0f}ns)"
+            )
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,7 +1,9 @@
 #pragma once
 
+#include <complex>
 #include <vector>
 
+#include "arachnet/dsp/kernels/kernel_policy.hpp"
 #include "arachnet/phy/bits.hpp"
 #include "arachnet/sim/rng.hpp"
 
@@ -49,6 +51,12 @@ class UplinkWaveformSynth {
     /// Vehicle self-vibration (engine/road): frequency and amplitude.
     double ambient_hz = 35.0;
     double ambient_amplitude = 0.0;
+    /// DSP implementation (see dsp::KernelPolicy): the block path renders
+    /// carriers with phasor-recurrence NCOs and walks each source's chip
+    /// stream in run-length segments; the scalar path is the per-sample
+    /// reference. Waveforms agree to rounding tolerance; the RNG draw
+    /// order (and hence the noise realization) is identical.
+    dsp::KernelPolicy kernels = dsp::default_kernel_policy();
   };
 
   explicit UplinkWaveformSynth(Params params) : params_(params) {}
@@ -73,6 +81,8 @@ class UplinkWaveformSynth {
  private:
   Params params_;
   double t0_ = 0.0;
+  /// Block-path oscillator scratch, reused across synthesize() calls.
+  std::vector<std::complex<double>> osc_buf_;
 };
 
 }  // namespace arachnet::acoustic

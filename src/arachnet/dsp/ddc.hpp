@@ -3,9 +3,13 @@
 #include <complex>
 #include <cstddef>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "arachnet/dsp/fir.hpp"
+#include "arachnet/dsp/kernels/fir_kernels.hpp"
+#include "arachnet/dsp/kernels/kernel_policy.hpp"
+#include "arachnet/dsp/kernels/nco.hpp"
 
 namespace arachnet::dsp {
 
@@ -16,6 +20,12 @@ namespace arachnet::dsp {
 ///
 /// This is the first block of the paper's reader software chain
 /// ("down conversion, ... filtering, decimation", Sec. 6.1).
+///
+/// Two implementations live behind Params::kernels (see KernelPolicy):
+/// the scalar reference path (per-sample cos/sin mixer + streaming FIR)
+/// and the block-kernel path (phasor-recurrence NCO + one-pass polyphase
+/// decimator), which produces the same IQ to rounding tolerance at a
+/// fraction of the cost. The decimation grid is identical across policies.
 class Ddc {
  public:
   struct Params {
@@ -24,23 +34,43 @@ class Ddc {
     std::size_t decimation = 16;   ///< output rate 31.25 kS/s by default
     double cutoff_hz = 6e3;        ///< anti-alias + modulation bandwidth
     std::size_t taps = 129;
+    KernelPolicy kernels = default_kernel_policy();
   };
 
   explicit Ddc(Params params);
 
   /// Processes a block of real samples; returns the decimated IQ samples
-  /// produced (0 or more per call).
+  /// produced (0 or more per call). Allocating wrapper around the span
+  /// overload.
   std::vector<std::complex<double>> process(const std::vector<double>& block);
 
+  /// Span-in, caller-owned-out overload for allocation-free steady state:
+  /// appends the produced IQ samples to `out` (which the caller clears and
+  /// reuses across blocks) and returns how many were appended.
+  std::size_t process(std::span<const double> in,
+                      std::vector<std::complex<double>>& out);
+
   /// Pushes a single sample; yields an IQ sample every `decimation` inputs.
+  /// Always runs the scalar path — single-sample streaming has no block to
+  /// batch — but shares decimator state with process(), so the two can be
+  /// mixed freely.
   std::optional<std::complex<double>> push(double sample);
 
   double output_rate_hz() const noexcept {
     return params_.sample_rate_hz / static_cast<double>(params_.decimation);
   }
 
-  /// Adjusts the NCO (e.g. after frequency-offset calibration).
+  /// Adjusts the NCO (e.g. after frequency-offset calibration). Phase is
+  /// continuous across the change.
   void set_carrier(double hz) noexcept;
+
+  /// Raw samples consumed since the last decimated output, in
+  /// [0, decimation) — lets block consumers map each produced IQ sample
+  /// back to the exact raw-sample index that emitted it.
+  std::size_t decimation_phase() const noexcept {
+    return params_.kernels == KernelPolicy::kBlock ? decimator_.phase()
+                                                   : decim_count_;
+  }
 
   void reset();
 
@@ -48,10 +78,14 @@ class Ddc {
 
  private:
   Params params_;
-  FirFilter<std::complex<double>> lpf_;
+  FirFilter<std::complex<double>> lpf_;    ///< scalar-path filter state
   double phase_ = 0.0;
   double phase_step_ = 0.0;
   std::size_t decim_count_ = 0;
+  // Block-kernel path: NCO phasor + polyphase decimator + mix scratch.
+  PhasorNco nco_;
+  FirBlockDecimator<std::complex<double>> decimator_;
+  std::vector<std::complex<double>> mixed_;
 };
 
 /// Estimates a small carrier-frequency offset from decimated IQ: the slope
@@ -62,6 +96,6 @@ double estimate_frequency_offset(const std::vector<std::complex<double>>& iq,
 /// Derotates IQ by `-offset_hz` (frequency-offset calibration block).
 std::vector<std::complex<double>> derotate(
     const std::vector<std::complex<double>>& iq, double iq_rate_hz,
-    double offset_hz);
+    double offset_hz, KernelPolicy policy = default_kernel_policy());
 
 }  // namespace arachnet::dsp

@@ -1,8 +1,8 @@
 #include "arachnet/dsp/fft.hpp"
 
-#include <cmath>
-#include <numbers>
 #include <stdexcept>
+
+#include "arachnet/dsp/kernels/fft_plan.hpp"
 
 namespace arachnet::dsp {
 
@@ -19,39 +19,24 @@ void fft(std::vector<cplx>& data, bool inverse) {
   if (!is_pow2(n)) {
     throw std::invalid_argument("fft: size must be a power of two");
   }
-  // Bit-reversal permutation.
-  for (std::size_t i = 1, j = 0; i < n; ++i) {
-    std::size_t bit = n >> 1;
-    for (; j & bit; bit >>= 1) j ^= bit;
-    j ^= bit;
-    if (i < j) std::swap(data[i], data[j]);
-  }
-  // Butterflies.
-  for (std::size_t len = 2; len <= n; len <<= 1) {
-    const double angle =
-        (inverse ? 2.0 : -2.0) * std::numbers::pi / static_cast<double>(len);
-    const cplx wlen{std::cos(angle), std::sin(angle)};
-    for (std::size_t i = 0; i < n; i += len) {
-      cplx w{1.0, 0.0};
-      for (std::size_t k = 0; k < len / 2; ++k) {
-        const cplx u = data[i + k];
-        const cplx v = data[i + k + len / 2] * w;
-        data[i + k] = u + v;
-        data[i + k + len / 2] = u - v;
-        w *= wlen;
-      }
-    }
-  }
+  // Plans cache the twiddle factors and bit-reversal table per size; the
+  // old implementation rebuilt both on every call.
+  const auto plan = FftPlan::get(n);
   if (inverse) {
-    for (auto& x : data) x /= static_cast<double>(n);
+    plan->inverse(data.data());
+  } else {
+    plan->forward(data.data());
   }
 }
 
 std::vector<cplx> fft_real(const std::vector<double>& signal) {
-  std::vector<cplx> data(next_pow2(signal.size()));
-  for (std::size_t i = 0; i < signal.size(); ++i) data[i] = cplx{signal[i], 0};
-  fft(data);
-  return data;
+  const std::size_t n = next_pow2(signal.size());
+  std::vector<cplx> out;
+  // The real-input path runs a half-size complex transform and unpacks via
+  // conjugate symmetry — about half the cost of the full transform the old
+  // implementation ran on the zero-imaginary input.
+  FftPlan::get(n)->forward_real(signal.data(), signal.size(), out);
+  return out;
 }
 
 }  // namespace arachnet::dsp

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace arachnet::dsp {
+
+/// Precomputed radix-2 FFT plan for one transform size: the twiddle
+/// factors and the bit-reversal permutation are built once and reused for
+/// every transform of that size. The free fft() recomputed both per call
+/// (and generated the twiddles by repeated multiplication, which also
+/// accumulates rounding error along each butterfly stage); the plan's
+/// table twiddles are each a direct cos/sin evaluation, so plans are both
+/// faster and slightly more accurate.
+///
+/// Plans are immutable after construction: forward()/inverse() touch only
+/// the caller's buffer, so one plan may be shared across threads (the PSD
+/// estimator under the parallel FDMA bank relies on this).
+class FftPlan {
+ public:
+  using cplx = std::complex<double>;
+
+  /// Builds a plan for size `n` (must be a power of two, >= 1).
+  explicit FftPlan(std::size_t n);
+
+  std::size_t size() const noexcept { return n_; }
+
+  /// In-place forward / inverse transform of exactly size() samples.
+  /// inverse() applies the conjugate transform and 1/N scaling.
+  void forward(cplx* data) const noexcept { transform(data, false); }
+  void inverse(cplx* data) const noexcept { transform(data, true); }
+  void forward(std::vector<cplx>& data) const;
+  void inverse(std::vector<cplx>& data) const;
+
+  /// Full complex spectrum of a real signal: `in[0..n_in)` is zero-padded
+  /// to size(). Uses the conjugate-symmetry trick — the signal is packed
+  /// into a size()/2 complex buffer, transformed with the half-size plan,
+  /// and unpacked — so a real transform costs roughly half a complex one.
+  /// `out` is resized to size(); bins above size()/2 are the conjugate
+  /// mirror, exactly as the full complex transform of the real input
+  /// would produce.
+  void forward_real(const double* in, std::size_t n_in,
+                    std::vector<cplx>& out) const;
+
+  /// Process-wide plan cache: returns the shared plan for size `n`,
+  /// constructing it on first use. Thread-safe.
+  static std::shared_ptr<const FftPlan> get(std::size_t n);
+
+ private:
+  void transform(cplx* data, bool inverse) const noexcept;
+
+  std::size_t n_;
+  std::vector<std::size_t> bitrev_;  ///< permutation table, size n
+  std::vector<cplx> twiddle_;        ///< e^{-2*pi*i*k/n}, k < n/2
+};
+
+}  // namespace arachnet::dsp

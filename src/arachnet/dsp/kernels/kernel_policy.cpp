@@ -1,0 +1,29 @@
+#include "arachnet/dsp/kernels/kernel_policy.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace arachnet::dsp {
+
+namespace {
+
+KernelPolicy resolve_from_env() noexcept {
+  const char* env = std::getenv("ARACHNET_KERNEL_POLICY");
+  if (env != nullptr && std::strcmp(env, "scalar") == 0) {
+    return KernelPolicy::kScalar;
+  }
+  return KernelPolicy::kBlock;
+}
+
+}  // namespace
+
+KernelPolicy default_kernel_policy() noexcept {
+  static const KernelPolicy policy = resolve_from_env();
+  return policy;
+}
+
+const char* to_string(KernelPolicy policy) noexcept {
+  return policy == KernelPolicy::kScalar ? "scalar" : "block";
+}
+
+}  // namespace arachnet::dsp

@@ -1,0 +1,26 @@
+#pragma once
+
+namespace arachnet::dsp {
+
+/// Selects the implementation of the reader's hot DSP loops.
+///
+/// Every rewired call site (Ddc, derotate, the FDMA channel mixers,
+/// UplinkWaveformSynth) keeps its original per-sample scalar code behind
+/// this switch, so the block-kernel path is testable against it: decoded
+/// packets and recovered bits must be identical between the two policies,
+/// and the raw IQ must agree to numeric tolerance (the kernels change
+/// transcendental evaluation and summation order, nothing else).
+enum class KernelPolicy {
+  kScalar,  ///< reference per-sample loops (std::cos/std::sin per sample)
+  kBlock,   ///< phasor-recurrence NCOs + folded/contiguous FIR block kernels
+};
+
+/// Process-wide default, used by every Params struct that carries a policy.
+/// Resolved once from the ARACHNET_KERNEL_POLICY environment variable
+/// ("scalar" or "block"); unset or unrecognized values mean kBlock.
+KernelPolicy default_kernel_policy() noexcept;
+
+/// "scalar" or "block" (for logs and bench sidecars).
+const char* to_string(KernelPolicy policy) noexcept;
+
+}  // namespace arachnet::dsp

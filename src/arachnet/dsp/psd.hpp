@@ -1,7 +1,10 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <vector>
+
+#include "arachnet/dsp/kernels/fft_plan.hpp"
 
 namespace arachnet::dsp {
 
@@ -33,6 +36,9 @@ class WelchPsd {
 
  private:
   Params params_;
+  std::shared_ptr<const FftPlan> plan_;  ///< cached per segment size
+  std::vector<double> window_;           ///< Hann window, built once
+  double window_power_ = 0.0;
 };
 
 /// Backscatter SNR metric from a PSD: total power in

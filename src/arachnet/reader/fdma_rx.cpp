@@ -15,10 +15,14 @@ namespace arachnet::reader {
 FdmaRxChain::Channel::Channel(double hz, double iq_rate, double chip_rate,
                               std::vector<double> coeffs,
                               dsp::AdaptiveSlicer::Params sp,
-                              std::size_t debounce)
+                              std::size_t debounce,
+                              dsp::KernelPolicy kernel_policy)
     : subcarrier_hz(hz),
+      kernels(kernel_policy),
       nco_step(-2.0 * std::numbers::pi * hz / iq_rate),
-      lpf(std::move(coeffs)),
+      nco(0.0, nco_step),
+      lpf(coeffs),
+      blpf(std::move(coeffs)),
       slicer(sp),
       debouncer(debounce),
       framer([this](const phy::UlPacket& pkt) {
@@ -47,16 +51,23 @@ void FdmaRxChain::Channel::process_block(const std::complex<double>* iq,
   // outside the channel low-pass, so no explicit leak cancellation is
   // needed here.
   mixed.resize(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    const std::complex<double> osc{std::cos(nco_phase), std::sin(nco_phase)};
-    nco_phase += nco_step;
-    if (nco_phase < -2.0 * std::numbers::pi) {
-      nco_phase += 2.0 * std::numbers::pi;
+  if (kernels == dsp::KernelPolicy::kBlock) {
+    nco.mix(iq, mixed.data(), n);
+    // Stage 2 (batch): folded symmetric block low-pass, contiguous.
+    blpf.process(mixed.data(), mixed.data(), n);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::complex<double> osc{std::cos(nco_phase),
+                                     std::sin(nco_phase)};
+      nco_phase += nco_step;
+      if (nco_phase < -2.0 * std::numbers::pi) {
+        nco_phase += 2.0 * std::numbers::pi;
+      }
+      mixed[i] = iq[i] * osc;
     }
-    mixed[i] = iq[i] * osc;
+    // Stage 2 (batch): channel low-pass over the contiguous block.
+    lpf.process(mixed.data(), mixed.data(), n);
   }
-  // Stage 2 (batch): channel low-pass over the contiguous block.
-  lpf.process(mixed.data(), mixed.data(), n);
   // Stage 3: axis projection and the decision chain. The subcarrier
   // fundamental flips polarity with the FM0 chip, so after the shift the
   // chip value lives on a fixed line through the origin in the IQ plane.
@@ -104,6 +115,9 @@ FdmaRxChain::FdmaRxChain(Params params)
           top = std::max(top, c.subcarrier_hz);
         }
         ddc.cutoff_hz = top + 3.0 * params.chip_rate;
+        // One policy switch for the whole chain: the main DDC and every
+        // channel follow Params::kernels.
+        ddc.kernels = params.kernels;
         return ddc;
       }()),
       iq_rate_(ddc_.output_rate_hz()) {
@@ -169,7 +183,8 @@ std::unique_ptr<FdmaRxChain::Channel> FdmaRxChain::make_channel(
     double subcarrier_hz) const {
   return std::make_unique<Channel>(subcarrier_hz, iq_rate_,
                                    params_.chip_rate, channel_coeffs_,
-                                   slicer_params_, debounce_);
+                                   slicer_params_, debounce_,
+                                   params_.kernels);
 }
 
 void FdmaRxChain::validate_subcarrier(double hz) const {
@@ -197,13 +212,15 @@ void FdmaRxChain::add_channel(ChannelSpec spec) {
 
 void FdmaRxChain::process(const std::vector<double>& samples) {
   ARACHNET_TRACE_SPAN("fdma.process");
-  const auto iq = ddc_.process(samples);
-  if (iq.empty()) return;
+  // Reused member scratch: the steady-state hot path allocates nothing.
+  iq_buf_.clear();
+  ddc_.process(std::span<const double>{samples}, iq_buf_);
+  if (iq_buf_.empty()) return;
   pool_->run(channels_.size(), [&](std::size_t c) {
-    channels_[c]->process_block(iq.data(), iq.size(), axis_alpha_, iq_rate_,
-                                iq_index_);
+    channels_[c]->process_block(iq_buf_.data(), iq_buf_.size(), axis_alpha_,
+                                iq_rate_, iq_index_);
   });
-  iq_index_ += iq.size();
+  iq_index_ += iq_buf_.size();
 }
 
 const std::vector<phy::UlPacket>& FdmaRxChain::packets(

@@ -8,6 +8,9 @@
 
 #include "arachnet/dsp/ddc.hpp"
 #include "arachnet/dsp/fir.hpp"
+#include "arachnet/dsp/kernels/fir_kernels.hpp"
+#include "arachnet/dsp/kernels/kernel_policy.hpp"
+#include "arachnet/dsp/kernels/nco.hpp"
 #include "arachnet/dsp/pipeline.hpp"
 #include "arachnet/dsp/schmitt.hpp"
 #include "arachnet/dsp/slicer.hpp"
@@ -65,6 +68,10 @@ class FdmaRxChain {
     /// and a worker-pool dispatch-latency histogram (`fdma.dispatch_us`).
     /// The registry must outlive the chain. nullptr = no instrumentation.
     telemetry::MetricsRegistry* metrics = nullptr;
+    /// DSP implementation for the main DDC and the per-channel mixer/LPF.
+    /// Decoded packets are identical across policies (see KernelPolicy);
+    /// the block path is the production default.
+    dsp::KernelPolicy kernels = dsp::default_kernel_policy();
   };
 
   explicit FdmaRxChain(Params params);
@@ -119,7 +126,7 @@ class FdmaRxChain {
   struct Channel {
     Channel(double hz, double iq_rate, double chip_rate,
             std::vector<double> coeffs, dsp::AdaptiveSlicer::Params sp,
-            std::size_t debounce);
+            std::size_t debounce, dsp::KernelPolicy kernels);
     Channel(const Channel&) = delete;
     Channel& operator=(const Channel&) = delete;
 
@@ -131,9 +138,12 @@ class FdmaRxChain {
                        std::uint64_t base_index);
 
     double subcarrier_hz;
-    double nco_phase = 0.0;
+    dsp::KernelPolicy kernels;
+    double nco_phase = 0.0;  ///< scalar-path mixer state
     double nco_step = 0.0;
-    dsp::FirFilter<std::complex<double>> lpf;
+    dsp::PhasorNco nco;      ///< block-path mixer state
+    dsp::FirFilter<std::complex<double>> lpf;        ///< scalar-path LPF
+    dsp::FirBlockFilter<std::complex<double>> blpf;  ///< block-path LPF
     std::vector<std::complex<double>> mixed;  ///< per-block scratch
     std::complex<double> pseudo_variance{0.0, 0.0};
     std::complex<double> prev_axis{1.0, 0.0};
@@ -177,6 +187,9 @@ class FdmaRxChain {
   std::unique_ptr<dsp::WorkerPool> pool_;
   std::vector<std::unique_ptr<Channel>> channels_;
   std::uint64_t iq_index_ = 0;  ///< absolute IQ samples produced so far
+  /// Per-block IQ scratch, reused across process() calls so the steady
+  /// state allocates nothing.
+  std::vector<std::complex<double>> iq_buf_;
 };
 
 }  // namespace arachnet::reader

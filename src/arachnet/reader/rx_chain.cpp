@@ -160,10 +160,29 @@ void RxChain::on_iq(std::complex<double> iq) {
 }
 
 void RxChain::process(const std::vector<double>& samples) {
-  for (double s : samples) {
-    ++sample_count_;
-    if (const auto iq = ddc_.push(s)) on_iq(*iq);
+  if (params_.ddc.kernels == dsp::KernelPolicy::kScalar) {
+    for (double s : samples) {
+      ++sample_count_;
+      if (const auto iq = ddc_.push(s)) on_iq(*iq);
+    }
+    return;
   }
+  // Block path: one pass of the DDC's mix+decimate kernels over the whole
+  // block, then the per-IQ decision chain. Packet timestamps must match
+  // the scalar path bit-for-bit: in scalar operation an IQ sample emitted
+  // at raw sample k sees sample_count_ == k, so reconstruct that count
+  // from the decimation phase the DDC had when the block began.
+  const std::size_t phase = ddc_.decimation_phase();
+  const std::size_t base = sample_count_;
+  const std::size_t decim = params_.ddc.decimation;
+  iq_buf_.clear();
+  const std::size_t got =
+      ddc_.process(std::span<const double>{samples}, iq_buf_);
+  for (std::size_t j = 0; j < got; ++j) {
+    sample_count_ = base + (decim - phase) + j * decim;
+    on_iq(iq_buf_[j]);
+  }
+  sample_count_ = base + samples.size();
 }
 
 bool RxChain::collision_detected(sim::Rng& rng) const {

@@ -185,6 +185,41 @@ TEST(Fir, DcBlockerRemovesOffset) {
   EXPECT_NEAR(out, 0.0, 1e-3);
 }
 
+TEST(Fir, ProcessInPlaceMatchesPush) {
+  const auto coeffs = design_lowpass(4e3, 31.25e3, 63);
+  FirFilter<double> pushed{coeffs};
+  FirFilter<double> blocked{coeffs};
+  Rng rng{21};
+  std::vector<double> buf(300), want(300);
+  for (auto& v : buf) v = rng.normal(0.0, 1.0);
+  for (std::size_t i = 0; i < buf.size(); ++i) want[i] = pushed.push(buf[i]);
+  blocked.process(buf.data(), buf.data(), buf.size());  // in-place
+  EXPECT_EQ(buf, want);
+}
+
+TEST(Fir, DcBlockerRejectionAndPassbandBounds) {
+  // Step rejection: the step response decays as r^n, so after n samples
+  // the residual must sit below r^n (with slack) — and must NOT be better
+  // than the pole allows, which would mean the filter is clamping.
+  DcBlocker blocker{0.999};
+  double out = 1.0;
+  for (int i = 0; i < 10000; ++i) out = blocker.push(1.0);
+  EXPECT_LT(std::abs(out), 1e-3);      // ~0.999^10000 = 4.5e-5, with slack
+  EXPECT_GT(std::abs(out), 1e-7);      // still a one-pole decay, not zero
+  // Passband: a 1 kHz tone at 31.25 kS/s must come through near unity
+  // (the blocker's corner sits well below the modulation band).
+  DcBlocker ac{0.999};
+  double peak = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    const double x =
+        std::sin(2.0 * std::numbers::pi * 1e3 * i / 31.25e3);
+    const double y = ac.push(x);
+    if (i > 1000) peak = std::max(peak, std::abs(y));
+  }
+  EXPECT_GT(peak, 0.9);
+  EXPECT_LT(peak, 1.1);
+}
+
 // ---------------------------------------------------------------------- DDC
 
 TEST(Ddc, CarrierMixesToDc) {
@@ -227,6 +262,30 @@ TEST(Ddc, DerotateCancelsOffset) {
     EXPECT_NEAR(fixed[i].real(), 1.0, 1e-6);
     EXPECT_NEAR(fixed[i].imag(), 0.0, 1e-6);
   }
+}
+
+TEST(Ddc, FrequencyOffsetEstimateSurvivesLowSnr) {
+  // The calibration block runs on leak-dominated (high-SNR) samples, but
+  // it must degrade gracefully: at 0 dB SNR the lag-product estimator's
+  // error scales as sqrt(var/N), ~15 Hz over 64k samples — the estimate
+  // must stay in that statistical envelope, not collapse or alias.
+  const double rate = 31250.0;
+  const double offset = 200.0;
+  Rng rng{33};
+  const auto make_iq = [&](double sigma) {
+    std::vector<std::complex<double>> iq(65536);
+    for (std::size_t i = 0; i < iq.size(); ++i) {
+      const double ph = 2.0 * std::numbers::pi * offset * i / rate;
+      iq[i] = std::complex<double>{std::cos(ph), std::sin(ph)} +
+              std::complex<double>{rng.normal(0.0, sigma),
+                                   rng.normal(0.0, sigma)};
+    }
+    return iq;
+  };
+  // 0 dB SNR (noise power == tone power): within the ~3-sigma envelope.
+  EXPECT_NEAR(estimate_frequency_offset(make_iq(0.707), rate), offset, 45.0);
+  // 14 dB SNR: within a few Hz.
+  EXPECT_NEAR(estimate_frequency_offset(make_iq(0.1), rate), offset, 5.0);
 }
 
 TEST(Ddc, DecimationRatio) {
