@@ -2,31 +2,77 @@
 // 2/4/6/8 (amplification ratios 4x/8x/12x/16x), and (b) charging time
 // (0 V -> HTH) as a function of the 16x amplified voltage, with the
 // implied net charging power.
+//
+// Usage: bench_fig11_energy [--jobs N]. The per-tag harvester models are
+// independent, so the 12 tags run as one sweep-engine grid; printed
+// numbers are bit-identical for any --jobs value.
+#include <algorithm>
 #include <cstdio>
 
 #include "arachnet/acoustic/deployment.hpp"
 #include "arachnet/energy/harvester.hpp"
+#include "arachnet/sim/sweep.hpp"
 
 #include "bench_report.hpp"
+#include "sweep_support.hpp"
 
 using namespace arachnet;
 
-int main() {
+namespace {
+
+/// One tag's worth of Fig. 11 numbers (computed in a sweep trial).
+struct TagRow {
+  int tid = 0;
+  double stage_v[4] = {};  ///< amplified voltage at 2/4/6/8 stages
+  double amp16_v = 0.0;
+  double t_cold = 0.0;
+  double t_resume = 0.0;
+  double net_uw = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t jobs = arachnet::bench::parse_jobs(argc, argv);
   arachnet::bench::Report report{"fig11_energy"};
+  telemetry::MetricsRegistry metrics;
+  sim::SweepEngine engine{{.jobs = jobs, .metrics = &metrics}};
   const auto deployment = acoustic::Deployment::onvo_l60();
+  const auto& sites = deployment.tags();
+
+  // One trial per tag (the deployment is shared read-only across workers).
+  const auto rows = engine.run_grid<TagRow>(
+      sites.size(), 1,
+      [&](const sim::TrialSpec& t, sim::Rng&, sim::TrialScratch&) {
+        const auto& site = sites[t.config];
+        TagRow row;
+        row.tid = site.tid;
+        const double pzt = deployment.tag_pzt_peak_voltage(site.tid);
+        int s = 0;
+        for (int stages : {2, 4, 6, 8}) {
+          energy::Harvester::Params hp;
+          hp.multiplier.stages = stages;
+          energy::Harvester h{hp};
+          h.set_pzt_peak_voltage(pzt);
+          row.stage_v[s++] = h.amplified_voltage();
+        }
+        energy::Harvester h{energy::Harvester::Params{}};
+        h.set_pzt_peak_voltage(pzt);
+        const double hth = h.cutoff().high_threshold();
+        const double lth = h.cutoff().low_threshold();
+        row.amp16_v = h.amplified_voltage();
+        row.t_cold = h.charge_time(0.0, hth);
+        row.t_resume = h.charge_time(lth, hth);
+        row.net_uw = h.net_charging_power(hth) * 1e6;
+        return row;
+      });
 
   std::printf("=== Fig. 11(a): Amplified Voltage vs Stage Number ===\n\n");
   std::printf("%-5s %10s %10s %10s %10s\n", "Tag", "2 (4x)", "4 (8x)",
               "6 (12x)", "8 (16x)");
-  for (const auto& site : deployment.tags()) {
-    std::printf("%-5d", site.tid);
-    for (int stages : {2, 4, 6, 8}) {
-      energy::Harvester::Params hp;
-      hp.multiplier.stages = stages;
-      energy::Harvester h{hp};
-      h.set_pzt_peak_voltage(deployment.tag_pzt_peak_voltage(site.tid));
-      std::printf(" %9.2fV", h.amplified_voltage());
-    }
+  for (const auto& row : rows) {
+    std::printf("%-5d", row.tid);
+    for (double v : row.stage_v) std::printf(" %9.2fV", v);
     std::printf("\n");
   }
   std::printf("\npaper anchors: Tag 4 = 4.74 V and Tag 11 = 2.70 V at 16x;\n"
@@ -36,27 +82,20 @@ int main() {
   std::printf("%-5s %12s %14s %18s %14s\n", "Tag", "16x V (V)",
               "charge 0->HTH", "net power (uW)", "resume LTH->HTH");
   double t_min = 1e18, t_max = 0.0;
-  for (const auto& site : deployment.tags()) {
-    energy::Harvester h{energy::Harvester::Params{}};
-    h.set_pzt_peak_voltage(deployment.tag_pzt_peak_voltage(site.tid));
-    const double hth = h.cutoff().high_threshold();
-    const double lth = h.cutoff().low_threshold();
-    const double t_cold = h.charge_time(0.0, hth);
-    const double t_resume = h.charge_time(lth, hth);
-    t_min = std::min(t_min, t_cold);
-    t_max = std::max(t_max, t_cold);
-    std::printf("%-5d %12.2f %13.1fs %18.1f %13.1fs\n", site.tid,
-                h.amplified_voltage(), t_cold,
-                h.net_charging_power(hth) * 1e6, t_resume);
+  for (const auto& row : rows) {
+    t_min = std::min(t_min, row.t_cold);
+    t_max = std::max(t_max, row.t_cold);
+    std::printf("%-5d %12.2f %13.1fs %18.1f %13.1fs\n", row.tid, row.amp16_v,
+                row.t_cold, row.net_uw, row.t_resume);
     char name[48];
-    std::snprintf(name, sizeof(name), "tag%d.amp16_v", site.tid);
-    report.metric(name, h.amplified_voltage(), "V");
-    std::snprintf(name, sizeof(name), "tag%d.charge_cold_s", site.tid);
-    report.metric(name, t_cold, "s");
-    std::snprintf(name, sizeof(name), "tag%d.charge_resume_s", site.tid);
-    report.metric(name, t_resume, "s");
-    std::snprintf(name, sizeof(name), "tag%d.net_power_uw", site.tid);
-    report.metric(name, h.net_charging_power(hth) * 1e6, "uW");
+    std::snprintf(name, sizeof(name), "tag%d.amp16_v", row.tid);
+    report.metric(name, row.amp16_v, "V");
+    std::snprintf(name, sizeof(name), "tag%d.charge_cold_s", row.tid);
+    report.metric(name, row.t_cold, "s");
+    std::snprintf(name, sizeof(name), "tag%d.charge_resume_s", row.tid);
+    report.metric(name, row.t_resume, "s");
+    std::snprintf(name, sizeof(name), "tag%d.net_power_uw", row.tid);
+    report.metric(name, row.net_uw, "uW");
   }
   report.metric("charge_cold_min_s", t_min, "s");
   report.metric("charge_cold_max_s", t_max, "s");
@@ -65,5 +104,7 @@ int main() {
   std::printf("paper: net charging power 587.8 uW (fastest) to 47.1 uW\n"
               "(slowest); thanks to the low-voltage cutoff, tags resume from\n"
               "LTH and re-activate within ~10 s rather than recharging from 0.\n");
+  arachnet::bench::report_sweep(report, engine);
+  report.snapshot(metrics.snapshot());
   return 0;
 }

@@ -3,28 +3,52 @@
 // constraints. Each battery-free tag transmits whenever it reaches HTH,
 // recharges from LTH (15.2% of the cold-start time, +2% Gaussian noise),
 // and collides whenever its 200 ms packet overlaps any other.
+//
+// Usage: bench_fig19_aloha [--jobs N]. The per-tag charge-time
+// calibration runs as a sweep-engine grid; the ALOHA simulation itself is
+// one globally-coupled run (every tag can collide with every other), so
+// it executes as a single trial.
 #include <cstdio>
 
 #include "arachnet/acoustic/deployment.hpp"
 #include "arachnet/energy/harvester.hpp"
 #include "arachnet/net/aloha.hpp"
+#include "arachnet/sim/sweep.hpp"
 
 #include "bench_report.hpp"
+#include "sweep_support.hpp"
 
 using namespace arachnet;
 
-int main() {
-  // Per-tag cold-start charging times from the calibrated deployment.
+int main(int argc, char** argv) {
+  const std::size_t jobs = arachnet::bench::parse_jobs(argc, argv);
+  telemetry::MetricsRegistry metrics;
+  sim::SweepEngine engine{{.jobs = jobs, .metrics = &metrics}};
+
+  // Per-tag cold-start charging times from the calibrated deployment,
+  // one sweep trial per tag.
   const auto deployment = acoustic::Deployment::onvo_l60();
+  const auto& sites = deployment.tags();
+  const auto charge_s = engine.run_grid<double>(
+      sites.size(), 1,
+      [&](const sim::TrialSpec& t, sim::Rng&, sim::TrialScratch&) {
+        energy::Harvester h{energy::Harvester::Params{}};
+        h.set_pzt_peak_voltage(
+            deployment.tag_pzt_peak_voltage(sites[t.config].tid));
+        return h.charge_time(0.0, h.cutoff().high_threshold());
+      });
   std::vector<net::AlohaSimulator::TagSpec> tags;
-  for (const auto& site : deployment.tags()) {
-    energy::Harvester h{energy::Harvester::Params{}};
-    h.set_pzt_peak_voltage(deployment.tag_pzt_peak_voltage(site.tid));
-    tags.push_back({site.tid, h.charge_time(0.0, h.cutoff().high_threshold())});
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    tags.push_back({sites[i].tid, charge_s[i]});
   }
 
-  net::AlohaSimulator sim{{.seed = 11}, tags};
-  const auto stats = sim.run(10000.0);
+  // The baseline simulation is a single coupled system — one trial.
+  const auto all_stats = engine.run_grid<net::AlohaSimulator::Stats>(
+      1, 1, [&](const sim::TrialSpec&, sim::Rng&, sim::TrialScratch&) {
+        net::AlohaSimulator sim{{.seed = 11}, tags};
+        return sim.run(10000.0);
+      });
+  const auto& stats = all_stats.front();
 
   std::printf("=== Fig. 19: ALOHA Baseline, 10,000 s Simulation ===\n\n");
   std::printf("%-5s %12s %12s %12s %12s\n", "Tag", "charge (s)", "total TX",
@@ -52,5 +76,7 @@ int main() {
               "(Tag 11, 56.2 s) transmit rarely and still collide >70%%.\n"
               "ALOHA neither uses the channel well nor shares it fairly —\n"
               "the case for the coordinated slot protocol.\n");
+  arachnet::bench::report_sweep(report, engine);
+  report.snapshot(metrics.snapshot());
   return 0;
 }

@@ -1,15 +1,24 @@
 // Reproduces Table 1: illustrative vanilla slot allocation for four tags
 // with periods {2, 4, 8, 8} over one 8-slot hyperperiod, plus the paper's
 // "Comment": what beacon loss does to the static schedule (Fig. 8 lead-in).
+//
+// Usage: bench_table1_vanilla [--jobs N]. The four beacon-loss fragility
+// simulations are independent and run as one sweep-engine grid.
+#include <array>
 #include <cstdio>
 
 #include "arachnet/net/vanilla.hpp"
+#include "arachnet/sim/sweep.hpp"
 
 #include "bench_report.hpp"
+#include "sweep_support.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace arachnet::net;
+  const std::size_t jobs = arachnet::bench::parse_jobs(argc, argv);
   arachnet::bench::Report report{"table1_vanilla"};
+  arachnet::telemetry::MetricsRegistry metrics;
+  arachnet::sim::SweepEngine engine{{.jobs = jobs, .metrics = &metrics}};
 
   std::printf("=== Table 1: Illustrative Slot Allocation (vanilla, Sec. 5.2) ===\n\n");
 
@@ -48,19 +57,34 @@ int main() {
   std::printf("\n--- fragility under beacon loss (motivates Sec. 5.3) ---\n");
   std::printf("%-14s %-16s %-16s\n", "beacon loss", "collision ratio",
               "non-empty ratio");
+  const std::array<double, 4> losses{0.0, 0.001, 0.01, 0.05};
+  struct Fragility {
+    double collision_ratio = 0.0;
+    double non_empty_ratio = 0.0;
+  };
+  const auto frag = engine.run_grid<Fragility>(
+      losses.size(), 1,
+      [&](const arachnet::sim::TrialSpec& t, arachnet::sim::Rng&,
+          arachnet::sim::TrialScratch&) {
+        VanillaSimulator sim{{.dl_loss = losses[t.config], .seed = 42},
+                             *alloc};
+        const auto stats = sim.run(50000);
+        return Fragility{stats.collision_ratio(),
+                         static_cast<double>(stats.non_empty_slots) /
+                             static_cast<double>(stats.slots)};
+      });
   char name[48];
-  for (double loss : {0.0, 0.001, 0.01, 0.05}) {
-    VanillaSimulator sim{{.dl_loss = loss, .seed = 42}, *alloc};
-    const auto stats = sim.run(50000);
-    std::printf("%-14g %-16.4f %-16.4f\n", loss, stats.collision_ratio(),
-                static_cast<double>(stats.non_empty_slots) / stats.slots);
-    std::snprintf(name, sizeof(name), "collision_ratio.loss%g", loss);
-    report.metric(name, stats.collision_ratio());
-    std::snprintf(name, sizeof(name), "non_empty_ratio.loss%g", loss);
-    report.metric(name, static_cast<double>(stats.non_empty_slots) /
-                            static_cast<double>(stats.slots));
+  for (std::size_t i = 0; i < losses.size(); ++i) {
+    std::printf("%-14g %-16.4f %-16.4f\n", losses[i], frag[i].collision_ratio,
+                frag[i].non_empty_ratio);
+    std::snprintf(name, sizeof(name), "collision_ratio.loss%g", losses[i]);
+    report.metric(name, frag[i].collision_ratio);
+    std::snprintf(name, sizeof(name), "non_empty_ratio.loss%g", losses[i]);
+    report.metric(name, frag[i].non_empty_ratio);
   }
   std::printf("\npaper: a single missed beacon silently shifts a tag's slot\n"
               "(Eq. 3); with no feedback the static schedule cannot recover.\n");
+  arachnet::bench::report_sweep(report, engine);
+  report.snapshot(metrics.snapshot());
   return 0;
 }

@@ -3,27 +3,57 @@
 // co-simulation: a tag-8-class link runs the full protocol for several
 // minutes and the measured per-mode residency and average power are
 // reported against the harvesting budget.
+//
+// Usage: bench_table2_power [--jobs N]. The co-simulation is one coupled
+// event-queue run, so it executes as a single sweep-engine trial (inline
+// at --jobs 1); the flag exists for interface uniformity across benches.
 #include <cstdio>
 
 #include "arachnet/acoustic/deployment.hpp"
 #include "arachnet/core/tag_firmware.hpp"
 #include "arachnet/energy/tag_power.hpp"
 #include "arachnet/sim/event_queue.hpp"
+#include "arachnet/sim/sweep.hpp"
 #include "arachnet/telemetry/metrics.hpp"
 
 #include "bench_report.hpp"
+#include "sweep_support.hpp"
 
 using namespace arachnet;
 
-int main() {
+namespace {
+
+/// Everything the co-simulation trial measures, extracted so the firmware
+/// and event queue can stay local to the trial.
+struct CosimResult {
+  bool activated = false;
+  double charged_at = 0.0;
+  double total_time = 0.0;
+  double time_s[3] = {};     ///< RX, TX, IDLE residency
+  double energy_mj[3] = {};  ///< RX, TX, IDLE energy
+  double avg_power_uw = 0.0;
+  long long packets_sent = 0;
+  long long beacons_decoded = 0;
+  long long brownouts = 0;
+};
+
+constexpr energy::TagMode kModes[] = {energy::TagMode::kRx,
+                                      energy::TagMode::kTx,
+                                      energy::TagMode::kIdle};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t jobs = arachnet::bench::parse_jobs(argc, argv);
   arachnet::bench::Report report{"table2_power"};
+  telemetry::MetricsRegistry metrics;
+  sim::SweepEngine engine{{.jobs = jobs, .metrics = &metrics}};
   std::printf("=== Table 2: Tag Power Consumption in Different Modes ===\n\n");
   const energy::TagPowerModel model;
   std::printf("%-6s %14s %14s %10s %12s\n", "Mode", "MCU I (uA)",
               "Total I (uA)", "V (V)", "Power (uW)");
   char name[48];
-  for (auto mode : {energy::TagMode::kRx, energy::TagMode::kTx,
-                    energy::TagMode::kIdle}) {
+  for (auto mode : kModes) {
     std::printf("%-6s %14.1f %14.1f %10.1f %12.1f\n",
                 std::string(energy::to_string(mode)).c_str(),
                 model.mcu_current_ua(mode), model.total_current_ua(mode),
@@ -40,66 +70,85 @@ int main() {
 
   // ---- Firmware co-simulation validation -----------------------------
   std::printf("--- co-simulation: tag 8 link, 180 slots of ACKed traffic ---\n");
-  const auto deployment = acoustic::Deployment::onvo_l60();
-  sim::EventQueue queue;
-  core::TagFirmware::Params params;
-  params.tid = 8;
-  params.protocol.period = 4;
-  params.protocol.empty_gating = false;
-  core::TagFirmware fw{&queue, params, 99};
-  fw.set_link(deployment.tag_pzt_peak_voltage(8));
-  fw.set_sensor([] { return 0x123; });
-  fw.start();
+  // Gauges from the co-simulated tag's power meter (bind publishes the
+  // already-accumulated totals immediately). Captured by the single trial;
+  // no other trial exists, so there is no concurrent access.
+  telemetry::MetricsRegistry registry;
+  const auto results = engine.run_grid<CosimResult>(
+      1, 1, [&](const sim::TrialSpec&, sim::Rng&, sim::TrialScratch&) {
+        const auto deployment = acoustic::Deployment::onvo_l60();
+        sim::EventQueue queue;
+        core::TagFirmware::Params params;
+        params.tid = 8;
+        params.protocol.period = 4;
+        params.protocol.empty_gating = false;
+        core::TagFirmware fw{&queue, params, 99};
+        fw.set_link(deployment.tag_pzt_peak_voltage(8));
+        fw.set_sensor([] { return 0x123; });
+        fw.start();
 
-  queue.run_until(10.0);  // charge
-  if (!fw.activated()) {
+        queue.run_until(10.0);  // charge
+        CosimResult r;
+        r.activated = fw.activated();
+        if (!r.activated) return r;
+        r.charged_at = queue.now();
+        for (int s = 0; s < 180; ++s) {
+          queue.schedule_in(0.01, [&] {
+            fw.deliver_beacon(phy::DlBeacon{{.ack = true, .empty = true}});
+          });
+          queue.run_until(queue.now() + 1.0);
+        }
+
+        auto& meter = fw.mcu().mutable_meter();
+        meter.bind_metrics(registry, "energy.tag8");
+        r.total_time = meter.total_time();
+        int m = 0;
+        for (auto mode : kModes) {
+          r.time_s[m] = meter.time_in(mode);
+          r.energy_mj[m] = meter.energy_in(mode) * 1e3;
+          ++m;
+        }
+        r.avg_power_uw = meter.average_power() * 1e6;
+        r.packets_sent = static_cast<long long>(fw.packets_sent());
+        r.beacons_decoded = static_cast<long long>(fw.beacons_decoded());
+        r.brownouts = static_cast<long long>(fw.brownouts());
+        return r;
+      });
+  const CosimResult& r = results.front();
+  if (!r.activated) {
     std::printf("tag failed to activate!\n");
     return 1;
   }
-  const double charged_at = queue.now();
-  for (int s = 0; s < 180; ++s) {
-    queue.schedule_in(0.01, [&] {
-      fw.deliver_beacon(phy::DlBeacon{{.ack = true, .empty = true}});
-    });
-    queue.run_until(queue.now() + 1.0);
-  }
-
-  auto& meter = fw.mcu().mutable_meter();
-  // Live gauges from the co-simulated tag's power meter (bind publishes
-  // the already-accumulated totals immediately).
-  telemetry::MetricsRegistry registry;
-  meter.bind_metrics(registry, "energy.tag8");
-  std::printf("activated after %.1f s; ran %.0f s of slots\n", charged_at,
-              meter.total_time());
+  std::printf("activated after %.1f s; ran %.0f s of slots\n", r.charged_at,
+              r.total_time);
   std::printf("%-6s %12s %14s\n", "Mode", "time (s)", "energy (mJ)");
-  for (auto mode : {energy::TagMode::kRx, energy::TagMode::kTx,
-                    energy::TagMode::kIdle}) {
+  int m = 0;
+  for (auto mode : kModes) {
     std::printf("%-6s %12.2f %14.4f\n",
-                std::string(energy::to_string(mode)).c_str(),
-                meter.time_in(mode), meter.energy_in(mode) * 1e3);
+                std::string(energy::to_string(mode)).c_str(), r.time_s[m],
+                r.energy_mj[m]);
     std::snprintf(name, sizeof(name), "cosim.%s.time_s",
                   std::string(energy::to_string(mode)).c_str());
-    report.metric(name, meter.time_in(mode), "s");
+    report.metric(name, r.time_s[m], "s");
     std::snprintf(name, sizeof(name), "cosim.%s.energy_mj",
                   std::string(energy::to_string(mode)).c_str());
-    report.metric(name, meter.energy_in(mode) * 1e3, "mJ");
+    report.metric(name, r.energy_mj[m], "mJ");
+    ++m;
   }
-  std::printf("duty-cycled average power: %.1f uW\n",
-              meter.average_power() * 1e6);
+  std::printf("duty-cycled average power: %.1f uW\n", r.avg_power_uw);
   std::printf("packets sent: %lld, beacons decoded: %lld, brownouts: %lld\n",
-              static_cast<long long>(fw.packets_sent()),
-              static_cast<long long>(fw.beacons_decoded()),
-              static_cast<long long>(fw.brownouts()));
-  report.metric("cosim.avg_power_uw", meter.average_power() * 1e6, "uW");
-  report.counter("packets_sent",
-                 static_cast<std::uint64_t>(fw.packets_sent()));
+              r.packets_sent, r.beacons_decoded, r.brownouts);
+  report.metric("cosim.avg_power_uw", r.avg_power_uw, "uW");
+  report.counter("packets_sent", static_cast<std::uint64_t>(r.packets_sent));
   report.counter("beacons_decoded",
-                 static_cast<std::uint64_t>(fw.beacons_decoded()));
-  report.counter("brownouts", static_cast<std::uint64_t>(fw.brownouts()));
+                 static_cast<std::uint64_t>(r.beacons_decoded));
+  report.counter("brownouts", static_cast<std::uint64_t>(r.brownouts));
   report.snapshot(registry.snapshot());
   std::printf("\ncontext: weakest-link net charging power is ~47.1 uW; the\n"
               "duty-cycled average must sit below it for sustained operation\n"
               "(TX alone, 51.0 uW, exceeds it — hence the interrupt-driven\n"
               "design, Sec. 6.2).\n");
+  arachnet::bench::report_sweep(report, engine);
+  report.snapshot(metrics.snapshot());
   return 0;
 }

@@ -1,0 +1,60 @@
+#pragma once
+
+// Shared sweep plumbing for the experiment benches: the common `--jobs N`
+// flag and the standard per-sweep sidecar rows. Every sweep-shaped bench
+// parses the flag first (it is stripped from argv, so positional args like
+// the seed count keep working), builds one sim::SweepEngine, and reports
+// its timing through report_sweep() so BENCH_<name>.json carries
+// machine-readable sweep timings alongside the figure numbers.
+//
+// Determinism: the engine guarantees bit-identical reduced results for
+// --jobs 1 vs --jobs N (asserted by tests/test_sweep.cpp and the CI sweep
+// gate), so the flag only changes wall-clock, never output.
+
+#include <cstdlib>
+#include <cstring>
+
+#include "arachnet/sim/sweep.hpp"
+
+#include "bench_report.hpp"
+
+namespace arachnet::bench {
+
+/// Strips `--jobs N` / `--jobs=N` from argv (so positional arguments keep
+/// their places) and returns the requested job count: 0 when absent
+/// (= hardware concurrency, the SweepEngine default).
+inline std::size_t parse_jobs(int& argc, char** argv) {
+  std::size_t jobs = 0;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      jobs = static_cast<std::size_t>(std::strtoul(argv[i] + 7, nullptr, 10));
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  return jobs;
+}
+
+/// Standard sweep sidecar rows (schema arachnet.bench.v1):
+///   sweep.jobs, sweep.trials, sweep.wall_ms, sweep.trial_ms_total,
+///   sweep.trial_ms_mean, sweep.trial_ms_max
+/// The CI determinism gate compares sidecars across --jobs values and
+/// ignores the `sweep.` prefix — these rows are timing, not results.
+inline void report_sweep(Report& report, const sim::SweepEngine& engine) {
+  const auto s = engine.stats();
+  report.gauge("sweep.jobs", static_cast<double>(s.jobs));
+  report.counter("sweep.trials", s.trials);
+  report.metric("sweep.wall_ms", s.wall_ms, "ms");
+  report.metric("sweep.trial_ms_total", s.trial_ms_total, "ms");
+  report.metric("sweep.trial_ms_mean",
+                s.trials ? s.trial_ms_total / static_cast<double>(s.trials)
+                         : 0.0,
+                "ms");
+  report.metric("sweep.trial_ms_max", s.trial_ms_max, "ms");
+}
+
+}  // namespace arachnet::bench

@@ -1,0 +1,34 @@
+#include "arachnet/core/convergence_sweep.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace arachnet::core {
+
+std::optional<std::int64_t> convergence_trial(const ExperimentConfig& cfg,
+                                              const SlotNetwork::Params& p,
+                                              std::int64_t settle_slots,
+                                              std::int64_t max_slots) {
+  SlotNetwork net{p, cfg.tag_specs()};
+  net.run(settle_slots);
+  return net.measure_convergence(max_slots);
+}
+
+std::vector<double> convergence_times(sim::SweepEngine& engine,
+                                      const ExperimentConfig& cfg,
+                                      const ConvergenceSweep& sweep,
+                                      int seeds) {
+  return engine.run_grid<double>(
+      1, static_cast<std::size_t>(seeds),
+      [&](const sim::TrialSpec& t, sim::Rng&, sim::TrialScratch&) {
+        SlotNetwork::Params p = sweep.base;
+        p.seed = (static_cast<std::uint64_t>(t.seed) + 1) * sweep.seed_mul +
+                 sweep.seed_add;
+        const auto conv =
+            convergence_trial(cfg, p, sweep.settle_slots, sweep.max_slots);
+        return conv ? static_cast<double>(*conv)
+                    : std::numeric_limits<double>::quiet_NaN();
+      });
+}
+
+}  // namespace arachnet::core

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arachnet/core/experiment_configs.hpp"
+#include "arachnet/core/slot_network.hpp"
+#include "arachnet/sim/sweep.hpp"
+
+namespace arachnet::core {
+
+/// One multi-seed first-convergence measurement, shared by the
+/// convergence-shaped benches (`bench_fig15_convergence`,
+/// `bench_ablation_protocol`) and the sweep engine conversion — it used to
+/// be copy-pasted between them with drifting seed formulas. Seeds are
+/// derived as `base.seed = k * seed_mul + seed_add` for k = 1..seeds, so
+/// existing bench output stays byte-identical.
+struct ConvergenceSweep {
+  SlotNetwork::Params base{};
+  std::int64_t settle_slots = 3;   ///< slots before RESET (beacon pipeline)
+  std::int64_t max_slots = 40000;  ///< censoring bound
+  std::uint64_t seed_mul = 7919;
+  std::uint64_t seed_add = 13;
+};
+
+/// Runs one first-convergence trial: settle, RESET, count slots to a full
+/// convergence window. nullopt when censored at `max_slots`.
+std::optional<std::int64_t> convergence_trial(const ExperimentConfig& cfg,
+                                              const SlotNetwork::Params& p,
+                                              std::int64_t settle_slots,
+                                              std::int64_t max_slots);
+
+/// `seeds` first-convergence trials of `cfg` on the engine. Returns
+/// slots-to-convergence per seed, in seed order, with censored trials as
+/// NaN (see sim::count_censored / the NaN-skipping reducers). Results are
+/// bit-identical across `jobs` settings: every trial's outcome is a pure
+/// function of its derived seed.
+std::vector<double> convergence_times(sim::SweepEngine& engine,
+                                      const ExperimentConfig& cfg,
+                                      const ConvergenceSweep& sweep,
+                                      int seeds);
+
+}  // namespace arachnet::core

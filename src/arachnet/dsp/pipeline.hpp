@@ -8,12 +8,49 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "arachnet/dsp/ring_buffer.hpp"
 #include "arachnet/telemetry/metrics.hpp"
 
 namespace arachnet::dsp {
+
+/// Non-owning type-erased callable reference (function_ref): two words, no
+/// allocation, no virtual dispatch — built inline from any callable at a
+/// call site. The referent must outlive every invocation; WorkerPool::run
+/// guarantees that by construction (see the liveness note there), which is
+/// why the per-dispatch std::function copy could be dropped.
+template <typename Sig>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  FunctionRef() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef>>>
+  FunctionRef(F&& f) noexcept  // NOLINT: implicit by design, like function_ref
+      : obj_(const_cast<void*>(
+            static_cast<const void*>(std::addressof(f)))),
+        invoke_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return invoke_(obj_, std::forward<Args>(args)...);
+  }
+
+  explicit operator bool() const noexcept { return invoke_ != nullptr; }
+
+ private:
+  void* obj_ = nullptr;
+  R (*invoke_)(void*, Args...) = nullptr;
+};
 
 /// Persistent fork/join worker pool for data-parallel stages.
 ///
@@ -54,7 +91,14 @@ class WorkerPool {
   WorkerPool(const WorkerPool&) = delete;
   WorkerPool& operator=(const WorkerPool&) = delete;
 
-  void run(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  /// Non-allocating dispatch: `fn` binds any callable by reference (two
+  /// words, no std::function construction per block). Liveness: task_ is
+  /// only ever invoked after a successful claim of a current-epoch index,
+  /// and a successful claim keeps run() blocked on done_ until that index
+  /// is credited — so the caller's callable is alive for every invocation,
+  /// including by a worker that overslept earlier dispatches (its stale
+  /// claims fail on the epoch tag without touching task_).
+  void run(std::size_t n, FunctionRef<void(std::size_t)> fn) {
     if (workers_.empty() || n <= 1 || n > kIndexMask) {
       for (std::size_t i = 0; i < n; ++i) fn(i);
       return;
@@ -62,8 +106,6 @@ class WorkerPool {
     std::uint64_t epoch;
     {
       std::lock_guard lock{mutex_};
-      // Stored by value: a stale worker can at worst read a live member,
-      // never a dangling pointer to the caller's temporary.
       task_ = fn;
       task_count_ = n;
       done_ = 0;
@@ -80,7 +122,7 @@ class WorkerPool {
     std::unique_lock lock{mutex_};
     done_ += finished;
     work_done_.wait(lock, [&] { return done_ >= task_count_; });
-    task_ = nullptr;
+    task_ = FunctionRef<void(std::size_t)>{};
     if (error_) {
       auto err = error_;
       error_ = nullptr;
@@ -175,7 +217,9 @@ class WorkerPool {
   std::condition_variable work_ready_;
   std::condition_variable work_done_;
   std::vector<std::thread> workers_;
-  std::function<void(std::size_t)> task_;  // guarded by mutex_ for writes
+  /// Written under mutex_ in run(); read by claimers only after an acquire
+  /// claim of a current-epoch index (see the liveness note on run()).
+  FunctionRef<void(std::size_t)> task_;
   std::size_t task_count_ = 0;
   std::size_t done_ = 0;
   std::uint64_t epoch_ = 0;

@@ -65,37 +65,43 @@ void RealtimeReader::worker_loop() {
         (h_block_ms_ != nullptr) ? steady_now_ns() : 0;
     std::uint64_t out_stall_ns = 0;
     std::uint64_t emitted = 0;
+    std::uint64_t dropped = 0;
     if (fdma_) {
       fdma_->process(*block);
       samples_processed_.fetch_add(block->size(), std::memory_order_relaxed);
       for (auto& pkt : fdma_->drain_packets()) {
-        if (output_.push(std::move(pkt), &out_stall_ns)) {
+        if (emit_packet(std::move(pkt), &out_stall_ns)) {
           ++emitted;
-        } else if (c_packets_dropped_ != nullptr) {
-          c_packets_dropped_->add();
+        } else {
+          ++dropped;
         }
       }
-      packets_emitted_.fetch_add(emitted, std::memory_order_relaxed);
     } else {
       if (resync_requested_.exchange(false)) chain_.resync();
       chain_.process(*block);
       samples_processed_.fetch_add(block->size(), std::memory_order_relaxed);
-      // Emit any packets decoded so far. packets_emitted_ is the emission
-      // cursor; only this thread writes it.
+      // Emit any packets decoded so far. emit_cursor_ advances over every
+      // decoded packet; only successful pushes count as emitted (same
+      // accounting as the FDMA branch).
       const auto& packets = chain_.packets();
-      std::uint64_t cursor = packets_emitted_.load(std::memory_order_relaxed);
-      while (cursor < packets.size()) {
-        if (output_.push(packets[cursor], &out_stall_ns)) {
+      while (emit_cursor_ < packets.size()) {
+        if (emit_packet(packets[emit_cursor_], &out_stall_ns)) {
           ++emitted;
-        } else if (c_packets_dropped_ != nullptr) {
-          c_packets_dropped_->add();
+        } else {
+          ++dropped;
         }
-        ++cursor;
-        packets_emitted_.store(cursor, std::memory_order_relaxed);
+        ++emit_cursor_;
       }
       chain_bits_.store(chain_.bits_decoded(), std::memory_order_relaxed);
       chain_frames_.store(packets.size(), std::memory_order_relaxed);
       chain_crc_.store(chain_.crc_failures(), std::memory_order_relaxed);
+    }
+    if (emitted != 0) {
+      packets_emitted_.fetch_add(emitted, std::memory_order_relaxed);
+    }
+    if (dropped != 0) {
+      packets_dropped_.fetch_add(dropped, std::memory_order_relaxed);
+      if (c_packets_dropped_ != nullptr) c_packets_dropped_->add(dropped);
     }
     if (out_stall_ns != 0) {
       stall_ns_.fetch_add(out_stall_ns, std::memory_order_relaxed);
@@ -113,6 +119,11 @@ void RealtimeReader::worker_loop() {
   ARACHNET_LOG_INFO("reader", "DSP worker drained",
                     {"samples", samples_processed()},
                     {"packets", packets_emitted_.load()});
+}
+
+bool RealtimeReader::emit_packet(RxPacket pkt, std::uint64_t* stall_ns) {
+  if (params_.drop_on_full_output) return output_.try_push(std::move(pkt));
+  return output_.push(std::move(pkt), stall_ns);
 }
 
 bool RealtimeReader::submit(Block block) {
@@ -142,6 +153,7 @@ RealtimeReader::Stats RealtimeReader::stats() const {
   Stats s;
   s.samples_processed = samples_processed();
   s.packets_emitted = packets_emitted_.load(std::memory_order_relaxed);
+  s.packets_dropped = packets_dropped_.load(std::memory_order_relaxed);
   s.input_depth = input_.size();
   s.input_capacity = input_.capacity();
   s.output_depth = output_.size();

@@ -33,6 +33,13 @@ class RealtimeReader {
     std::optional<FdmaRxChain::Params> fdma{};
     std::size_t input_capacity = 8;    ///< blocks in flight
     std::size_t output_capacity = 256; ///< decoded packets buffered
+    /// Full-output-queue policy. false (default): block the DSP thread
+    /// until the consumer drains (back-pressure, the paper's Sec. 6.1
+    /// behaviour). true: drop the packet and count it — the real-time
+    /// choice when a stalled consumer must not stall the DSP thread.
+    /// Dropped packets are never counted as emitted (stats() and the
+    /// `reader.packets_emitted` counter see successful pushes only).
+    bool drop_on_full_output = false;
     /// Optional metrics registry (must outlive the reader). Registers the
     /// `reader.*` block-latency histogram, queue-depth gauges, and
     /// packet/stall counters, and is forwarded to the FDMA bank unless the
@@ -44,7 +51,8 @@ class RealtimeReader {
   /// (one entry per FDMA channel; a single entry in single-channel mode).
   struct Stats {
     std::uint64_t samples_processed = 0;
-    std::uint64_t packets_emitted = 0;  ///< packets pushed to the output
+    std::uint64_t packets_emitted = 0;  ///< successfully pushed to the output
+    std::uint64_t packets_dropped = 0;  ///< lost to a full/closed output
     std::size_t input_depth = 0;   ///< raw blocks waiting for the DSP
     std::size_t input_capacity = 0;
     std::size_t output_depth = 0;  ///< decoded packets not yet fetched
@@ -92,6 +100,9 @@ class RealtimeReader {
 
  private:
   void worker_loop();
+  /// Pushes one decoded packet per Params::drop_on_full_output; returns
+  /// whether it was actually enqueued.
+  bool emit_packet(RxPacket pkt, std::uint64_t* stall_ns);
 
   Params params_;
   RxChain chain_;
@@ -105,9 +116,16 @@ class RealtimeReader {
   std::atomic<std::uint64_t> chain_bits_{0};
   std::atomic<std::uint64_t> chain_frames_{0};
   std::atomic<std::uint64_t> chain_crc_{0};
-  /// Doubles as the single-chain emission cursor (worker-only writes) and
-  /// the cross-thread emitted-packet count read by stats().
+  /// Single-chain emission cursor into chain_.packets(): worker-thread
+  /// only. Deliberately separate from packets_emitted_ — the cursor
+  /// advances past dropped packets, the counter must not (it once doubled
+  /// as both, so a packet dropped on a full output queue was still
+  /// reported as emitted).
+  std::uint64_t emit_cursor_ = 0;
+  /// Packets successfully pushed to the output (cross-thread, stats()).
   std::atomic<std::uint64_t> packets_emitted_{0};
+  /// Packets lost to a full (drop_on_full_output) or closed output.
+  std::atomic<std::uint64_t> packets_dropped_{0};
   /// Nanoseconds spent blocked on full queues (submit + output side).
   std::atomic<std::uint64_t> stall_ns_{0};
   // Registry instruments (nullable; bound once in the constructor).

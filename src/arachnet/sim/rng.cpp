@@ -100,4 +100,62 @@ bool Rng::bernoulli(double p) noexcept {
 
 Rng Rng::fork() noexcept { return Rng{next_u64()}; }
 
+namespace {
+
+/// Shared core of jump()/long_jump(): advances `state` by the polynomial
+/// encoded in `poly` (the canonical xoshiro256 jump tables).
+template <std::size_t N>
+void apply_jump(std::uint64_t (&state)[4], const std::uint64_t (&poly)[N],
+                Rng& rng) noexcept {
+  std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  for (const std::uint64_t word : poly) {
+    for (int b = 0; b < 64; ++b) {
+      if (word & (std::uint64_t{1} << b)) {
+        s0 ^= state[0];
+        s1 ^= state[1];
+        s2 ^= state[2];
+        s3 ^= state[3];
+      }
+      rng.next_u64();
+    }
+  }
+  state[0] = s0;
+  state[1] = s1;
+  state[2] = s2;
+  state[3] = s3;
+}
+
+}  // namespace
+
+void Rng::jump() noexcept {
+  static constexpr std::uint64_t kJump[4] = {
+      0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL, 0xa9582618e03fc9aaULL,
+      0x39abdc4529b1661cULL};
+  apply_jump(state_, kJump, *this);
+  has_cached_normal_ = false;
+}
+
+void Rng::long_jump() noexcept {
+  static constexpr std::uint64_t kLongJump[4] = {
+      0x76e15d3efefdcbbfULL, 0xc5004e441c522fb3ULL, 0x77710069854ee241ULL,
+      0x39109bb02acbe635ULL};
+  apply_jump(state_, kLongJump, *this);
+  has_cached_normal_ = false;
+}
+
+Rng Rng::split(std::uint64_t stream_id) const noexcept {
+  // Child seed = splitmix64 hash chain over (stream_id, state words). Pure
+  // function of the inputs, so the same (master state, id) pair always
+  // yields the same child, and the parent state is untouched. splitmix64's
+  // avalanche keeps adjacent stream ids statistically independent; the Rng
+  // constructor then expands the 64-bit digest into well-mixed state.
+  std::uint64_t s = stream_id ^ 0x6a09e667f3bcc909ULL;
+  std::uint64_t h = splitmix64(s);
+  for (const std::uint64_t word : state_) {
+    s ^= word;
+    h ^= splitmix64(s);
+  }
+  return Rng{h};
+}
+
 }  // namespace arachnet::sim

@@ -55,7 +55,27 @@ class Rng {
 
   /// Derives an independent child generator; useful for giving each
   /// simulated entity its own stream while keeping one master seed.
+  /// Advances this generator by one draw (the child is seeded from it).
   Rng fork() noexcept;
+
+  /// Advances the state by 2^128 draws (the canonical xoshiro256++ jump
+  /// polynomial): 2^64 non-overlapping subsequences of length 2^128 each.
+  /// Clears any cached normal deviate.
+  void jump() noexcept;
+
+  /// Advances the state by 2^192 draws (the long-jump polynomial); useful
+  /// for carving out coarser stream blocks than jump(). Clears any cached
+  /// normal deviate.
+  void long_jump() noexcept;
+
+  /// Derives an independent stream as a pure function of (current state,
+  /// stream_id) WITHOUT advancing this generator: split(k) called twice
+  /// returns identical generators, and distinct ids give statistically
+  /// independent streams. This is the primitive behind deterministic
+  /// parallel sweeps — trial k draws from master.split(k), so its stream
+  /// depends only on the master seed and the grid index, never on which
+  /// worker ran it or in what order (see sim::SweepEngine).
+  Rng split(std::uint64_t stream_id) const noexcept;
 
  private:
   std::uint64_t state_[4];

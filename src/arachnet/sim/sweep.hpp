@@ -1,0 +1,199 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "arachnet/dsp/pipeline.hpp"
+#include "arachnet/sim/rng.hpp"
+#include "arachnet/telemetry/metrics.hpp"
+
+namespace arachnet::sim {
+
+/// Grid coordinates of one trial in a sweep. Trials are numbered
+/// config-major: `index == config * seeds_per_config + seed`, and `index`
+/// is both the reduction position (results always come back in grid
+/// order) and the default RNG stream id (`rng_stream`), so a trial's
+/// random stream is a pure function of the engine's master seed and its
+/// grid cell — never of which worker ran it or when.
+struct TrialSpec {
+  std::size_t index = 0;         ///< flat grid index; reduction order
+  std::size_t config = 0;        ///< row (configuration axis)
+  std::size_t seed = 0;          ///< column (seed/repetition axis)
+  std::uint64_t rng_stream = 0;  ///< stream id fed to Rng::split
+};
+
+/// Per-worker scratch that persists across the trials one worker slot
+/// executes: a monotonic byte arena (rewound between trials, blocks kept)
+/// plus keyed reusable vectors, so a 125-trial sweep reuses its waveform
+/// and history buffers instead of reallocating them 125 times.
+///
+/// Determinism contract: only *capacity* survives between trials. The
+/// arena hands back uninitialized bytes and `doubles()` clears before
+/// returning, so no trial can observe another trial's data.
+class TrialScratch {
+ public:
+  TrialScratch() = default;
+  TrialScratch(const TrialScratch&) = delete;
+  TrialScratch& operator=(const TrialScratch&) = delete;
+
+  /// Uninitialized storage valid until the next reset(). Allocations are
+  /// chunked, so previously returned spans stay valid within a trial even
+  /// when the arena grows.
+  std::span<std::byte> bytes(std::size_t n,
+                             std::size_t align = alignof(std::max_align_t));
+
+  /// Typed arena view (trivially destructible T only — the arena never
+  /// runs destructors). Contents are uninitialized.
+  template <typename T>
+  std::span<T> make(std::size_t n) {
+    static_assert(std::is_trivially_copyable_v<T> &&
+                      std::is_trivially_destructible_v<T>,
+                  "arena storage is raw bytes; T must be trivial");
+    auto b = bytes(n * sizeof(T), alignof(T));
+    return {reinterpret_cast<T*>(b.data()), n};
+  }
+
+  /// Keyed reusable vector: capacity persists across trials, contents are
+  /// cleared on every call. Keys are caller-chosen small integers.
+  std::vector<double>& doubles(std::size_t key);
+
+  /// Rewinds the arena (called by the engine between trials).
+  void reset() noexcept {
+    block_ = 0;
+    used_ = 0;
+  }
+
+  /// Total bytes owned across all arena blocks (for tests/telemetry).
+  std::size_t arena_bytes() const noexcept;
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+  std::vector<Block> blocks_;
+  std::size_t block_ = 0;  ///< current block index
+  std::size_t used_ = 0;   ///< bytes used in the current block
+  std::vector<std::vector<double>> keyed_;
+};
+
+/// Parallel deterministic sweep engine: executes a grid of independent
+/// trials (configs x seeds) across a persistent dsp::WorkerPool and
+/// returns results in grid order regardless of scheduling. Every trial
+/// gets
+///   - a deterministic Rng stream, `master.split(trial_index)` — a pure
+///     function of the master seed and the grid cell, so reduced results
+///     are bit-identical for jobs=1 vs jobs=N;
+///   - a per-worker TrialScratch whose buffers are reused across the
+///     trials that worker slot executes.
+///
+/// Telemetry (optional registry): `sweep.trials` counter, `sweep.trial_ms`
+/// histogram, `sweep.jobs` gauge. Cumulative timing is also available via
+/// stats() for the bench sidecars.
+///
+/// run_grid() is not reentrant and must be called from one thread at a
+/// time; trial callables must not touch shared mutable state (use the
+/// TrialSpec/Rng/TrialScratch arguments and per-trial locals).
+class SweepEngine {
+ public:
+  struct Params {
+    /// Total jobs including the calling thread; 0 = hardware concurrency,
+    /// 1 = serial execution on the caller.
+    std::size_t jobs = 0;
+    /// Master seed for the per-trial Rng streams.
+    std::uint64_t master_seed = 0x5eedc0de5eedc0deULL;
+    /// Optional metrics registry (must outlive the engine).
+    telemetry::MetricsRegistry* metrics = nullptr;
+  };
+
+  /// Cumulative engine accounting across every run_grid() call.
+  struct Stats {
+    std::size_t jobs = 0;       ///< resolved parallelism
+    std::uint64_t trials = 0;   ///< trials executed
+    double wall_ms = 0.0;       ///< wall-clock inside run_grid()
+    double trial_ms_total = 0;  ///< summed per-trial CPU-side wall time
+    double trial_ms_max = 0.0;  ///< slowest single trial
+  };
+
+  using TrialRef =
+      dsp::FunctionRef<void(const TrialSpec&, Rng&, TrialScratch&)>;
+
+  SweepEngine() : SweepEngine(Params{}) {}
+  explicit SweepEngine(Params params);
+  ~SweepEngine();
+
+  SweepEngine(const SweepEngine&) = delete;
+  SweepEngine& operator=(const SweepEngine&) = delete;
+
+  std::size_t jobs() const noexcept { return jobs_; }
+
+  Stats stats() const noexcept;
+
+  /// Type-erased core: runs configs x seeds trials of `fn` across the
+  /// pool. `fn` is invoked exactly once per grid cell, from the caller or
+  /// a worker thread, in unspecified order.
+  void for_each_trial(std::size_t configs, std::size_t seeds, TrialRef fn);
+
+  /// Runs the grid and collects each trial's return value, flat in grid
+  /// order (config-major). T must be default-constructible and must not
+  /// be bool (results are written concurrently to distinct elements, which
+  /// vector<bool> cannot support).
+  template <typename T, typename Fn>
+  std::vector<T> run_grid(std::size_t configs, std::size_t seeds, Fn&& fn) {
+    static_assert(!std::is_same_v<T, bool>, "vector<bool> is not writable "
+                                            "concurrently; use char");
+    std::vector<T> out(configs * seeds);
+    for_each_trial(configs, seeds,
+                   [&](const TrialSpec& t, Rng& rng, TrialScratch& scratch) {
+                     out[t.index] = fn(t, rng, scratch);
+                   });
+    return out;
+  }
+
+  /// Convenience row view of a flat config-major grid result.
+  template <typename T>
+  static std::span<const T> row(const std::vector<T>& flat,
+                                std::size_t seeds, std::size_t config) {
+    return std::span<const T>{flat}.subspan(config * seeds, seeds);
+  }
+
+ private:
+  std::size_t acquire_slot();
+  void release_slot(std::size_t slot);
+
+  Params params_;
+  std::size_t jobs_ = 1;
+  std::unique_ptr<dsp::WorkerPool> pool_;
+  std::vector<std::unique_ptr<TrialScratch>> scratch_;  ///< one per slot
+  std::mutex slots_mutex_;
+  std::vector<std::size_t> free_slots_;
+  // Cumulative accounting (relaxed atomics: trials finish concurrently).
+  std::atomic<std::uint64_t> trials_{0};
+  std::atomic<std::uint64_t> wall_ns_{0};
+  std::atomic<std::uint64_t> trial_ns_total_{0};
+  std::atomic<std::uint64_t> trial_ns_max_{0};
+  // Registry instruments (nullable; bound once in the constructor).
+  telemetry::Counter* c_trials_ = nullptr;
+  telemetry::LatencyHistogram* h_trial_ms_ = nullptr;
+};
+
+/// Ordered reducers over one grid row (or any sample span), reusing
+/// sim::stats machinery. Censored/failed trials are conventionally
+/// returned as NaN by the trial function; every reducer skips non-finite
+/// samples, and count_censored() reports how many were skipped. All
+/// reducers are pure functions of the sample values in grid order, so
+/// reduced results inherit the engine's jobs-independence.
+double reduce_mean(std::span<const double> samples);
+double reduce_median(std::span<const double> samples);
+double reduce_percentile(std::span<const double> samples, double q);
+double reduce_min(std::span<const double> samples);
+double reduce_max(std::span<const double> samples);
+std::size_t count_censored(std::span<const double> samples);
+
+}  // namespace arachnet::sim

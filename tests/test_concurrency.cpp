@@ -329,6 +329,58 @@ TEST(RealtimeReaderShutdown, StopMidStreamLosesNothingBeforeClose) {
   EXPECT_GT(stats.channels[0].bits, 0u);
 }
 
+TEST(RealtimeReaderShutdown, DroppedPacketsAreCountedAsDroppedNotEmitted) {
+  // Regression: packets_emitted_ used to double as the single-chain
+  // emission cursor, so a packet dropped on a full output queue was still
+  // reported as emitted. With a capacity-1 output, drop_on_full_output,
+  // and nobody polling, only the first decoded packet fits — the other
+  // two must surface as drops, while the decode counters still see all 3.
+  sim::Rng rng{7};
+  acoustic::UplinkWaveformSynth synth{
+      acoustic::UplinkWaveformSynth::Params{}};
+
+  reader::RealtimeReader::Params params;
+  params.input_capacity = 64;
+  params.output_capacity = 1;
+  params.drop_on_full_output = true;
+  reader::RealtimeReader rtr{params};
+  rtr.start();
+
+  constexpr int kPackets = 3;
+  std::vector<phy::UlPacket> sent;
+  for (int i = 0; i < kPackets; ++i) {
+    const phy::UlPacket pkt{.tid = 3,
+                            .payload = static_cast<std::uint16_t>(0x700 + i)};
+    sent.push_back(pkt);
+    acoustic::BackscatterSource s;
+    s.chips = phy::Fm0Encoder::encode_frame(pkt.serialize());
+    s.chip_rate = 375.0;
+    s.start_s = 0.02;
+    s.amplitude = 0.2;
+    s.phase_rad = 1.0;
+    const auto wave = synth.synthesize({s}, 0.28, rng);
+    constexpr std::size_t kBlock = 10000;
+    for (std::size_t off = 0; off < wave.size(); off += kBlock) {
+      const std::size_t len = std::min(kBlock, wave.size() - off);
+      ASSERT_TRUE(rtr.submit({wave.begin() + off, wave.begin() + off + len}));
+    }
+  }
+  rtr.stop();
+
+  const auto stats = rtr.stats();
+  EXPECT_EQ(stats.packets_emitted, 1u);
+  EXPECT_EQ(stats.packets_dropped, static_cast<std::uint64_t>(kPackets - 1));
+  ASSERT_EQ(stats.channels.size(), 1u);
+  EXPECT_EQ(stats.channels[0].frames_ok,
+            static_cast<std::uint64_t>(kPackets));
+
+  // Exactly the first decoded packet is fetchable.
+  std::vector<phy::UlPacket> got;
+  while (auto pkt = rtr.wait_packet()) got.push_back(pkt->packet);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], sent[0]);
+}
+
 TEST(RealtimeReaderShutdown, FdmaModeDecodesTagsChannelsAndStats) {
   // FDMA-bank mode: two tags on different subcarriers through the
   // threaded reader; packets carry channel indices and per-channel stats

@@ -1,0 +1,243 @@
+// Tests for the parallel deterministic sweep engine: bit-identical results
+// across jobs counts, grid ordering, scratch reuse semantics, the
+// NaN-censoring reducers, and the FunctionRef worker-pool overload it is
+// built on. The threaded cases run under TSan via the `concurrency` label.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "arachnet/dsp/pipeline.hpp"
+#include "arachnet/sim/sweep.hpp"
+#include "arachnet/telemetry/metrics.hpp"
+
+namespace {
+
+using arachnet::sim::SweepEngine;
+using arachnet::sim::TrialScratch;
+using arachnet::sim::TrialSpec;
+
+/// A trial whose value depends on the grid cell AND on consuming the
+/// per-trial RNG stream, so any cross-trial stream leakage or
+/// order-dependence shows up as a changed result.
+double rng_sensitive_trial(const TrialSpec& t, arachnet::sim::Rng& rng) {
+  double acc = static_cast<double>(t.config) * 1000.0 +
+               static_cast<double>(t.seed);
+  for (int i = 0; i < 100; ++i) acc += rng.uniform();
+  return acc;
+}
+
+std::vector<double> run_reference_grid(std::size_t jobs, std::size_t configs,
+                                       std::size_t seeds) {
+  SweepEngine engine{{.jobs = jobs}};
+  return engine.run_grid<double>(
+      configs, seeds,
+      [](const TrialSpec& t, arachnet::sim::Rng& rng, TrialScratch&) {
+        return rng_sensitive_trial(t, rng);
+      });
+}
+
+TEST(SweepEngine, BitIdenticalAcrossJobCounts) {
+  const auto serial = run_reference_grid(1, 5, 8);
+  for (std::size_t jobs : {2, 4, 8}) {
+    const auto parallel = run_reference_grid(jobs, 5, 8);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      // Bit-identical, not approximately equal.
+      EXPECT_EQ(serial[i], parallel[i]) << "trial " << i << " jobs " << jobs;
+    }
+  }
+}
+
+TEST(SweepEngine, RepeatedRunsAreIdentical) {
+  const auto a = run_reference_grid(8, 3, 7);
+  const auto b = run_reference_grid(8, 3, 7);
+  EXPECT_EQ(a, b);
+}
+
+TEST(SweepEngine, ResultsComeBackInGridOrder) {
+  SweepEngine engine{{.jobs = 4}};
+  const std::size_t configs = 4, seeds = 6;
+  const auto out = engine.run_grid<std::uint64_t>(
+      configs, seeds,
+      [](const TrialSpec& t, arachnet::sim::Rng&, TrialScratch&) {
+        return static_cast<std::uint64_t>(t.config * 100 + t.seed);
+      });
+  ASSERT_EQ(out.size(), configs * seeds);
+  for (std::size_t c = 0; c < configs; ++c) {
+    const auto row = SweepEngine::row(out, seeds, c);
+    for (std::size_t s = 0; s < seeds; ++s) {
+      EXPECT_EQ(row[s], c * 100 + s);
+    }
+  }
+}
+
+TEST(SweepEngine, TrialSpecGridCoordinatesAreConsistent) {
+  SweepEngine engine{{.jobs = 3}};
+  std::mutex mu;
+  std::set<std::size_t> indices;
+  engine.for_each_trial(
+      3, 5, [&](const TrialSpec& t, arachnet::sim::Rng&, TrialScratch&) {
+        EXPECT_EQ(t.index, t.config * 5 + t.seed);
+        EXPECT_EQ(t.rng_stream, t.index);
+        std::lock_guard lock{mu};
+        indices.insert(t.index);
+      });
+  // Every cell ran exactly once.
+  EXPECT_EQ(indices.size(), 15u);
+  EXPECT_EQ(*indices.begin(), 0u);
+  EXPECT_EQ(*indices.rbegin(), 14u);
+}
+
+TEST(SweepEngine, TrialRngMatchesMasterSplit) {
+  const std::uint64_t master_seed = 0xfeedULL;
+  SweepEngine engine{{.jobs = 2, .master_seed = master_seed}};
+  const auto out = engine.run_grid<std::uint64_t>(
+      1, 6, [](const TrialSpec&, arachnet::sim::Rng& rng, TrialScratch&) {
+        return rng.next_u64();
+      });
+  const arachnet::sim::Rng master{master_seed};
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    arachnet::sim::Rng expect = master.split(i);
+    EXPECT_EQ(out[i], expect.next_u64()) << i;
+  }
+}
+
+TEST(SweepEngine, ScratchVectorsAreClearedBetweenTrials) {
+  SweepEngine engine{{.jobs = 4}};
+  // Each trial poisons the keyed vector; if clearing ever regressed, a
+  // later trial on the same slot would observe stale elements.
+  const auto sizes = engine.run_grid<std::size_t>(
+      2, 32, [](const TrialSpec& t, arachnet::sim::Rng&, TrialScratch& s) {
+        auto& v = s.doubles(0);
+        const std::size_t seen = v.size();
+        v.assign(16 + t.seed, 1.0);
+        return seen;
+      });
+  for (std::size_t seen : sizes) EXPECT_EQ(seen, 0u);
+}
+
+TEST(SweepEngine, ScratchArenaIsReusedAcrossTrials) {
+  SweepEngine engine{{.jobs = 1}};
+  std::size_t after_first = 0;
+  engine.for_each_trial(
+      1, 16, [&](const TrialSpec& t, arachnet::sim::Rng&, TrialScratch& s) {
+        auto span = s.bytes(2048);
+        EXPECT_EQ(span.size(), 2048u);
+        if (t.index == 0) {
+          after_first = s.arena_bytes();
+        } else {
+          // Same-size requests must not grow the arena after the first
+          // trial (the whole point of per-slot scratch reuse).
+          EXPECT_EQ(s.arena_bytes(), after_first);
+        }
+      });
+  EXPECT_GT(after_first, 0u);
+}
+
+TEST(TrialScratch, ArenaSpansStayValidAcrossGrowth) {
+  TrialScratch s;
+  auto first = s.make<std::uint64_t>(8);
+  for (std::size_t i = 0; i < first.size(); ++i) first[i] = i * 3;
+  // Force the arena to add blocks; earlier spans must survive.
+  for (int i = 0; i < 8; ++i) (void)s.bytes(1 << (12 + i));
+  for (std::size_t i = 0; i < first.size(); ++i) EXPECT_EQ(first[i], i * 3);
+}
+
+TEST(TrialScratch, BytesRespectsAlignment) {
+  TrialScratch s;
+  (void)s.bytes(1);  // misalign the cursor
+  auto span = s.bytes(64, 64);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(span.data()) % 64, 0u);
+}
+
+TEST(SweepEngine, TelemetryCountsTrials) {
+  arachnet::telemetry::MetricsRegistry metrics;
+  SweepEngine engine{{.jobs = 2, .metrics = &metrics}};
+  engine.for_each_trial(
+      4, 5, [](const TrialSpec&, arachnet::sim::Rng&, TrialScratch&) {});
+  EXPECT_EQ(metrics.counter("sweep.trials").value(), 20u);
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.trials, 20u);
+  EXPECT_EQ(stats.jobs, 2u);
+  EXPECT_GE(stats.wall_ms, 0.0);
+  EXPECT_GE(stats.trial_ms_max, 0.0);
+}
+
+TEST(SweepEngine, ExceptionsPropagateToCaller) {
+  SweepEngine engine{{.jobs = 4}};
+  EXPECT_THROW(
+      engine.for_each_trial(
+          1, 16, [](const TrialSpec& t, arachnet::sim::Rng&, TrialScratch&) {
+            if (t.index == 7) throw std::runtime_error{"trial failed"};
+          }),
+      std::runtime_error);
+  // The engine stays usable after a throwing sweep.
+  const auto out = engine.run_grid<int>(
+      1, 4, [](const TrialSpec& t, arachnet::sim::Rng&, TrialScratch&) {
+        return static_cast<int>(t.index);
+      });
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(SweepReducers, SkipNonFiniteSamples) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<double> samples{10.0, nan, 30.0, 20.0, nan};
+  EXPECT_DOUBLE_EQ(arachnet::sim::reduce_mean(samples), 20.0);
+  EXPECT_DOUBLE_EQ(arachnet::sim::reduce_median(samples), 20.0);
+  EXPECT_DOUBLE_EQ(arachnet::sim::reduce_min(samples), 10.0);
+  EXPECT_DOUBLE_EQ(arachnet::sim::reduce_max(samples), 30.0);
+  EXPECT_DOUBLE_EQ(arachnet::sim::reduce_percentile(samples, 0.5), 20.0);
+  EXPECT_EQ(arachnet::sim::count_censored(samples), 2u);
+}
+
+TEST(SweepReducers, AllCensoredReducesToZero) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<double> samples{nan, nan};
+  EXPECT_DOUBLE_EQ(arachnet::sim::reduce_median(samples), 0.0);
+  EXPECT_EQ(arachnet::sim::count_censored(samples), 2u);
+}
+
+// ---- FunctionRef / WorkerPool non-allocating overload -------------------
+
+TEST(FunctionRef, InvokesUnderlyingCallable) {
+  int hits = 0;
+  auto fn = [&](std::size_t i) { hits += static_cast<int>(i); };
+  arachnet::dsp::FunctionRef<void(std::size_t)> ref{fn};
+  ASSERT_TRUE(static_cast<bool>(ref));
+  ref(3);
+  ref(4);
+  EXPECT_EQ(hits, 7);
+  const arachnet::dsp::FunctionRef<void(std::size_t)> null_ref;
+  EXPECT_FALSE(static_cast<bool>(null_ref));
+}
+
+TEST(WorkerPool, RunInvokesEveryIndexExactlyOnce) {
+  arachnet::dsp::WorkerPool pool{3};
+  std::vector<std::atomic<int>> counts(64);
+  pool.run(counts.size(), [&](std::size_t i) {
+    counts[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(WorkerPool, MutableCallableStateSurvivesRun) {
+  // The FunctionRef overload must reference the caller's callable, not a
+  // copy: worker-side mutations have to land in the original object.
+  arachnet::dsp::WorkerPool pool{3};
+  std::atomic<std::uint64_t> sum{0};
+  auto task = [&sum](std::size_t i) {
+    sum.fetch_add(i + 1, std::memory_order_relaxed);
+  };
+  pool.run(100, task);
+  EXPECT_EQ(sum.load(), 5050u);
+}
+
+}  // namespace
