@@ -9,6 +9,7 @@
 
 #include <cmath>
 #include <complex>
+#include <map>
 #include <span>
 #include <vector>
 
@@ -144,6 +145,9 @@ reader::FdmaRxChain::Params fdma_bench_params(dsp::KernelPolicy policy) {
   fp.ddc.decimation = 8;
   fp.workers = 1;  // sequential: measure the kernels, not the threading
   fp.kernels = policy;
+  // Pinned to the mixer bank: these benches compare the scalar vs block
+  // kernels, which only the per-channel path exercises per channel.
+  fp.bank = reader::FdmaRxChain::BankPolicy::kPerChannel;
   for (int k = 0; k < 4; ++k) fp.channels.push_back({3000.0 + 1500.0 * k});
   return fp;
 }
@@ -173,6 +177,152 @@ static void BM_DdcBlock(benchmark::State& state) {
   ddc_policy_bench(state, dsp::KernelPolicy::kBlock);
 }
 BENCHMARK(BM_DdcBlock);
+
+// ----------------------------------------------- bank-policy scaling
+
+namespace {
+
+std::vector<double> bank_subcarriers(int n) {
+  // Origin 3375 Hz (a legal modulator frequency: 18 chip half-periods)
+  // instead of 3000: odd harmonics of a 3000+1500k grid land exactly on
+  // higher channels, and at 16+ channels that co-channel interference
+  // makes decode success filter-shape-dependent — useless for a parity
+  // row. From 3375 the 3rd/7th harmonics fall 750 Hz off-channel, outside
+  // both banks' channel filters.
+  std::vector<double> freqs;
+  for (int k = 0; k < n; ++k) freqs.push_back(3375.0 + 1500.0 * k);
+  return freqs;
+}
+
+// One 0.3 s capture with a tag on every subcarrier, cached per channel
+// count (rendering 32 tags is far more expensive than decoding them).
+const std::vector<double>& bank_capture(int n) {
+  static std::map<int, std::vector<double>> cache;
+  if (const auto it = cache.find(n); it != cache.end()) return it->second;
+  acoustic::UplinkWaveformSynth synth{
+      acoustic::UplinkWaveformSynth::Params{}};
+  sim::Rng rng{101};
+  std::vector<acoustic::BackscatterSource> srcs;
+  const auto freqs = bank_subcarriers(n);
+  for (int k = 0; k < n; ++k) {
+    const phy::UlPacket pkt{.tid = static_cast<std::uint8_t>(k + 1),
+                            .payload =
+                                static_cast<std::uint16_t>(0x500 + k)};
+    phy::SubcarrierModulator mod{{375.0, freqs[static_cast<std::size_t>(k)]}};
+    acoustic::BackscatterSource s;
+    s.chips = mod.modulate(phy::Fm0Encoder::encode_frame(pkt.serialize()));
+    s.chip_rate = mod.subchip_rate();
+    s.start_s = 0.03;
+    // Stronger than the 4-channel capture above: near the top of the DDC
+    // passband (32 channels reach 49.9 kHz) the filter edges shave the
+    // weakest links, and a tag that only one bank's filter shape can
+    // recover would make the parity row meaningless.
+    s.amplitude = 0.18 + 0.01 * (k % 5);
+    s.phase_rad = 0.5 + 0.4 * k;
+    srcs.push_back(s);
+  }
+  return cache.emplace(n, synth.synthesize(srcs, 0.3, rng)).first->second;
+}
+
+reader::FdmaRxChain::Params bank_policy_params(
+    int n, reader::FdmaRxChain::BankPolicy bank) {
+  reader::FdmaRxChain::Params fp;
+  // The IQ passband must hold the top subcarrier plus sidebands: 32
+  // channels top out at 49.5 kHz, needing the 125 kS/s (decimation-4) IQ
+  // rate; up to 16 channels fit the usual 62.5 kS/s bank.
+  fp.ddc.decimation = n > 16 ? 4 : 8;
+  fp.workers = 1;  // sequential: measure the bank DSP, not the threading
+  fp.kernels = dsp::KernelPolicy::kBlock;
+  fp.bank = bank;
+  for (double hz : bank_subcarriers(n)) fp.channels.push_back({hz});
+  return fp;
+}
+
+void bank_policy_bench(benchmark::State& state,
+                       reader::FdmaRxChain::BankPolicy bank) {
+  const int n = static_cast<int>(state.range(0));
+  const auto& wave = bank_capture(n);
+  reader::FdmaRxChain chain{bank_policy_params(n, bank)};
+  std::uint64_t packets = 0;
+  for (auto _ : state) {
+    chain.process(wave);
+    packets += chain.drain_packets().size();
+  }
+  benchmark::DoNotOptimize(packets);
+  state.counters["packets"] = static_cast<double>(packets);
+  // CI asserts the requested bank actually engaged: a silent fallback
+  // would turn the speedup comparison into per-channel vs per-channel.
+  state.counters["channelized"] =
+      chain.active_bank() == reader::FdmaRxChain::BankPolicy::kChannelizer
+          ? 1.0
+          : 0.0;
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(wave.size()));
+}
+
+}  // namespace
+
+static void BM_FdmaBankPerChannel(benchmark::State& state) {
+  bank_policy_bench(state, reader::FdmaRxChain::BankPolicy::kPerChannel);
+}
+BENCHMARK(BM_FdmaBankPerChannel)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+static void BM_FdmaBankChannelizer(benchmark::State& state) {
+  bank_policy_bench(state, reader::FdmaRxChain::BankPolicy::kChannelizer);
+}
+BENCHMARK(BM_FdmaBankChannelizer)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+static void BM_BankPacketParity(benchmark::State& state) {
+  // Not a timing bench: records per-channel packet parity between the two
+  // bank policies at 16 channels into the sidecar. Payloads, channels and
+  // CRC verdicts must match exactly; timestamps within one channelizer
+  // lane sample (the banks run different prototype filters).
+  const int n = 16;
+  const auto& wave = bank_capture(n);
+  std::uint64_t pc_packets = 0, chzr_packets = 0;
+  bool equal = true;
+  {
+    reader::FdmaRxChain pc{bank_policy_params(
+        n, reader::FdmaRxChain::BankPolicy::kPerChannel)};
+    reader::FdmaRxChain chzr{bank_policy_params(
+        n, reader::FdmaRxChain::BankPolicy::kChannelizer)};
+    pc.process(wave);
+    chzr.process(wave);
+    const double lane_dt = 8.0 / (500e3 / 8.0);  // one lane sample
+    equal = chzr.active_bank() ==
+            reader::FdmaRxChain::BankPolicy::kChannelizer;
+    for (std::size_t c = 0; c < pc.channel_count(); ++c) {
+      const auto& a = pc.packets(c);
+      const auto& b = chzr.packets(c);
+      pc_packets += a.size();
+      chzr_packets += b.size();
+      equal = equal && a == b;
+    }
+    const auto ta = pc.drain_packets();
+    const auto tb = chzr.drain_packets();
+    for (std::size_t c = 0; equal && c < pc.channel_count(); ++c) {
+      std::vector<double> times_a, times_b;
+      for (const auto& p : ta) {
+        if (p.channel == c) times_a.push_back(p.time_s);
+      }
+      for (const auto& p : tb) {
+        if (p.channel == c) times_b.push_back(p.time_s);
+      }
+      equal = times_a.size() == times_b.size();
+      for (std::size_t i = 0; equal && i < times_a.size(); ++i) {
+        equal = std::abs(times_a[i] - times_b[i]) <= lane_dt;
+      }
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(equal);
+  }
+  state.counters["parity"] = equal ? 1.0 : 0.0;
+  state.counters["per_channel_packets"] = static_cast<double>(pc_packets);
+  state.counters["channelizer_packets"] =
+      static_cast<double>(chzr_packets);
+}
+BENCHMARK(BM_BankPacketParity);
 
 static void BM_FdmaBankScalar(benchmark::State& state) {
   fdma_policy_bench(state, dsp::KernelPolicy::kScalar);

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""CI gate over the channelizer-vs-per-channel bank benches.
+
+Reads one or more arachnet.bench.v1 JSONL sidecars (BENCH_micro_dsp.json,
+optionally BENCH_ext_throughput.json) and asserts the polyphase
+channelizer's contract:
+
+  1. parity      — BM_BankPacketParity.parity == 1: at 16 channels the two
+     bank policies decoded the same packets on the same channels with
+     timestamps within one lane sample. A speedup between banks that
+     decode different packets is meaningless, so this is checked first.
+  2. engagement  — BM_FdmaBankChannelizer/<N>.channelized == 1 for every
+     measured N: the requested channelizer actually engaged (a silent
+     fallback would compare per-channel against itself).
+  3. speed       — from the BM_FdmaBankPerChannel/<N> vs
+     BM_FdmaBankChannelizer/<N> real_time pairs:
+       * N >= 8  : the channelizer must never be slower, and
+       * N == 16 : it must be at least 2x faster.
+     (At 4 channels the shared FFT costs about what four mixers do, so no
+     speed requirement is placed there.)
+
+When the ext_throughput sidecar is supplied, its fdma.bank.<N>.parity and
+fdma.bank.<N>.channelized rows are checked too, and the measured
+fdma.bank.<N>.speedup_x values are printed for the record (wall-clock
+single-shot numbers; the gate thresholds apply to the min_time-controlled
+google-benchmark rows above).
+
+Usage: check_channelizer_bench.py BENCH_micro_dsp.json [BENCH_ext_throughput.json ...]
+"""
+
+import json
+import sys
+
+COUNTS = [4, 8, 16, 32]
+
+
+def load(paths):
+    metrics = {}
+    for path in paths:
+        with open(path) as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                rec = json.loads(line)
+                if rec.get("schema") != "arachnet.bench.v1":
+                    print(f"unexpected schema in record: {rec}",
+                          file=sys.stderr)
+                    sys.exit(2)
+                if "value" in rec:  # histograms/percentiles carry none
+                    metrics[rec["name"]] = rec["value"]
+    return metrics
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    metrics = load(sys.argv[1:])
+
+    failed = False
+
+    parity = metrics.get("BM_BankPacketParity.parity")
+    if parity != 1:
+        print(
+            f"::error::bank policies decoded different packet streams "
+            f"(parity={parity}, per_channel="
+            f"{metrics.get('BM_BankPacketParity.per_channel_packets')}, "
+            f"channelizer="
+            f"{metrics.get('BM_BankPacketParity.channelizer_packets')})"
+        )
+        failed = True
+
+    for n in COUNTS:
+        pc = metrics.get(f"BM_FdmaBankPerChannel/{n}.real_time")
+        cz = metrics.get(f"BM_FdmaBankChannelizer/{n}.real_time")
+        engaged = metrics.get(f"BM_FdmaBankChannelizer/{n}.channelized")
+        if pc is None or cz is None:
+            print(f"::error::missing BM_FdmaBank{{PerChannel,Channelizer}}/"
+                  f"{n} rows")
+            failed = True
+            continue
+        if engaged != 1:
+            print(f"::error::channelizer did not engage at {n} channels "
+                  f"(channelized={engaged})")
+            failed = True
+            continue
+        speedup = pc / cz
+        print(f"bank {n:>2} channels: per-channel {pc:.0f}ns, "
+              f"channelizer {cz:.0f}ns -> {speedup:.2f}x")
+        if n >= 8 and cz > pc:
+            print(f"::error::channelizer slower than per-channel at {n} "
+                  f"channels ({cz:.0f}ns vs {pc:.0f}ns)")
+            failed = True
+        if n == 16 and speedup < 2.0:
+            print(f"::error::channelizer under 2x at 16 channels "
+                  f"({speedup:.2f}x)")
+            failed = True
+
+    # Optional ext_throughput rows (present when that sidecar was given).
+    for n in COUNTS:
+        speedup = metrics.get(f"fdma.bank.{n}.speedup_x")
+        if speedup is None:
+            continue
+        print(f"ext sweep {n:>2} channels: {speedup:.2f}x")
+        if metrics.get(f"fdma.bank.{n}.parity") != 1:
+            print(f"::error::ext sweep parity broken at {n} channels")
+            failed = True
+        if metrics.get(f"fdma.bank.{n}.channelized") != 1:
+            print(f"::error::ext sweep channelizer did not engage at {n} "
+                  f"channels")
+            failed = True
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

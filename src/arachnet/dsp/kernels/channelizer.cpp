@@ -1,0 +1,206 @@
+#include "arachnet/dsp/kernels/channelizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace arachnet::dsp {
+
+namespace {
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+bool is_pow2(std::size_t n) noexcept { return n != 0 && (n & (n - 1)) == 0; }
+
+}  // namespace
+
+std::size_t PolyphaseChannelizer::bin_for(double hz, double sample_rate_hz,
+                                          std::size_t fft_size) noexcept {
+  return static_cast<std::size_t>(std::lround(
+      hz * static_cast<double>(fft_size) / sample_rate_hz));
+}
+
+PolyphaseChannelizer::Plan PolyphaseChannelizer::plan(
+    double sample_rate_hz, double chip_rate,
+    const std::vector<double>& subcarriers_hz) {
+  Plan p;
+  if (subcarriers_hz.empty()) {
+    p.reason = "no subcarriers";
+    return p;
+  }
+  std::vector<double> sorted = subcarriers_hz;
+  std::sort(sorted.begin(), sorted.end());
+  double spacing = 0.0;
+  if (sorted.size() >= 2) {
+    spacing = sorted[1] - sorted[0];
+    for (std::size_t i = 1; i + 1 < sorted.size(); ++i) {
+      if (std::abs((sorted[i + 1] - sorted[i]) - spacing) >
+          1e-6 * spacing) {
+        p.reason = "subcarriers are not on a uniform grid";
+        return p;
+      }
+    }
+  }
+  // Lane rate: keep >= 16 samples per chip after decimation (the decision
+  // chain needs margin over the debouncer and FM0 run quantization), so
+  // D = largest power of two with fs/D >= 16*chip_rate — and decimating by
+  // less than 2 gains nothing over the mixer bank.
+  std::size_t decim = 1;
+  while (static_cast<double>(2 * decim) * 16.0 * chip_rate <=
+         sample_rate_hz) {
+    decim *= 2;
+  }
+  if (decim < 2) {
+    p.reason = "IQ rate below 32 samples per chip leaves no decimation room";
+    return p;
+  }
+  // Bin width <= chip_rate, so the worst-case residual fs/(2C) the
+  // prototype passband must absorb stays <= chip_rate/2.
+  std::size_t fft_size = 1;
+  while (static_cast<double>(fft_size) < sample_rate_hz / chip_rate) {
+    fft_size *= 2;
+  }
+  std::vector<std::size_t> bins;
+  for (double hz : sorted) {
+    const std::size_t b = bin_for(hz, sample_rate_hz, fft_size);
+    if (b < 1 || b >= fft_size / 2) {
+      p.reason = "subcarrier maps to the DC or Nyquist bin";
+      return p;
+    }
+    if (std::find(bins.begin(), bins.end(), b) != bins.end()) {
+      p.reason = "two subcarriers collide in one FFT bin";
+      return p;
+    }
+    bins.push_back(b);
+  }
+  // Same transition-width scaling rule as the per-channel LPF, but with
+  // roughly half the transition band (the passband is widened by the bin
+  // residual, so the stopband edge must stay inside the channel spacing).
+  p.taps = std::clamp<std::size_t>(
+      static_cast<std::size_t>(3.3 * sample_rate_hz / (1.1 * chip_rate)) | 1,
+      255, 1023);
+  p.cutoff_hz = 1.4 * chip_rate +
+                sample_rate_hz / (2.0 * static_cast<double>(fft_size));
+  p.fft_size = fft_size;
+  p.decimation = decim;
+  p.grid_origin_hz = sorted.front();
+  p.grid_spacing_hz = spacing;
+  p.viable = true;
+  return p;
+}
+
+PolyphaseChannelizer::PolyphaseChannelizer(Params params)
+    : params_(std::move(params)) {
+  if (!is_pow2(params_.fft_size)) {
+    throw std::invalid_argument(
+        "PolyphaseChannelizer: fft_size must be a power of two");
+  }
+  if (params_.decimation == 0 || params_.decimation > params_.fft_size) {
+    throw std::invalid_argument(
+        "PolyphaseChannelizer: decimation must be in [1, fft_size]");
+  }
+  if (params_.prototype.empty()) {
+    throw std::invalid_argument("PolyphaseChannelizer: empty prototype");
+  }
+  if (params_.sample_rate_hz <= 0.0) {
+    throw std::invalid_argument(
+        "PolyphaseChannelizer: sample rate must be positive");
+  }
+  fft_ = FftPlan::get(params_.fft_size);
+  // FftPlan::inverse scales by 1/C; fold the compensating C into the
+  // prototype so the branch sums need no post-scaling.
+  scaled_proto_ = params_.prototype;
+  for (double& h : scaled_proto_) {
+    h *= static_cast<double>(params_.fft_size);
+  }
+  work_.assign(scaled_proto_.size() - 1, cplx{});
+  spec_.resize(params_.fft_size);
+  const std::vector<double> centers = std::move(params_.center_hz);
+  params_.center_hz.clear();
+  for (double hz : centers) add_lane(hz);
+}
+
+bool PolyphaseChannelizer::lane_fits(double center_hz) const noexcept {
+  const std::size_t b =
+      bin_for(center_hz, params_.sample_rate_hz, params_.fft_size);
+  if (b < 1 || b >= params_.fft_size / 2) return false;
+  return std::find(bins_.begin(), bins_.end(), b) == bins_.end();
+}
+
+void PolyphaseChannelizer::seed_lane_nco(double center_hz) {
+  // The lane rotation e^{-j*w*t} is only ever evaluated at frame instants
+  // t_F = (F+1)*D - 1, so it reduces to one phasor stepping -w*D per
+  // frame. Seed it for the *next* frame this instance will produce —
+  // identical to a from-construction seed at -w*(D-1) when no frames have
+  // run yet, and phase-aligned for lanes added mid-stream.
+  const double w = kTwoPi * center_hz / params_.sample_rate_hz;
+  const double d = static_cast<double>(params_.decimation);
+  const double t_next =
+      (static_cast<double>(frames_produced_) + 1.0) * d - 1.0;
+  lane_nco_.emplace_back(-std::fmod(w * t_next, kTwoPi),
+                         -std::fmod(w * d, kTwoPi));
+}
+
+std::size_t PolyphaseChannelizer::add_lane(double center_hz) {
+  if (!lane_fits(center_hz)) {
+    throw std::invalid_argument(
+        "PolyphaseChannelizer: lane bin unusable or already taken");
+  }
+  bins_.push_back(
+      bin_for(center_hz, params_.sample_rate_hz, params_.fft_size));
+  seed_lane_nco(center_hz);
+  lanes_.emplace_back();
+  params_.center_hz.push_back(center_hz);
+  return lane_nco_.size() - 1;
+}
+
+std::size_t PolyphaseChannelizer::process(const cplx* in, std::size_t n) {
+  const std::size_t taps = scaled_proto_.size();
+  const std::size_t fft_size = params_.fft_size;
+  const std::size_t decim = params_.decimation;
+  work_.resize(taps - 1 + n);
+  std::copy(in, in + n,
+            work_.begin() + static_cast<std::ptrdiff_t>(taps - 1));
+  const std::size_t count = (phase_ + n) / decim;
+  for (auto& lane : lanes_) lane.resize(count);
+  const cplx* w = work_.data();
+  const double* h = scaled_proto_.data();
+  cplx* v = spec_.data();
+  std::size_t f = 0;
+  // Frame grid: the first frame fires at the input index where decim
+  // samples have accumulated since the last frame (FirBlockDecimator's
+  // alignment), i.e. the frame's newest sample is work_[taps-1 + i].
+  for (std::size_t i = decim - 1 - phase_; i < n; i += decim, ++f) {
+    // Oldest-first window of `taps` samples ending at the frame instant:
+    // win[taps-1-m] is the sample m steps back.
+    const cplx* win = w + i;
+    // Branch sums: v[p] = sum_q h[p+qC] * x[t-p-qC]. Every prototype tap
+    // is touched exactly once, so this costs L complex-by-real multiplies
+    // per frame no matter how large C is.
+    for (std::size_t p = 0; p < fft_size; ++p) {
+      double re = 0.0, im = 0.0;
+      for (std::size_t m = p; m < taps; m += fft_size) {
+        const cplx x = win[taps - 1 - m];
+        re += h[m] * x.real();
+        im += h[m] * x.imag();
+      }
+      v[p] = cplx{re, im};
+    }
+    // inverse() gives (1/C) * sum_p v[p] e^{+j*2*pi*p*b/C}; the 1/C is
+    // pre-folded into scaled_proto_, leaving Y_b exactly.
+    fft_->inverse(v);
+    for (std::size_t k = 0; k < lane_nco_.size(); ++k) {
+      lanes_[k][f] = v[bins_[k]] * lane_nco_[k].next();
+    }
+  }
+  phase_ = (phase_ + n) % decim;
+  std::copy(work_.end() - static_cast<std::ptrdiff_t>(taps - 1),
+            work_.end(), work_.begin());
+  work_.resize(taps - 1);
+  last_frames_ = count;
+  frames_produced_ += count;
+  return count;
+}
+
+}  // namespace arachnet::dsp

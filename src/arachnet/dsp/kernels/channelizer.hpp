@@ -1,0 +1,152 @@
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arachnet/dsp/kernels/fft_plan.hpp"
+#include "arachnet/dsp/kernels/nco.hpp"
+
+namespace arachnet::dsp {
+
+/// Uniform polyphase filterbank channelizer — the shared front-end that
+/// replaces a bank of per-channel NCO-mix + full-rate-FIR stages (the
+/// standard SDR/base-station receiver structure).
+///
+/// One windowed-sinc prototype low-pass of length L is decomposed into C
+/// polyphase branches. Every `decimation` (D) input samples the commutator
+/// takes the newest L-sample window, folds it through the branches
+/// (v[p] = sum_q h[p + qC] * x[t - p - qC], L multiplies total regardless
+/// of C), and one size-C inverse FFT turns the branch sums into all C
+/// bin outputs at once:
+///
+///   Y_b[t] = sum_m h[m] * x[t - m] * e^{+j*2*pi*b*m/C}
+///
+/// i.e. the input filtered by the prototype *heterodyned up to bin b* —
+/// which equals the input down-mixed by the bin frequency 2*pi*b/C and
+/// low-pass filtered. A lane centered at w_k = 2*pi*f_k/fs rarely sits
+/// exactly on a bin; with b_k = round(f_k*C/fs) the residual
+/// delta_k = w_k - 2*pi*b_k/C (at most half a bin, pi/C) is absorbed by
+/// widening the prototype passband by fs/(2C) Hz, and the final rotation
+/// that moves the lane to exact DC collapses — together with the bin
+/// shift — into one per-lane phasor e^{-j*w_k*t} evaluated only at frame
+/// instants t = (F+1)*D - 1 (one complex multiply per lane per frame):
+///
+///   lane_k[F] = e^{-j*w_k*t_F} * Y_{b_k}[t_F]
+///
+/// Cost per input sample: L/D multiplies for the branch sums plus the
+/// size-C FFT amortized over D samples — independent of the number of
+/// lanes — versus `taps` multiplies *per channel* for the mixer bank.
+///
+/// The frame grid matches FirBlockDecimator: with `phase()` samples
+/// consumed since the last frame, the next frame fires after
+/// D - phase() further samples, and history carries across process()
+/// calls, so splitting a stream into arbitrary blocks yields the exact
+/// same frames.
+///
+/// Instances are single-threaded (process() on one thread at a time); the
+/// FFT plan is shared process-wide and immutable.
+class PolyphaseChannelizer {
+ public:
+  using cplx = std::complex<double>;
+
+  struct Params {
+    double sample_rate_hz = 0.0;  ///< input IQ rate fs
+    std::size_t fft_size = 0;     ///< C: bins/branches (power of two)
+    std::size_t decimation = 0;   ///< D: inputs per output frame, D <= C
+    /// Prototype low-pass (odd length, unity DC gain, e.g. from
+    /// design_lowpass). Passband must cover the signal bandwidth plus the
+    /// worst-case bin residual fs/(2C).
+    std::vector<double> prototype;
+    /// Per-lane center frequencies in Hz. Each maps to its nearest bin;
+    /// bins must be distinct and inside (0, fs/2).
+    std::vector<double> center_hz;
+  };
+
+  /// Auto-planner output for a subcarrier bank (see plan()).
+  struct Plan {
+    bool viable = false;
+    std::string reason;  ///< why not viable (empty when viable)
+    std::size_t fft_size = 0;
+    std::size_t decimation = 0;
+    std::size_t taps = 0;
+    double cutoff_hz = 0.0;
+    /// The arithmetic grid the subcarriers sit on: f = origin + k*spacing.
+    /// spacing is 0 for a single subcarrier (no grid to extend).
+    double grid_origin_hz = 0.0;
+    double grid_spacing_hz = 0.0;
+  };
+
+  /// Sizes a channelizer for a set of subcarriers carrying chips at
+  /// `chip_rate`: C = next power of two >= fs/chip_rate (bin residual
+  /// <= chip_rate/2), D = largest power of two keeping >= 16 lane samples
+  /// per chip, prototype length ~3.3*fs/(1.1*chip_rate) (clamped odd to
+  /// [255, 1023]) with cutoff 1.4*chip_rate + fs/(2C). Not viable when the
+  /// subcarriers are off a uniform grid, collide in a bin, map outside
+  /// (0, fs/2), or the IQ rate leaves no room to decimate (D < 2); the
+  /// reason string says which.
+  static Plan plan(double sample_rate_hz, double chip_rate,
+                   const std::vector<double>& subcarriers_hz);
+
+  /// Nearest FFT bin for a center frequency.
+  static std::size_t bin_for(double hz, double sample_rate_hz,
+                             std::size_t fft_size) noexcept;
+
+  explicit PolyphaseChannelizer(Params params);
+
+  /// Consumes `n` IQ samples, producing one frame of every lane per
+  /// `decimation` inputs. Lane buffers are overwritten (not appended) each
+  /// call; read them via lane() before the next call. Returns the number
+  /// of frames produced.
+  std::size_t process(const cplx* in, std::size_t n);
+
+  /// Lane `k`'s output from the last process() call: frames() samples at
+  /// sample_rate/decimation, centered at DC.
+  const cplx* lane(std::size_t k) const noexcept { return lanes_[k].data(); }
+
+  /// Frames produced by the last process() call.
+  std::size_t frames() const noexcept { return last_frames_; }
+
+  /// True when `center_hz` maps to an unused bin inside (0, fs/2) — i.e. a
+  /// lane for it could be added without disturbing the existing ones.
+  bool lane_fits(double center_hz) const noexcept;
+
+  /// Adds a lane mid-stream, phase-aligned with the running frame clock
+  /// (its first output matches what a from-the-start lane would produce,
+  /// modulo the prototype history it never saw). Returns the lane index.
+  /// Throws if the lane does not fit (see lane_fits()).
+  std::size_t add_lane(double center_hz);
+
+  std::size_t lane_count() const noexcept { return lane_nco_.size(); }
+  std::size_t fft_size() const noexcept { return params_.fft_size; }
+  std::size_t decimation() const noexcept { return params_.decimation; }
+  std::size_t taps() const noexcept { return params_.prototype.size(); }
+  double lane_rate_hz() const noexcept {
+    return params_.sample_rate_hz / static_cast<double>(params_.decimation);
+  }
+  /// Input samples consumed since the last frame, in [0, decimation).
+  std::size_t phase() const noexcept { return phase_; }
+  /// Total frames produced since construction (the lane-sample clock).
+  std::uint64_t frames_produced() const noexcept { return frames_produced_; }
+
+ private:
+  void seed_lane_nco(double center_hz);
+
+  Params params_;
+  std::shared_ptr<const FftPlan> fft_;
+  std::vector<double> scaled_proto_;  ///< prototype * C (absorbs the 1/C
+                                      ///< scaling FftPlan::inverse applies)
+  std::vector<std::size_t> bins_;     ///< per-lane FFT bin
+  std::vector<PhasorNco> lane_nco_;   ///< per-lane e^{-j*w_k*t_F} phasor
+  std::vector<std::vector<cplx>> lanes_;
+  std::vector<cplx> work_;  ///< history (L-1 samples) + current block
+  std::vector<cplx> spec_;  ///< size C: branch sums, FFT'd in place
+  std::size_t phase_ = 0;
+  std::size_t last_frames_ = 0;
+  std::uint64_t frames_produced_ = 0;
+};
+
+}  // namespace arachnet::dsp

@@ -1,6 +1,7 @@
 #include "arachnet/reader/fdma_rx.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <numbers>
@@ -12,17 +13,21 @@
 
 namespace arachnet::reader {
 
-FdmaRxChain::Channel::Channel(double hz, double iq_rate, double chip_rate,
-                              std::vector<double> coeffs,
+namespace {
+
+std::uint64_t steady_now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+FdmaRxChain::Channel::Channel(double hz, double chip_rate,
                               dsp::AdaptiveSlicer::Params sp,
-                              std::size_t debounce,
-                              dsp::KernelPolicy kernel_policy)
+                              std::size_t debounce)
     : subcarrier_hz(hz),
-      kernels(kernel_policy),
-      nco_step(-2.0 * std::numbers::pi * hz / iq_rate),
-      nco(0.0, nco_step),
-      lpf(coeffs),
-      blpf(std::move(coeffs)),
       slicer(sp),
       debouncer(debounce),
       framer([this](const phy::UlPacket& pkt) {
@@ -36,6 +41,69 @@ FdmaRxChain::Channel::Channel(double hz, double iq_rate, double chip_rate,
             framer.push(bit);
           },
           [this] { framer.reset(); }) {}
+
+FdmaRxChain::Channel::Channel(double hz, double iq_rate, double chip_rate,
+                              std::vector<double> coeffs,
+                              dsp::AdaptiveSlicer::Params sp,
+                              std::size_t debounce,
+                              dsp::KernelPolicy kernel_policy)
+    : Channel(hz, chip_rate, sp, debounce) {
+  kernels = kernel_policy;
+  nco_step = -2.0 * std::numbers::pi * hz / iq_rate;
+  nco.set(0.0, nco_step);
+  lpf.emplace(coeffs);
+  blpf.emplace(std::move(coeffs));
+}
+
+FdmaRxChain::Channel::Channel(double hz, double chip_rate,
+                              dsp::AdaptiveSlicer::Params sp,
+                              std::size_t debounce,
+                              std::size_t lane_decimation,
+                              std::int64_t lane_delay_samples)
+    : Channel(hz, chip_rate, sp, debounce) {
+  lane_decim = lane_decimation;
+  lane_delay = lane_delay_samples;
+}
+
+void FdmaRxChain::Channel::decide(std::complex<double> shifted,
+                                  double axis_alpha, double rate) {
+  // Axis projection and the decision chain. The subcarrier fundamental
+  // flips polarity with the FM0 chip, so after the shift the chip value
+  // lives on a fixed line through the origin in the IQ plane.
+  pseudo_variance += axis_alpha * (shifted * shifted - pseudo_variance);
+  const double angle = 0.5 * std::arg(pseudo_variance);
+  std::complex<double> axis{std::cos(angle), std::sin(angle)};
+  if (axis.real() * prev_axis.real() + axis.imag() * prev_axis.imag() <
+      0.0) {
+    axis = -axis;
+  }
+  prev_axis = axis;
+  const double envelope =
+      shifted.real() * axis.real() + shifted.imag() * axis.imag();
+
+  const bool level = debouncer.push(slicer.push(envelope));
+  if (const auto run = runs.push(level)) {
+    fm0.push_run(static_cast<double>(run->samples) / rate);
+  }
+}
+
+void FdmaRxChain::Channel::publish(std::size_t samples,
+                                   std::uint64_t prev_bits,
+                                   std::uint64_t prev_frames,
+                                   std::uint64_t prev_crc) {
+  // Publish counters for cross-thread stats readers (block granularity).
+  pub_iq_samples.store(iq_samples, std::memory_order_relaxed);
+  pub_bits.store(bits, std::memory_order_relaxed);
+  pub_frames.store(frames_base + framer.packets(), std::memory_order_relaxed);
+  pub_crc.store(crc_base + framer.crc_failures(), std::memory_order_relaxed);
+  // Registry counters, as per-block deltas (one pointer test when unbound).
+  if (m_iq != nullptr) {
+    m_iq->add(samples);
+    m_bits->add(bits - prev_bits);
+    m_frames->add(framer.packets() - prev_frames);
+    m_crc->add(framer.crc_failures() - prev_crc);
+  }
+}
 
 void FdmaRxChain::Channel::process_block(const std::complex<double>* iq,
                                          std::size_t n, double axis_alpha,
@@ -54,7 +122,7 @@ void FdmaRxChain::Channel::process_block(const std::complex<double>* iq,
   if (kernels == dsp::KernelPolicy::kBlock) {
     nco.mix(iq, mixed.data(), n);
     // Stage 2 (batch): folded symmetric block low-pass, contiguous.
-    blpf.process(mixed.data(), mixed.data(), n);
+    blpf->process(mixed.data(), mixed.data(), n);
   } else {
     for (std::size_t i = 0; i < n; ++i) {
       const std::complex<double> osc{std::cos(nco_phase),
@@ -66,42 +134,38 @@ void FdmaRxChain::Channel::process_block(const std::complex<double>* iq,
       mixed[i] = iq[i] * osc;
     }
     // Stage 2 (batch): channel low-pass over the contiguous block.
-    lpf.process(mixed.data(), mixed.data(), n);
+    lpf->process(mixed.data(), mixed.data(), n);
   }
-  // Stage 3: axis projection and the decision chain. The subcarrier
-  // fundamental flips polarity with the FM0 chip, so after the shift the
-  // chip value lives on a fixed line through the origin in the IQ plane.
+  // Stage 3: the per-sample decision chain.
   for (std::size_t i = 0; i < n; ++i) {
     cursor = base_index + i;
-    const std::complex<double> shifted = mixed[i];
-    pseudo_variance += axis_alpha * (shifted * shifted - pseudo_variance);
-    const double angle = 0.5 * std::arg(pseudo_variance);
-    std::complex<double> axis{std::cos(angle), std::sin(angle)};
-    if (axis.real() * prev_axis.real() + axis.imag() * prev_axis.imag() <
-        0.0) {
-      axis = -axis;
-    }
-    prev_axis = axis;
-    const double envelope =
-        shifted.real() * axis.real() + shifted.imag() * axis.imag();
+    decide(mixed[i], axis_alpha, iq_rate);
+  }
+  publish(n, prev_bits, prev_frames, prev_crc);
+}
 
-    const bool level = debouncer.push(slicer.push(envelope));
-    if (const auto run = runs.push(level)) {
-      fm0.push_run(static_cast<double>(run->samples) / iq_rate);
-    }
+void FdmaRxChain::Channel::process_lane(const std::complex<double>* lane,
+                                        std::size_t n, double axis_alpha,
+                                        double lane_rate,
+                                        std::uint64_t frame_base) {
+  ARACHNET_TRACE_SPAN("fdma.channel");
+  const std::uint64_t prev_bits = bits;
+  const std::uint64_t prev_frames = framer.packets();
+  const std::uint64_t prev_crc = framer.crc_failures();
+  iq_samples += n;
+  // Stages 1-2 already ran in the shared channelizer; only the decision
+  // chain remains, at the lane rate. Frame F's newest full-rate IQ sample
+  // is (F+1)*decim - 1; subtracting the prototype's extra group delay
+  // dates packets like the per-channel bank (within one lane sample).
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t t =
+        (frame_base + i + 1) * static_cast<std::uint64_t>(lane_decim) - 1;
+    cursor = t > static_cast<std::uint64_t>(lane_delay)
+                 ? t - static_cast<std::uint64_t>(lane_delay)
+                 : 0;
+    decide(lane[i], axis_alpha, lane_rate);
   }
-  // Publish counters for cross-thread stats readers (block granularity).
-  pub_iq_samples.store(iq_samples, std::memory_order_relaxed);
-  pub_bits.store(bits, std::memory_order_relaxed);
-  pub_frames.store(framer.packets(), std::memory_order_relaxed);
-  pub_crc.store(framer.crc_failures(), std::memory_order_relaxed);
-  // Registry counters, as per-block deltas (one pointer test when unbound).
-  if (m_iq != nullptr) {
-    m_iq->add(n);
-    m_bits->add(bits - prev_bits);
-    m_frames->add(framer.packets() - prev_frames);
-    m_crc->add(framer.crc_failures() - prev_crc);
-  }
+  publish(n, prev_bits, prev_frames, prev_crc);
 }
 
 FdmaRxChain::FdmaRxChain(Params params)
@@ -112,7 +176,11 @@ FdmaRxChain::FdmaRxChain(Params params)
         // its modulation sidebands (or the provisioned headroom).
         double top = params.max_subcarrier_hz;
         for (const auto& c : params.channels) {
-          top = std::max(top, c.subcarrier_hz);
+          // Non-finite specs must reach validate_subcarrier() for their
+          // proper diagnostic, not blow up the filter design here.
+          if (std::isfinite(c.subcarrier_hz)) {
+            top = std::max(top, c.subcarrier_hz);
+          }
         }
         ddc.cutoff_hz = top + 3.0 * params.chip_rate;
         // One policy switch for the whole chain: the main DDC and every
@@ -150,10 +218,30 @@ FdmaRxChain::FdmaRxChain(Params params)
   // workers_ - 1 extra threads.
   pool_ = std::make_unique<dsp::WorkerPool>(workers_ - 1);
 
+  // Validate the whole initial spec list before building anything (each
+  // spec against the ones accepted so far).
+  std::vector<double> freqs;
+  freqs.reserve(params_.channels.size());
   for (const auto& spec : params_.channels) {
-    validate_subcarrier(spec.subcarrier_hz);
-    channels_.push_back(make_channel(spec.subcarrier_hz));
+    validate_subcarrier(spec.subcarrier_hz, freqs);
+    freqs.push_back(spec.subcarrier_hz);
+  }
+
+  if (params_.metrics != nullptr) {
+    g_bank_policy_ = &params_.metrics->gauge("fdma.bank_policy");
+    c_chzr_frames_ = &params_.metrics->counter("fdma.chzr.frames");
+    c_chzr_fft_us_ = &params_.metrics->counter("fdma.chzr.fft_us");
+  }
+
+  const bool channelized =
+      params_.bank != BankPolicy::kPerChannel && engage_channelizer(freqs);
+  for (double hz : freqs) {
+    channels_.push_back(channelized ? make_lane_channel(hz)
+                                    : make_channel(hz));
     bind_channel_metrics(channels_.size() - 1);
+  }
+  if (g_bank_policy_ != nullptr) {
+    g_bank_policy_->set(channelized ? 1.0 : 0.0);
   }
   if (params_.metrics != nullptr) {
     pool_->set_dispatch_histogram(
@@ -162,7 +250,59 @@ FdmaRxChain::FdmaRxChain(Params params)
   ARACHNET_LOG_DEBUG("fdma", "chain ready",
                      {"channels", channels_.size()},
                      {"workers", workers_},
-                     {"iq_rate_hz", iq_rate_});
+                     {"iq_rate_hz", iq_rate_},
+                     {"bank", channelized ? "channelizer" : "per_channel"});
+}
+
+bool FdmaRxChain::engage_channelizer(const std::vector<double>& freqs) {
+  if (params_.bank == BankPolicy::kAuto && freqs.size() < 4) {
+    // Below ~4 channels the shared FFT costs about what the mixers do;
+    // stay on the reference path (silently — nothing was requested).
+    return false;
+  }
+  const auto plan =
+      dsp::PolyphaseChannelizer::plan(iq_rate_, params_.chip_rate, freqs);
+  if (!plan.viable) {
+    ARACHNET_LOG_INFO("fdma", "channelizer fallback to per-channel",
+                      {"reason", plan.reason},
+                      {"channels", freqs.size()});
+    return false;
+  }
+  chzr_ = std::make_unique<dsp::PolyphaseChannelizer>(
+      dsp::PolyphaseChannelizer::Params{
+          .sample_rate_hz = iq_rate_,
+          .fft_size = plan.fft_size,
+          .decimation = plan.decimation,
+          .prototype =
+              dsp::design_lowpass(plan.cutoff_hz, iq_rate_, plan.taps),
+          .center_hz = freqs});
+  grid_origin_hz_ = plan.grid_origin_hz;
+  grid_spacing_hz_ = plan.grid_spacing_hz;
+  lane_rate_ = chzr_->lane_rate_hz();
+  const double lane_spc = lane_rate_ / params_.chip_rate;
+  lane_axis_alpha_ = per_sample_alpha(0.5, lane_spc);
+  lane_slicer_params_.floor = 0.001;
+  lane_slicer_params_.track_alpha = per_sample_alpha(0.98, lane_spc);
+  lane_slicer_params_.leak_alpha = per_sample_alpha(0.04, lane_spc);
+  lane_debounce_ =
+      static_cast<std::size_t>(std::max(1.0, 0.12 * lane_spc));
+  // Cursor compensation so lane packets carry per-channel-equivalent
+  // timestamps: the channelizer prototype's extra group delay, plus the
+  // debouncer-latency difference (each debouncer confirms a transition
+  // hold-1 samples late — lane samples are decimation full-rate samples
+  // wide). The residual (frame quantisation plus the differing filter
+  // transition shapes) stays within one lane sample.
+  lane_delay_ =
+      static_cast<std::int64_t>((plan.taps - 1) / 2) -
+      static_cast<std::int64_t>((channel_coeffs_.size() - 1) / 2) +
+      static_cast<std::int64_t>((lane_debounce_ - 1) * plan.decimation) -
+      static_cast<std::int64_t>(debounce_ - 1);
+  ARACHNET_LOG_DEBUG("fdma", "channelizer engaged",
+                     {"fft_size", plan.fft_size},
+                     {"decimation", plan.decimation},
+                     {"taps", plan.taps},
+                     {"lane_rate_hz", lane_rate_});
+  return true;
 }
 
 void FdmaRxChain::bind_channel_metrics(std::size_t index) {
@@ -187,22 +327,94 @@ std::unique_ptr<FdmaRxChain::Channel> FdmaRxChain::make_channel(
                                    params_.kernels);
 }
 
-void FdmaRxChain::validate_subcarrier(double hz) const {
+std::unique_ptr<FdmaRxChain::Channel> FdmaRxChain::make_lane_channel(
+    double subcarrier_hz) const {
+  return std::make_unique<Channel>(subcarrier_hz, params_.chip_rate,
+                                   lane_slicer_params_, lane_debounce_,
+                                   chzr_->decimation(), lane_delay_);
+}
+
+std::vector<double> FdmaRxChain::subcarriers() const {
+  std::vector<double> freqs;
+  freqs.reserve(channels_.size());
+  for (const auto& ch : channels_) freqs.push_back(ch->subcarrier_hz);
+  return freqs;
+}
+
+void FdmaRxChain::validate_subcarrier(
+    double hz, const std::vector<double>& existing) const {
+  if (!std::isfinite(hz)) {
+    throw std::invalid_argument(
+        "FdmaRxChain: subcarrier must be finite (got NaN or infinity)");
+  }
+  if (hz <= 0.0) {
+    throw std::invalid_argument(
+        "FdmaRxChain: subcarrier must be positive");
+  }
   if (hz + 3.0 * params_.chip_rate > ddc_.params().cutoff_hz + 1e-9) {
     throw std::invalid_argument(
         "FdmaRxChain: subcarrier outside the provisioned DDC passband");
   }
-  for (const auto& ch : channels_) {
-    if (std::abs(ch->subcarrier_hz - hz) < 3.0 * params_.chip_rate) {
+  for (double f : existing) {
+    if (f == hz) {
+      throw std::invalid_argument("FdmaRxChain: duplicate subcarrier");
+    }
+    if (std::abs(f - hz) < 3.0 * params_.chip_rate) {
       throw std::invalid_argument(
           "FdmaRxChain: subcarriers closer than 3x chip rate");
     }
   }
 }
 
+bool FdmaRxChain::on_grid(double hz) const noexcept {
+  if (grid_spacing_hz_ <= 0.0) return false;  // single lane: no grid yet
+  const double steps = (hz - grid_origin_hz_) / grid_spacing_hz_;
+  return std::abs(steps - std::round(steps)) < 1e-6;
+}
+
+void FdmaRxChain::fallback_to_per_channel(const char* reason) {
+  ARACHNET_LOG_INFO("fdma", "channelizer fallback to per-channel",
+                    {"reason", reason},
+                    {"channels", channels_.size()});
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    auto& old = *channels_[i];
+    auto fresh = make_channel(old.subcarrier_hz);
+    // Everything already decoded survives the rebuild; only the in-flight
+    // DSP state (slicer levels, partial packet) restarts.
+    fresh->packets = std::move(old.packets);
+    fresh->packet_iq_index = std::move(old.packet_iq_index);
+    fresh->drained = old.drained;
+    fresh->cursor = old.cursor;
+    fresh->iq_samples = old.iq_samples;
+    fresh->bits = old.bits;
+    fresh->frames_base = old.frames_base + old.framer.packets();
+    fresh->crc_base = old.crc_base + old.framer.crc_failures();
+    fresh->pub_iq_samples.store(fresh->iq_samples,
+                                std::memory_order_relaxed);
+    fresh->pub_bits.store(fresh->bits, std::memory_order_relaxed);
+    fresh->pub_frames.store(fresh->frames_base, std::memory_order_relaxed);
+    fresh->pub_crc.store(fresh->crc_base, std::memory_order_relaxed);
+    channels_[i] = std::move(fresh);
+    bind_channel_metrics(i);
+  }
+  chzr_.reset();
+  if (g_bank_policy_ != nullptr) g_bank_policy_->set(0.0);
+}
+
 void FdmaRxChain::add_channel(ChannelSpec spec) {
-  validate_subcarrier(spec.subcarrier_hz);
-  channels_.push_back(make_channel(spec.subcarrier_hz));
+  validate_subcarrier(spec.subcarrier_hz, subcarriers());
+  if (chzr_ != nullptr) {
+    if (on_grid(spec.subcarrier_hz) &&
+        chzr_->lane_fits(spec.subcarrier_hz)) {
+      chzr_->add_lane(spec.subcarrier_hz);
+      channels_.push_back(make_lane_channel(spec.subcarrier_hz));
+    } else {
+      fallback_to_per_channel("added subcarrier breaks the uniform grid");
+      channels_.push_back(make_channel(spec.subcarrier_hz));
+    }
+  } else {
+    channels_.push_back(make_channel(spec.subcarrier_hz));
+  }
   params_.channels.push_back(spec);
   bind_channel_metrics(channels_.size() - 1);
   ARACHNET_LOG_INFO("fdma", "channel added",
@@ -210,16 +422,38 @@ void FdmaRxChain::add_channel(ChannelSpec spec) {
                     {"channels", channels_.size()});
 }
 
-void FdmaRxChain::process(const std::vector<double>& samples) {
+void FdmaRxChain::process(const double* samples, std::size_t n) {
   ARACHNET_TRACE_SPAN("fdma.process");
   // Reused member scratch: the steady-state hot path allocates nothing.
   iq_buf_.clear();
-  ddc_.process(std::span<const double>{samples}, iq_buf_);
+  ddc_.process(std::span<const double>{samples, n}, iq_buf_);
   if (iq_buf_.empty()) return;
-  pool_->run(channels_.size(), [&](std::size_t c) {
-    channels_[c]->process_block(iq_buf_.data(), iq_buf_.size(), axis_alpha_,
-                                iq_rate_, iq_index_);
-  });
+  if (chzr_ != nullptr) {
+    // Shared front-end on the calling thread, then the per-lane decision
+    // chains fan out. Timing is metrics-gated so the uninstrumented path
+    // pays nothing.
+    const std::uint64_t t0 =
+        (c_chzr_fft_us_ != nullptr) ? steady_now_ns() : 0;
+    const std::size_t frames =
+        chzr_->process(iq_buf_.data(), iq_buf_.size());
+    if (c_chzr_fft_us_ != nullptr) {
+      c_chzr_fft_us_->add((steady_now_ns() - t0) / 1000);
+      c_chzr_frames_->add(frames);
+    }
+    if (frames != 0) {
+      const std::uint64_t frame_base = chzr_->frames_produced() - frames;
+      pool_->run(channels_.size(), [&](std::size_t c) {
+        channels_[c]->process_lane(chzr_->lane(c), frames,
+                                   lane_axis_alpha_, lane_rate_,
+                                   frame_base);
+      });
+    }
+  } else {
+    pool_->run(channels_.size(), [&](std::size_t c) {
+      channels_[c]->process_block(iq_buf_.data(), iq_buf_.size(),
+                                  axis_alpha_, iq_rate_, iq_index_);
+    });
+  }
   iq_index_ += iq_buf_.size();
 }
 

@@ -4,10 +4,12 @@
 #include <complex>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "arachnet/dsp/ddc.hpp"
 #include "arachnet/dsp/fir.hpp"
+#include "arachnet/dsp/kernels/channelizer.hpp"
 #include "arachnet/dsp/kernels/fir_kernels.hpp"
 #include "arachnet/dsp/kernels/kernel_policy.hpp"
 #include "arachnet/dsp/kernels/nco.hpp"
@@ -30,14 +32,37 @@ namespace arachnet::reader {
 /// slicer -> FM0 -> framer chain. Tags on different subcarriers decode
 /// simultaneously — the paper's FDMA extension path (Sec. 6.3).
 ///
-/// Threading model: the main DDC runs on the calling thread, then each
-/// sample block fans out across a persistent dsp::WorkerPool with one task
-/// per channel. Channels are pinned on the heap and never share mutable
-/// state, so the parallel bank is bit-identical to the sequential one
-/// (`Params::workers = 1`); decoded packets merge deterministically by
-/// (completion sample, channel index) via drain_packets().
+/// Two front-end structures live behind Params::bank (see BankPolicy):
+///  - per-channel: C independent NCO-mix + full-rate-FIR stages,
+///    O(N * C * taps) per IQ block — the reference path, and the only one
+///    that handles arbitrary subcarrier placements;
+///  - channelizer: one shared dsp::PolyphaseChannelizer front-end,
+///    O(N * taps/C + N * logC) — engaged when the subcarriers sit on a
+///    uniform grid, it replaces every channel's mixer+LPF and feeds the
+///    same decision back-ends at the decimated lane rate. Decoded packet
+///    streams are identical across bank policies (payloads and CRC
+///    verdicts exactly; timestamps within one lane sample).
+///
+/// Threading model: the main DDC (and, in channelizer mode, the shared
+/// filterbank) runs on the calling thread, then each sample block fans out
+/// across a persistent dsp::WorkerPool with one task per channel. Channels
+/// are pinned on the heap and never share mutable state, so the parallel
+/// bank is bit-identical to the sequential one (`Params::workers = 1`);
+/// decoded packets merge deterministically by (completion sample, channel
+/// index) via drain_packets().
 class FdmaRxChain {
  public:
+  /// Front-end structure for the subcarrier bank.
+  enum class BankPolicy {
+    kPerChannel,   ///< independent mixer + LPF per channel (reference)
+    kChannelizer,  ///< shared polyphase FFT filterbank (uniform grids);
+                   ///< falls back to per-channel with a logged reason if
+                   ///< the configuration cannot use it
+    kAuto,         ///< channelizer when the grid qualifies and the bank
+                   ///< has >= 4 channels (below that the shared FFT does
+                   ///< not pay for itself), else per-channel
+  };
+
   struct ChannelSpec {
     double subcarrier_hz = 3000.0;
   };
@@ -46,7 +71,10 @@ class FdmaRxChain {
   /// read from any thread; values are published at block granularity.
   struct ChannelStats {
     double subcarrier_hz = 0.0;
-    std::uint64_t iq_samples = 0;    ///< baseband samples through the channel
+    /// Baseband samples through the channel's decision chain: full-rate IQ
+    /// samples on the per-channel path, decimated lane samples on the
+    /// channelizer path.
+    std::uint64_t iq_samples = 0;
     std::uint64_t bits = 0;          ///< FM0 bits recovered (pre-framing)
     std::uint64_t frames_ok = 0;     ///< CRC-valid packets
     std::uint64_t crc_failures = 0;  ///< framed bodies that failed CRC
@@ -64,14 +92,22 @@ class FdmaRxChain {
     /// headroom for add_channel() to place channels above the initial set.
     double max_subcarrier_hz = 0.0;
     /// Optional metrics registry. When set, the chain registers per-channel
-    /// decode counters (`fdma.ch<i>.{iq_samples,bits,frames,crc_failures}`)
-    /// and a worker-pool dispatch-latency histogram (`fdma.dispatch_us`).
-    /// The registry must outlive the chain. nullptr = no instrumentation.
+    /// decode counters (`fdma.ch<i>.{iq_samples,bits,frames,crc_failures}`),
+    /// a worker-pool dispatch-latency histogram (`fdma.dispatch_us`), the
+    /// active-front-end gauge `fdma.bank_policy` (0 = per-channel,
+    /// 1 = channelizer) and the channelizer counters
+    /// `fdma.chzr.{frames,fft_us}`. The registry must outlive the chain.
+    /// nullptr = no instrumentation.
     telemetry::MetricsRegistry* metrics = nullptr;
     /// DSP implementation for the main DDC and the per-channel mixer/LPF.
     /// Decoded packets are identical across policies (see KernelPolicy);
-    /// the block path is the production default.
+    /// the block path is the production default. The channelizer front-end
+    /// has a single implementation, so under it the two kernel policies
+    /// differ only in the main DDC.
     dsp::KernelPolicy kernels = dsp::default_kernel_policy();
+    /// Bank front-end selection; resolved once at construction (see
+    /// BankPolicy and active_bank()).
+    BankPolicy bank = BankPolicy::kAuto;
   };
 
   explicit FdmaRxChain(Params params);
@@ -83,6 +119,15 @@ class FdmaRxChain {
   /// growing the bank past the channel list's capacity cannot invalidate
   /// the decoder callbacks (the regression behind this API).
   ///
+  /// Channelizer-grid interaction: when the channelizer front-end is
+  /// active, a subcarrier on the existing grid (origin + k*spacing, free
+  /// FFT bin) becomes a new lane and the channelizer stays engaged; an
+  /// off-grid subcarrier triggers a logged fallback that rebuilds the bank
+  /// on the per-channel path. The fallback preserves every decoded packet,
+  /// drain cursor and counter; only the in-flight DSP state (partially
+  /// decoded packet, slicer levels) restarts, so decoding resumes after a
+  /// brief re-acquisition.
+  ///
   /// Not thread-safe: like process(), this mutates the channel list and
   /// must not run concurrently with process(), drain_packets(), packets(),
   /// or the channel_stats() readers. When the chain is owned by a
@@ -92,7 +137,12 @@ class FdmaRxChain {
 
   /// Processes raw DAQ samples. Not reentrant: one processing thread at a
   /// time (the worker fan-out happens internally).
-  void process(const std::vector<double>& samples);
+  void process(const double* samples, std::size_t n);
+
+  /// Vector convenience forwarder for the span-style overload above.
+  void process(const std::vector<double>& samples) {
+    process(samples.data(), samples.size());
+  }
 
   /// Packets decoded on channel `i` so far.
   const std::vector<phy::UlPacket>& packets(std::size_t channel) const;
@@ -116,17 +166,36 @@ class FdmaRxChain {
   /// Threads used for the channel fan-out (1 = sequential).
   std::size_t worker_count() const noexcept { return workers_; }
 
+  /// The front-end actually running right now: kChannelizer while the
+  /// shared filterbank is engaged, kPerChannel otherwise (never kAuto).
+  BankPolicy active_bank() const noexcept {
+    return chzr_ ? BankPolicy::kChannelizer : BankPolicy::kPerChannel;
+  }
+
   const Params& params() const noexcept { return params_; }
 
  private:
   /// One subcarrier's full decode state. Pinned: the fm0/framer callbacks
   /// capture `this`, so the object is heap-allocated and must never be
   /// copied or moved — enforced by deleting both (construction in
-  /// make_channel() is the only way to obtain one).
+  /// make_channel()/make_lane_channel() is the only way to obtain one).
+  ///
+  /// Two front-end modes share the decision chain: per-channel mode owns
+  /// an NCO + LPF (stages 1-2) and consumes full-rate IQ; lane mode
+  /// (lane_decim != 0) consumes one already-filtered decimated lane of the
+  /// shared channelizer.
   struct Channel {
+    /// Per-channel (mixer) mode.
     Channel(double hz, double iq_rate, double chip_rate,
             std::vector<double> coeffs, dsp::AdaptiveSlicer::Params sp,
             std::size_t debounce, dsp::KernelPolicy kernels);
+    /// Channelizer-lane mode: stages 1-2 live in the shared filterbank.
+    /// `lane_delay` is the extra group delay (in full-rate IQ samples) of
+    /// the channelizer prototype over the per-channel LPF, subtracted from
+    /// packet timestamps so both banks date packets alike.
+    Channel(double hz, double chip_rate, dsp::AdaptiveSlicer::Params sp,
+            std::size_t debounce, std::size_t lane_decimation,
+            std::int64_t lane_delay);
     Channel(const Channel&) = delete;
     Channel& operator=(const Channel&) = delete;
 
@@ -137,14 +206,38 @@ class FdmaRxChain {
                        double axis_alpha, double iq_rate,
                        std::uint64_t base_index);
 
+    /// Lane mode: runs the decision chain over `n` channelizer frames.
+    /// `frame_base` is the absolute frame index of `lane[0]`.
+    void process_lane(const std::complex<double>* lane, std::size_t n,
+                      double axis_alpha, double lane_rate,
+                      std::uint64_t frame_base);
+
+    /// Stage 3, shared by both modes: axis projection and the
+    /// slicer -> FM0 -> framer decision chain for one baseband sample.
+    /// `cursor` must hold the packet-timestamp IQ index before the call.
+    void decide(std::complex<double> shifted, double axis_alpha,
+                double rate);
+
+    /// Publishes the working counters (cross-thread stats readers) and
+    /// adds the per-block deltas to the registry counters.
+    void publish(std::size_t samples, std::uint64_t prev_bits,
+                 std::uint64_t prev_frames, std::uint64_t prev_crc);
+
+   private:
+    Channel(double hz, double chip_rate, dsp::AdaptiveSlicer::Params sp,
+            std::size_t debounce);
+
+   public:
     double subcarrier_hz;
-    dsp::KernelPolicy kernels;
+    dsp::KernelPolicy kernels = dsp::default_kernel_policy();
     double nco_phase = 0.0;  ///< scalar-path mixer state
     double nco_step = 0.0;
     dsp::PhasorNco nco;      ///< block-path mixer state
-    dsp::FirFilter<std::complex<double>> lpf;        ///< scalar-path LPF
-    dsp::FirBlockFilter<std::complex<double>> blpf;  ///< block-path LPF
+    std::optional<dsp::FirFilter<std::complex<double>>> lpf;  ///< scalar LPF
+    std::optional<dsp::FirBlockFilter<std::complex<double>>> blpf;
     std::vector<std::complex<double>> mixed;  ///< per-block scratch
+    std::size_t lane_decim = 0;  ///< 0 = per-channel mode
+    std::int64_t lane_delay = 0;
     std::complex<double> pseudo_variance{0.0, 0.0};
     std::complex<double> prev_axis{1.0, 0.0};
     dsp::AdaptiveSlicer slicer;
@@ -158,6 +251,10 @@ class FdmaRxChain {
     std::uint64_t cursor = 0;         ///< absolute IQ index being decoded
     std::uint64_t iq_samples = 0;     ///< working counter (decode thread)
     std::uint64_t bits = 0;           ///< working counter (decode thread)
+    /// Counts carried over a bank rebuild (channelizer fallback): the new
+    /// framer restarts from zero, so published frame/CRC totals add these.
+    std::uint64_t frames_base = 0;
+    std::uint64_t crc_base = 0;
     // Published at block granularity for cross-thread stats readers.
     std::atomic<std::uint64_t> pub_iq_samples{0};
     std::atomic<std::uint64_t> pub_bits{0};
@@ -173,8 +270,20 @@ class FdmaRxChain {
   };
 
   std::unique_ptr<Channel> make_channel(double subcarrier_hz) const;
-  void validate_subcarrier(double hz) const;
+  std::unique_ptr<Channel> make_lane_channel(double subcarrier_hz) const;
+  void validate_subcarrier(double hz,
+                           const std::vector<double>& existing) const;
+  std::vector<double> subcarriers() const;
   void bind_channel_metrics(std::size_t index);
+  /// Tries to stand up the channelizer front-end for the initial channel
+  /// set; returns false (with a logged reason) when the configuration
+  /// cannot use it.
+  bool engage_channelizer(const std::vector<double>& freqs);
+  /// Rebuilds every channel on the per-channel path, preserving decoded
+  /// packets, drain cursors and counters (see add_channel()).
+  void fallback_to_per_channel(const char* reason);
+  /// True when `hz` extends the engaged channelizer's uniform grid.
+  bool on_grid(double hz) const noexcept;
 
   Params params_;
   dsp::Ddc ddc_;
@@ -187,6 +296,20 @@ class FdmaRxChain {
   std::unique_ptr<dsp::WorkerPool> pool_;
   std::vector<std::unique_ptr<Channel>> channels_;
   std::uint64_t iq_index_ = 0;  ///< absolute IQ samples produced so far
+  // Channelizer front-end (null = per-channel path) and the lane-rate
+  // decision-chain parameters derived from its decimation.
+  std::unique_ptr<dsp::PolyphaseChannelizer> chzr_;
+  double lane_rate_ = 0.0;
+  double lane_axis_alpha_ = 0.0;
+  dsp::AdaptiveSlicer::Params lane_slicer_params_{};
+  std::size_t lane_debounce_ = 1;
+  std::int64_t lane_delay_ = 0;
+  double grid_origin_hz_ = 0.0;
+  double grid_spacing_hz_ = 0.0;
+  // Registry instruments (nullable; bound once in the constructor).
+  telemetry::Gauge* g_bank_policy_ = nullptr;
+  telemetry::Counter* c_chzr_frames_ = nullptr;
+  telemetry::Counter* c_chzr_fft_us_ = nullptr;
   /// Per-block IQ scratch, reused across process() calls so the steady
   /// state allocates nothing.
   std::vector<std::complex<double>> iq_buf_;

@@ -67,7 +67,7 @@ void RealtimeReader::worker_loop() {
     std::uint64_t emitted = 0;
     std::uint64_t dropped = 0;
     if (fdma_) {
-      fdma_->process(*block);
+      fdma_->process(block->data(), block->size());
       samples_processed_.fetch_add(block->size(), std::memory_order_relaxed);
       for (auto& pkt : fdma_->drain_packets()) {
         if (emit_packet(std::move(pkt), &out_stall_ns)) {
@@ -78,7 +78,7 @@ void RealtimeReader::worker_loop() {
       }
     } else {
       if (resync_requested_.exchange(false)) chain_.resync();
-      chain_.process(*block);
+      chain_.process(block->data(), block->size());
       samples_processed_.fetch_add(block->size(), std::memory_order_relaxed);
       // Emit any packets decoded so far. emit_cursor_ advances over every
       // decoded packet; only successful pushes count as emitted (same

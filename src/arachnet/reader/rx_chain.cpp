@@ -159,11 +159,11 @@ void RxChain::on_iq(std::complex<double> iq) {
   }
 }
 
-void RxChain::process(const std::vector<double>& samples) {
+void RxChain::process(const double* samples, std::size_t n) {
   if (params_.ddc.kernels == dsp::KernelPolicy::kScalar) {
-    for (double s : samples) {
+    for (std::size_t i = 0; i < n; ++i) {
       ++sample_count_;
-      if (const auto iq = ddc_.push(s)) on_iq(*iq);
+      if (const auto iq = ddc_.push(samples[i])) on_iq(*iq);
     }
     return;
   }
@@ -177,12 +177,12 @@ void RxChain::process(const std::vector<double>& samples) {
   const std::size_t decim = params_.ddc.decimation;
   iq_buf_.clear();
   const std::size_t got =
-      ddc_.process(std::span<const double>{samples}, iq_buf_);
+      ddc_.process(std::span<const double>{samples, n}, iq_buf_);
   for (std::size_t j = 0; j < got; ++j) {
     sample_count_ = base + (decim - phase) + j * decim;
     on_iq(iq_buf_[j]);
   }
-  sample_count_ = base + samples.size();
+  sample_count_ = base + n;
 }
 
 bool RxChain::collision_detected(sim::Rng& rng) const {

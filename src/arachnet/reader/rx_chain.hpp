@@ -74,7 +74,12 @@ class RxChain {
 
   /// Processes a block of raw DAQ samples; decoded packets are appended to
   /// the internal list (see packets()).
-  void process(const std::vector<double>& samples);
+  void process(const double* samples, std::size_t n);
+
+  /// Vector convenience forwarder for the span-style overload above.
+  void process(const std::vector<double>& samples) {
+    process(samples.data(), samples.size());
+  }
 
   /// All packets decoded so far.
   const std::vector<RxPacket>& packets() const noexcept { return packets_; }

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <string>
 
 #include "arachnet/acoustic/waveform_channel.hpp"
 #include "arachnet/energy/ambient.hpp"
@@ -132,6 +134,45 @@ TEST(Fdma, ValidatesConfiguration) {
   reader::FdmaRxChain::Params close;
   close.channels = {{3000.0}, {3500.0}};  // < 3x chip rate apart
   EXPECT_THROW(reader::FdmaRxChain{close}, std::invalid_argument);
+
+  // Each rejection class carries its own message, so a misconfigured
+  // deployment reads the actual problem, not a generic "bad subcarrier".
+  const auto rejects = [](reader::FdmaRxChain::Params p,
+                          const char* needle) {
+    try {
+      reader::FdmaRxChain chain{p};
+      ADD_FAILURE() << "expected invalid_argument mentioning '" << needle
+                    << "'";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string{e.what()}.find(needle), std::string::npos)
+          << "got: " << e.what();
+    }
+  };
+  reader::FdmaRxChain::Params bad;
+  bad.channels = {{std::numeric_limits<double>::quiet_NaN()}};
+  rejects(bad, "finite");
+  bad.channels = {{std::numeric_limits<double>::infinity()}};
+  rejects(bad, "finite");
+  bad.channels = {{-3000.0}};
+  rejects(bad, "positive");
+  bad.channels = {{0.0}};
+  rejects(bad, "positive");
+  bad.channels = {{3000.0}, {3000.0}};
+  rejects(bad, "duplicate");
+  bad.channels = {{3000.0}, {3500.0}};
+  rejects(bad, "3x chip rate");
+  // The passband limit can only bite after construction (the constructor
+  // provisions the DDC around the initial channel list).
+  reader::FdmaRxChain::Params ok;
+  ok.channels = {{3000.0}};
+  reader::FdmaRxChain chain{ok};
+  try {
+    chain.add_channel({20000.0});
+    ADD_FAILURE() << "expected invalid_argument mentioning 'passband'";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string{e.what()}.find("passband"), std::string::npos)
+        << "got: " << e.what();
+  }
 }
 
 TEST(Fdma, ChannelListGrowthKeepsDecoderCallbacksStable) {

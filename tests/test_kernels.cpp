@@ -7,11 +7,15 @@
 // tolerance; packets, bits and timestamps agree exactly).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <complex>
 #include <cstddef>
+#include <iterator>
 #include <numbers>
 #include <vector>
+
+#include "arachnet/dsp/kernels/channelizer.hpp"
 
 #include "arachnet/acoustic/waveform_channel.hpp"
 #include "arachnet/dsp/ddc.hpp"
@@ -456,12 +460,15 @@ TEST(KernelParity, RxChainDecodesIdenticalPacketsAcrossPolicies) {
   }
 }
 
-reader::FdmaRxChain::Params fdma_params(dsp::KernelPolicy policy,
-                                        std::size_t workers) {
+reader::FdmaRxChain::Params fdma_params(
+    dsp::KernelPolicy policy, std::size_t workers,
+    reader::FdmaRxChain::BankPolicy bank =
+        reader::FdmaRxChain::BankPolicy::kPerChannel) {
   reader::FdmaRxChain::Params fp;
   fp.ddc.decimation = 8;
   fp.workers = workers;
   fp.kernels = policy;
+  fp.bank = bank;  // pinned so each test exercises the bank it names
   for (int k = 0; k < 4; ++k) fp.channels.push_back({3000.0 + 1500.0 * k});
   return fp;
 }
@@ -516,6 +523,303 @@ TEST(KernelParity, FdmaBankDecodesIdenticalPacketsAcrossPolicies) {
     EXPECT_EQ(merged_s[i].packet, merged_b[i].packet);
     EXPECT_EQ(merged_s[i].channel, merged_b[i].channel);
     EXPECT_DOUBLE_EQ(merged_s[i].time_s, merged_b[i].time_s);
+  }
+}
+
+// ----------------------------------------------------------- Channelizer
+
+// A channelizer sized like the FDMA bank sizes one: 62.5 kS/s IQ (the
+// decimation-8 bank), 375 chip/s, four subcarriers one 1.5 kHz grid step
+// apart.
+constexpr double kChzrFs = 62500.0;
+constexpr double kChzrChip = 375.0;
+
+std::vector<double> chzr_centers() { return {3000.0, 4500.0, 6000.0, 7500.0}; }
+
+dsp::PolyphaseChannelizer make_channelizer() {
+  const auto centers = chzr_centers();
+  const auto plan =
+      dsp::PolyphaseChannelizer::plan(kChzrFs, kChzrChip, centers);
+  EXPECT_TRUE(plan.viable) << plan.reason;
+  return dsp::PolyphaseChannelizer{{
+      .sample_rate_hz = kChzrFs,
+      .fft_size = plan.fft_size,
+      .decimation = plan.decimation,
+      .prototype = dsp::design_lowpass(plan.cutoff_hz, kChzrFs, plan.taps),
+      .center_hz = centers,
+  }};
+}
+
+TEST(Channelizer, PlannerSizesTheBank) {
+  const auto plan = dsp::PolyphaseChannelizer::plan(kChzrFs, kChzrChip,
+                                                    chzr_centers());
+  ASSERT_TRUE(plan.viable) << plan.reason;
+  // C = next power of two >= fs/chip (166.7), D keeps >= 16 samples/chip.
+  EXPECT_EQ(plan.fft_size, 256u);
+  EXPECT_EQ(plan.decimation, 8u);
+  EXPECT_GE(kChzrFs / static_cast<double>(plan.decimation),
+            16.0 * kChzrChip);
+  EXPECT_DOUBLE_EQ(plan.grid_origin_hz, 3000.0);
+  EXPECT_DOUBLE_EQ(plan.grid_spacing_hz, 1500.0);
+  // Off-grid and degenerate configurations are refused with a reason.
+  EXPECT_FALSE(dsp::PolyphaseChannelizer::plan(kChzrFs, kChzrChip,
+                                               {3000.0, 4500.0, 6100.0})
+                   .viable);
+  EXPECT_FALSE(
+      dsp::PolyphaseChannelizer::plan(8.0 * kChzrChip, kChzrChip, {3000.0})
+          .viable);
+  EXPECT_FALSE(dsp::PolyphaseChannelizer::plan(kChzrFs, kChzrChip, {}).viable);
+}
+
+TEST(Channelizer, ToneLandsOnlyInItsLane) {
+  // Known-answer test: a pure complex tone at one lane's center must come
+  // out of that lane at (nearly) full amplitude rotated to DC, and leak
+  // into the adjacent lanes by no more than the prototype's stopband
+  // (Hamming windowed-sinc: < -50 dB; assert -40 dB for margin).
+  const auto centers = chzr_centers();
+  for (std::size_t tone = 0; tone < centers.size(); ++tone) {
+    auto chzr = make_channelizer();
+    const double w = 2.0 * kPi * centers[tone] / kChzrFs;
+    const double amp = 0.7;
+    std::vector<cplx> in(16384);
+    for (std::size_t t = 0; t < in.size(); ++t) {
+      const double ph = w * static_cast<double>(t);
+      in[t] = amp * cplx{std::cos(ph), std::sin(ph)};
+    }
+    const std::size_t frames = chzr.process(in.data(), in.size());
+    ASSERT_EQ(frames, in.size() / chzr.decimation());
+    // Skip the prototype warmup (taps/decimation frames).
+    const std::size_t warm = chzr.taps() / chzr.decimation() + 4;
+    ASSERT_GT(frames, warm + 100);
+    for (std::size_t k = 0; k < centers.size(); ++k) {
+      double peak = 0.0;
+      for (std::size_t f = warm; f < frames; ++f) {
+        peak = std::max(peak, std::abs(chzr.lane(k)[f]));
+      }
+      if (k == tone) {
+        EXPECT_NEAR(peak, amp, 0.05 * amp) << "lane " << k;
+        // The residual-shift correction must park the tone at exact DC:
+        // successive lane samples agree in phase.
+        for (std::size_t f = warm; f + 1 < frames; ++f) {
+          const cplx ratio = chzr.lane(k)[f + 1] / chzr.lane(k)[f];
+          ASSERT_NEAR(std::arg(ratio), 0.0, 1e-6) << "frame " << f;
+        }
+      } else {
+        EXPECT_LT(peak, amp * 0.01)
+            << "tone " << tone << " leaked into lane " << k;
+      }
+    }
+  }
+}
+
+TEST(Channelizer, CommutatorCarriesAcrossSplitCalls) {
+  // One big process() call vs the same stream in awkward little pieces:
+  // history and frame phase carry across calls, so the lanes are
+  // bit-identical (same windows, same arithmetic, same frame grid).
+  auto whole = make_channelizer();
+  auto split = make_channelizer();
+  sim::Rng rng{23};
+  std::vector<cplx> in(12000);
+  for (auto& v : in) v = {rng.normal(0.0, 1.0), rng.normal(0.0, 1.0)};
+  const std::size_t total = whole.process(in.data(), in.size());
+
+  std::vector<std::vector<cplx>> lanes(split.lane_count());
+  const std::size_t chunks[] = {1, 3, 7, 8, 64, 129, 1000, 2048};
+  std::size_t off = 0, ci = 0;
+  while (off < in.size()) {
+    const std::size_t n =
+        std::min(chunks[ci++ % std::size(chunks)], in.size() - off);
+    const std::size_t got = split.process(in.data() + off, n);
+    for (std::size_t k = 0; k < lanes.size(); ++k) {
+      lanes[k].insert(lanes[k].end(), split.lane(k),
+                      split.lane(k) + got);
+    }
+    off += n;
+  }
+  ASSERT_EQ(whole.phase(), split.phase());
+  for (std::size_t k = 0; k < lanes.size(); ++k) {
+    ASSERT_EQ(lanes[k].size(), total);
+    for (std::size_t f = 0; f < total; ++f) {
+      ASSERT_EQ(lanes[k][f], whole.lane(k)[f])
+          << "lane " << k << " frame " << f;
+    }
+  }
+}
+
+// FDMA capture shared by the bank-policy tests: one tag per subcarrier.
+std::vector<double> fdma_capture(const std::vector<double>& subcarriers,
+                                 double seconds = 0.3) {
+  acoustic::UplinkWaveformSynth synth{
+      acoustic::UplinkWaveformSynth::Params{}};
+  sim::Rng rng{101};
+  std::vector<acoustic::BackscatterSource> srcs;
+  for (std::size_t k = 0; k < subcarriers.size(); ++k) {
+    const phy::UlPacket pkt{.tid = static_cast<std::uint8_t>(k + 1),
+                            .payload =
+                                static_cast<std::uint16_t>(0x500 + k)};
+    phy::SubcarrierModulator mod{{375.0, subcarriers[k]}};
+    acoustic::BackscatterSource s;
+    s.chips = mod.modulate(phy::Fm0Encoder::encode_frame(pkt.serialize()));
+    s.chip_rate = mod.subchip_rate();
+    s.start_s = 0.03;
+    s.amplitude = 0.12 + 0.01 * static_cast<double>(k);
+    s.phase_rad = 0.5 + 0.4 * static_cast<double>(k);
+    srcs.push_back(s);
+  }
+  return synth.synthesize(srcs, seconds, rng);
+}
+
+TEST(Channelizer, FdmaBankPacketsIdenticalAcrossSplitCalls) {
+  // Packet-level commutator continuity: the channelizer bank fed one big
+  // block decodes the same packets at the same instants as the same bank
+  // fed many small blocks.
+  auto params = fdma_params(dsp::KernelPolicy::kBlock, 1,
+                            reader::FdmaRxChain::BankPolicy::kChannelizer);
+  reader::FdmaRxChain whole{params};
+  reader::FdmaRxChain split{params};
+  ASSERT_EQ(whole.active_bank(),
+            reader::FdmaRxChain::BankPolicy::kChannelizer);
+  const auto wave = fdma_capture(chzr_centers());
+  whole.process(wave.data(), wave.size());
+  const std::size_t chunks[] = {501, 3, 12800, 7, 999, 20000};
+  std::size_t off = 0, ci = 0;
+  while (off < wave.size()) {
+    const std::size_t n =
+        std::min(chunks[ci++ % std::size(chunks)], wave.size() - off);
+    split.process(wave.data() + off, n);
+    off += n;
+  }
+  const auto a = whole.drain_packets();
+  const auto b = split.drain_packets();
+  ASSERT_GE(a.size(), 3u);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].packet, b[i].packet);
+    EXPECT_EQ(a[i].channel, b[i].channel);
+    EXPECT_DOUBLE_EQ(a[i].time_s, b[i].time_s);
+  }
+}
+
+TEST(KernelParity, BankPolicyMatrixDecodesIdenticalPacketStreams) {
+  // The full matrix the parity contract covers: {scalar, block} kernels x
+  // {per-channel, channelizer} banks (threading varied for good measure).
+  // Payloads, channels and CRC verdicts must agree exactly across all
+  // four; timestamps within one channelizer lane sample (the two banks
+  // run different prototype filters, so sub-lane-sample timing is not
+  // defined to match).
+  using Bank = reader::FdmaRxChain::BankPolicy;
+  struct Cell {
+    dsp::KernelPolicy kernels;
+    std::size_t workers;
+    Bank bank;
+  };
+  const Cell cells[] = {
+      {dsp::KernelPolicy::kScalar, 1, Bank::kPerChannel},
+      {dsp::KernelPolicy::kBlock, 4, Bank::kPerChannel},
+      {dsp::KernelPolicy::kScalar, 1, Bank::kChannelizer},
+      {dsp::KernelPolicy::kBlock, 4, Bank::kChannelizer},
+  };
+  const auto wave = fdma_capture(chzr_centers());
+  std::vector<std::vector<reader::RxPacket>> decoded;
+  double lane_dt = 0.0;
+  for (const auto& cell : cells) {
+    reader::FdmaRxChain bank{
+        fdma_params(cell.kernels, cell.workers, cell.bank)};
+    ASSERT_EQ(bank.active_bank(), cell.bank);
+    constexpr std::size_t kChunk = 20000;
+    for (std::size_t off = 0; off < wave.size(); off += kChunk) {
+      bank.process(wave.data(), 0);  // empty call: must be a no-op
+      bank.process(wave.data() + off,
+                   std::min(kChunk, wave.size() - off));
+    }
+    decoded.push_back(bank.drain_packets());
+    if (cell.bank == Bank::kChannelizer) {
+      // One lane sample in seconds, from the engaged channelizer's plan.
+      const auto plan = dsp::PolyphaseChannelizer::plan(
+          kChzrFs, kChzrChip, chzr_centers());
+      lane_dt = static_cast<double>(plan.decimation) / kChzrFs;
+    }
+  }
+  // Compare per-channel packet streams: a timestamp shift inside the
+  // tolerance can legally reorder the cross-channel merge, so the merged
+  // order is not part of the parity contract — the per-channel sequences
+  // and their instants are.
+  const auto by_channel = [](const std::vector<reader::RxPacket>& merged) {
+    std::vector<std::vector<reader::RxPacket>> chans(4);
+    for (const auto& p : merged) {
+      EXPECT_LT(p.channel, chans.size());
+      if (p.channel < chans.size()) chans[p.channel].push_back(p);
+    }
+    return chans;
+  };
+  std::vector<std::vector<std::vector<reader::RxPacket>>> streams;
+  for (const auto& merged : decoded) streams.push_back(by_channel(merged));
+  const auto& ref = streams.front();
+  ASSERT_GE(decoded.front().size(), 4u);  // every channel decodes its tag
+  for (std::size_t r = 1; r < streams.size(); ++r) {
+    for (std::size_t c = 0; c < ref.size(); ++c) {
+      ASSERT_EQ(streams[r][c].size(), ref[c].size())
+          << "cell " << r << " channel " << c;
+      for (std::size_t i = 0; i < ref[c].size(); ++i) {
+        EXPECT_EQ(streams[r][c][i].packet, ref[c][i].packet)
+            << "cell " << r << " channel " << c;
+        EXPECT_NEAR(streams[r][c][i].time_s, ref[c][i].time_s, lane_dt)
+            << "cell " << r << " channel " << c << " packet " << i;
+      }
+    }
+  }
+}
+
+TEST(Channelizer, OnGridAddKeepsChannelizerOffGridAddFallsBack) {
+  // The add_channel() grid contract: an on-grid subcarrier becomes a new
+  // lane (channelizer stays engaged), an off-grid one triggers the logged
+  // per-channel fallback — and neither loses anything already decoded.
+  using Bank = reader::FdmaRxChain::BankPolicy;
+  auto params = fdma_params(dsp::KernelPolicy::kBlock, 2,
+                            Bank::kChannelizer);
+  params.max_subcarrier_hz = 12000.0;  // headroom for the adds below
+  reader::FdmaRxChain bank{params};
+  ASSERT_EQ(bank.active_bank(), Bank::kChannelizer);
+
+  const auto wave = fdma_capture(chzr_centers());
+  bank.process(wave.data(), wave.size());
+  const auto before = bank.drain_packets();
+  ASSERT_GE(before.size(), 4u);
+  const auto stats_before = bank.all_channel_stats();
+
+  // On grid: 3000 + 4*1500 = 9000. Still the channelizer.
+  bank.add_channel({9000.0});
+  EXPECT_EQ(bank.active_bank(), Bank::kChannelizer);
+  ASSERT_EQ(bank.channel_count(), 5u);
+  const auto wave5 = fdma_capture({3000.0, 4500.0, 6000.0, 7500.0, 9000.0});
+  bank.process(wave5.data(), wave5.size());
+  const auto with_lane = bank.drain_packets();
+  ASSERT_GE(with_lane.size(), 5u);
+  EXPECT_TRUE(std::any_of(with_lane.begin(), with_lane.end(),
+                          [](const auto& p) { return p.channel == 4; }));
+
+  // Off grid: 10312.5 sits between grid steps (4.875 steps from the
+  // origin) -> fallback, state preserved. Still a legal subcarrier: a
+  // multiple of half the chip rate, one passband away from 9000.
+  bank.add_channel({10312.5});
+  EXPECT_EQ(bank.active_bank(), Bank::kPerChannel);
+  ASSERT_EQ(bank.channel_count(), 6u);
+  for (std::size_t c = 0; c < stats_before.size(); ++c) {
+    const auto s = bank.channel_stats(c);
+    EXPECT_GE(s.frames_ok, stats_before[c].frames_ok) << "channel " << c;
+    EXPECT_GE(s.bits, stats_before[c].bits) << "channel " << c;
+  }
+  // Nothing drained twice, nothing lost: the per-channel bank keeps
+  // decoding every channel (including the off-grid newcomer).
+  const auto wave6 = fdma_capture(
+      {3000.0, 4500.0, 6000.0, 7500.0, 9000.0, 10312.5});
+  bank.process(wave6.data(), wave6.size());
+  const auto after = bank.drain_packets();
+  ASSERT_GE(after.size(), 6u);
+  for (std::size_t c = 0; c < 6; ++c) {
+    EXPECT_TRUE(std::any_of(after.begin(), after.end(),
+                            [&](const auto& p) { return p.channel == c; }))
+        << "channel " << c << " stopped decoding after the fallback";
   }
 }
 

@@ -338,6 +338,16 @@ TEST(TelemetryParity, InstrumentedFdmaBankMatchesBareBitExactly) {
     EXPECT_EQ(registry.counter(name).value(), st.bits);
   }
   EXPECT_GE(total, 6u) << "capture failed to decode; parity vacuous";
+  // Channelizer instrumentation: the default (auto) bank engages the
+  // shared channelizer on this uniform four-channel grid, and says so.
+  EXPECT_EQ(instrumented.active_bank(),
+            reader::FdmaRxChain::BankPolicy::kChannelizer);
+  EXPECT_DOUBLE_EQ(registry.gauge("fdma.bank_policy").value(), 1.0);
+  const auto chzr_frames = registry.counter("fdma.chzr.frames").value();
+  EXPECT_GT(chzr_frames, 0u);
+  // In lane mode a channel consumes exactly one lane sample per frame.
+  EXPECT_EQ(chzr_frames, instrumented.channel_stats(0).iq_samples);
+  registry.counter("fdma.chzr.fft_us");  // bound; value is hw-dependent
 #ifndef ARACHNET_TELEMETRY_DISABLED
   EXPECT_GT(rec.event_count(), 0u);  // spans actually fired
 #endif
