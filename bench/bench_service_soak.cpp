@@ -1,0 +1,285 @@
+// Multi-session reader service soak: N concurrent 500 kS/s capture
+// sessions multiplexed over one shared worker pool (ReaderService).
+//
+// Two phases:
+//  1. paced  — every session streams real-time-paced DAQ blocks (10 000
+//     samples every 20 ms) carrying real packet waveforms; reports
+//     end-to-end block latency p50/p99 (submit -> decoded), drop rate,
+//     decoded packets, and RSS growth across the soak (memory-boundedness).
+//  2. saturation — the same fleet is fed as fast as admission allows;
+//     aggregate decoded samples/s gives the capacity headroom in
+//     equivalent 500 kS/s sessions per core.
+//
+// Sidecar: BENCH_service_soak.json (soak.* rows), gated in CI by
+// ci/check_service_soak.py.
+//
+//   bench_service_soak [--sessions=8] [--seconds=2.0] [--workers=0]
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "arachnet/acoustic/waveform_channel.hpp"
+#include "arachnet/phy/fm0.hpp"
+#include "arachnet/reader/service/reader_service.hpp"
+#include "arachnet/telemetry/metrics.hpp"
+
+#include "bench_report.hpp"
+
+using namespace arachnet;
+using reader::service::ReaderService;
+using reader::service::SessionConfig;
+using reader::service::SessionId;
+
+namespace {
+
+constexpr double kSampleRate = 500000.0;  // the paper's DAQ rate
+constexpr std::size_t kBlockSamples = 10000;
+constexpr double kBlockPeriodS =
+    static_cast<double>(kBlockSamples) / kSampleRate;  // 20 ms
+
+/// Resident set size in KiB (0 when /proc is unavailable).
+std::size_t rss_kib() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::size_t kib = 0;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, "VmRSS:", 6) == 0) {
+      kib = static_cast<std::size_t>(std::strtoul(line + 6, nullptr, 10));
+      break;
+    }
+  }
+  std::fclose(f);
+  return kib;
+}
+
+/// One 0.28 s uplink window (140 000 samples) carrying one packet — the
+/// template every session streams cyclically.
+std::vector<double> render_template() {
+  sim::Rng rng{21};
+  acoustic::UplinkWaveformSynth synth{acoustic::UplinkWaveformSynth::Params{}};
+  const phy::UlPacket pkt{.tid = 3, .payload = 0x5AA5};
+  acoustic::BackscatterSource s;
+  s.chips = phy::Fm0Encoder::encode_frame(pkt.serialize());
+  s.chip_rate = 375.0;
+  s.start_s = 0.02;
+  s.amplitude = 0.2;
+  s.phase_rad = 1.0;
+  return synth.synthesize({s}, 0.28, rng);
+}
+
+struct ProducerTotals {
+  std::uint64_t submitted = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t packets = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t sessions = 8;
+  double seconds = 2.0;
+  std::size_t workers = 0;  // 0 = hardware concurrency
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--sessions=", 0) == 0) {
+      sessions = static_cast<std::size_t>(std::stoul(arg.substr(11)));
+    } else if (arg.rfind("--seconds=", 0) == 0) {
+      seconds = std::stod(arg.substr(10));
+    } else if (arg.rfind("--workers=", 0) == 0) {
+      workers = static_cast<std::size_t>(std::stoul(arg.substr(10)));
+    }
+  }
+
+  telemetry::MetricsRegistry registry;
+  ReaderService::Params params;
+  params.workers = workers;
+  params.metrics = &registry;
+  params.dispatch_capacity = 4 * sessions;
+  // Budget the fleet so the requested session count is always admitted.
+  {
+    ReaderService probe{ReaderService::Params{.workers = workers}};
+    const double per_core = static_cast<double>(sessions) /
+                                static_cast<double>(probe.worker_count()) +
+                            1.0;
+    params.sessions_per_core = per_core > 4.0 ? per_core : 4.0;
+  }
+  ReaderService svc{params};
+  svc.start();
+
+  const auto wave = render_template();
+  const std::size_t blocks_per_session =
+      static_cast<std::size_t>(seconds / kBlockPeriodS);
+
+  arachnet::bench::Report report{"service_soak"};
+  std::printf("=== Reader service soak: %zu sessions @ %.0f kS/s over %zu "
+              "workers ===\n\n",
+              sessions, kSampleRate / 1000.0, svc.worker_count());
+
+  // ------------------------------------------------------------ phase 1
+  std::vector<SessionId> ids;
+  for (std::size_t i = 0; i < sessions; ++i) {
+    SessionConfig cfg;
+    cfg.priority = 1;
+    cfg.ttl_s = 0.25;  // stale blocks are worthless a slot later
+    cfg.max_blocks_in_flight = 8;
+    const auto id = svc.open_session(cfg);
+    if (!id.has_value()) {
+      std::fprintf(stderr, "session %zu rejected at admission\n", i);
+      return 1;
+    }
+    ids.push_back(*id);
+  }
+
+  const std::size_t rss_before = rss_kib();
+  std::vector<ProducerTotals> totals(sessions);
+  std::vector<std::thread> producers;
+  producers.reserve(sessions);
+  const auto paced_t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < sessions; ++i) {
+    producers.emplace_back([&, i] {
+      auto& t = totals[i];
+      std::size_t off = (i * 17) % (wave.size() / kBlockSamples);
+      auto next = std::chrono::steady_clock::now();
+      for (std::size_t b = 0; b < blocks_per_session; ++b) {
+        next += std::chrono::microseconds(
+            static_cast<long>(kBlockPeriodS * 1e6));
+        std::this_thread::sleep_until(next);
+        auto blk = svc.acquire_block(ids[i]);
+        const auto* src = wave.data() + off * kBlockSamples;
+        blk.assign(src, src + kBlockSamples);
+        off = (off + 1) % (wave.size() / kBlockSamples);
+        ++t.submitted;
+        if (svc.submit(ids[i], std::move(blk))) ++t.accepted;
+        while (svc.poll_packet(ids[i]).has_value()) ++t.packets;
+      }
+    });
+  }
+  for (auto& p : producers) p.join();
+  // Let the tail of the pipeline land, then drain the outputs.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  for (std::size_t i = 0; i < sessions; ++i) {
+    while (svc.poll_packet(ids[i]).has_value()) ++totals[i].packets;
+  }
+  const double paced_wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    paced_t0)
+          .count();
+  const std::size_t rss_after = rss_kib();
+
+  ProducerTotals sum;
+  for (const auto& t : totals) {
+    sum.submitted += t.submitted;
+    sum.accepted += t.accepted;
+    sum.packets += t.packets;
+  }
+  const auto svc_stats = svc.stats();
+  const double drop_rate =
+      sum.submitted == 0
+          ? 0.0
+          : static_cast<double>(sum.submitted - sum.accepted) /
+                static_cast<double>(sum.submitted);
+
+  // End-to-end block latency from the service's own histogram.
+  const auto snap = registry.snapshot();
+  double p50 = 0.0;
+  double p99 = 0.0;
+  for (const auto& h : snap.histograms) {
+    if (h.name == "service.block_ms") {
+      p50 = h.percentile(0.50);
+      p99 = h.percentile(0.99);
+    }
+  }
+  const double rss_growth_kib =
+      rss_after >= rss_before
+          ? static_cast<double>(rss_after - rss_before)
+          : 0.0;
+
+  std::printf("paced phase (%.2f s wall):\n", paced_wall_s);
+  std::printf("  blocks submitted   %8llu\n",
+              static_cast<unsigned long long>(sum.submitted));
+  std::printf("  blocks accepted    %8llu (drop rate %.4f)\n",
+              static_cast<unsigned long long>(sum.accepted), drop_rate);
+  std::printf("  blocks processed   %8llu\n",
+              static_cast<unsigned long long>(svc_stats.blocks_processed));
+  std::printf("  packets decoded    %8llu\n",
+              static_cast<unsigned long long>(sum.packets));
+  std::printf("  block latency      p50 %.3f ms   p99 %.3f ms\n", p50, p99);
+  std::printf("  rss growth         %8.0f KiB\n\n", rss_growth_kib);
+
+  report.counter("soak.sessions", sessions);
+  report.counter("soak.workers", svc.worker_count());
+  report.gauge("soak.sessions_per_core",
+               static_cast<double>(sessions) /
+                   static_cast<double>(svc.worker_count()));
+  report.counter("soak.blocks_submitted", sum.submitted);
+  report.counter("soak.blocks_accepted", sum.accepted);
+  report.counter("soak.blocks_processed", svc_stats.blocks_processed);
+  report.counter("soak.packets", sum.packets);
+  report.metric("soak.paced_drop_rate", drop_rate);
+  report.metric("soak.block_ms.p50", p50, "ms");
+  report.metric("soak.block_ms.p99", p99, "ms");
+  report.metric("soak.rss_growth_kib", rss_growth_kib, "KiB");
+
+  // ------------------------------------------------------------ phase 2
+  // Saturation: feed the same fleet as fast as the per-session caps
+  // admit for ~0.5 s; aggregate decode rate -> capacity in equivalent
+  // real-time sessions.
+  std::uint64_t samples_before = 0;
+  for (const auto id : ids) {
+    samples_before += svc.session_stats(id)->samples_processed;
+  }
+  const auto sat_t0 = std::chrono::steady_clock::now();
+  const auto sat_deadline = sat_t0 + std::chrono::milliseconds(500);
+  std::size_t off = 0;
+  while (std::chrono::steady_clock::now() < sat_deadline) {
+    bool any = false;
+    for (const auto id : ids) {
+      auto blk = svc.acquire_block(id);
+      const auto* src = wave.data() + off * kBlockSamples;
+      blk.assign(src, src + kBlockSamples);
+      if (svc.submit(id, std::move(blk))) any = true;
+      svc.poll_packet(id);
+    }
+    off = (off + 1) % (wave.size() / kBlockSamples);
+    if (!any) std::this_thread::yield();  // every cap hit: let the pool run
+  }
+  // Drain what was accepted before the cutoff.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  const double sat_wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - sat_t0)
+          .count();
+  std::uint64_t samples_after = 0;
+  for (const auto id : ids) {
+    samples_after += svc.session_stats(id)->samples_processed;
+  }
+  const double samples_per_s =
+      static_cast<double>(samples_after - samples_before) / sat_wall_s;
+  const double capacity_sessions = samples_per_s / kSampleRate;
+  const double capacity_per_core =
+      capacity_sessions / static_cast<double>(svc.worker_count());
+
+  std::printf("saturation phase (%.2f s wall):\n", sat_wall_s);
+  std::printf("  decode throughput  %.2f MS/s aggregate\n",
+              samples_per_s / 1e6);
+  std::printf("  capacity           %.1f x 500 kS/s sessions "
+              "(%.2f sessions/core)\n\n",
+              capacity_sessions, capacity_per_core);
+
+  report.metric("soak.samples_per_s", samples_per_s, "S/s");
+  report.metric("soak.capacity_sessions", capacity_sessions);
+  report.metric("soak.capacity_sessions_per_core", capacity_per_core);
+
+  for (const auto id : ids) svc.close_session(id);
+  svc.stop();
+  const auto final_stats = svc.stats();
+  report.counter("soak.blocks_dropped", final_stats.blocks_dropped);
+  report.counter("soak.blocks_expired", final_stats.blocks_expired);
+
+  report.write();
+  std::printf("sidecar: %s\n", report.path().c_str());
+  return 0;
+}

@@ -104,6 +104,17 @@ class RingBuffer {
     not_empty_.notify_all();
   }
 
+  /// Reopens a closed buffer so a stopped pipeline can be restarted:
+  /// pushes succeed again, pops block on empty again. Queued items
+  /// survive — reopening never discards data already accepted. No-op on
+  /// an open buffer. The caller must serialize reopen() against the
+  /// producers/consumers of the previous run (RealtimeReader::start()
+  /// reopens only after stop() joined the worker).
+  void reopen() {
+    std::lock_guard lock{mutex_};
+    closed_ = false;
+  }
+
   bool closed() const {
     std::lock_guard lock{mutex_};
     return closed_;

@@ -17,24 +17,26 @@ std::uint64_t steady_now_ns() noexcept {
 }
 
 /// Forwards the reader's registry into the FDMA bank params unless the
-/// caller already bound one there.
-std::optional<FdmaRxChain::Params> with_metrics(
-    std::optional<FdmaRxChain::Params> fdma,
-    telemetry::MetricsRegistry* metrics) {
-  if (fdma && fdma->metrics == nullptr) fdma->metrics = metrics;
-  return fdma;
+/// caller already bound one there. Applied to the params the reader
+/// *stores*, so params().fdma->metrics always matches the live bank (a
+/// local-copy patch once left the stored pointer null while the bank ran
+/// instrumented).
+RealtimeReader::Params with_metrics(RealtimeReader::Params params) {
+  if (params.fdma && params.fdma->metrics == nullptr) {
+    params.fdma->metrics = params.metrics;
+  }
+  return params;
 }
 
 }  // namespace
 
 RealtimeReader::RealtimeReader(Params params)
-    : params_(params),
-      chain_(params.chain),
-      fdma_(params.fdma ? std::make_unique<FdmaRxChain>(
-                              *with_metrics(params.fdma, params.metrics))
-                        : nullptr),
-      input_(params.input_capacity),
-      output_(params.output_capacity) {
+    : params_(with_metrics(std::move(params))),
+      chain_(params_.chain),
+      fdma_(params_.fdma ? std::make_unique<FdmaRxChain>(*params_.fdma)
+                         : nullptr),
+      input_(params_.input_capacity),
+      output_(params_.output_capacity) {
   if (auto* m = params_.metrics) {
     h_block_ms_ = &m->histogram("reader.block_ms", 0.0, 50.0, 64);
     g_input_depth_ = &m->gauge("reader.input_depth");
@@ -49,8 +51,13 @@ RealtimeReader::RealtimeReader(Params params)
 RealtimeReader::~RealtimeReader() { stop(); }
 
 void RealtimeReader::start() {
-  if (started_) return;
-  started_ = true;
+  if (worker_.joinable()) return;  // already running
+  // Restart path: after stop() the input is closed (and the worker closed
+  // the output on drain). Reopen both so submit()/wait_packet() work
+  // again; queued contents — undrained output packets in particular —
+  // survive the reopen.
+  input_.reopen();
+  output_.reopen();
   ARACHNET_LOG_INFO("reader", "starting DSP worker",
                     {"mode", fdma_ ? "fdma" : "single"},
                     {"input_capacity", input_.capacity()},
@@ -80,20 +87,26 @@ void RealtimeReader::worker_loop() {
       if (resync_requested_.exchange(false)) chain_.resync();
       chain_.process(block->data(), block->size());
       samples_processed_.fetch_add(block->size(), std::memory_order_relaxed);
-      // Emit any packets decoded so far. emit_cursor_ advances over every
-      // decoded packet; only successful pushes count as emitted (same
-      // accounting as the FDMA branch).
+      // Emit every packet decoded this block, then drain the chain's
+      // decode list: a long-running session must not accumulate decoded
+      // packets forever (the list once grew without bound, leaking memory
+      // block after block). Only successful pushes count as emitted (same
+      // accounting as the FDMA branch); chain_frames_total_ keeps the
+      // monotonic frame count across the clears.
       const auto& packets = chain_.packets();
-      while (emit_cursor_ < packets.size()) {
-        if (emit_packet(packets[emit_cursor_], &out_stall_ns)) {
+      for (const auto& pkt : packets) {
+        if (emit_packet(pkt, &out_stall_ns)) {
           ++emitted;
         } else {
           ++dropped;
         }
-        ++emit_cursor_;
       }
+      chain_frames_total_ += packets.size();
+      chain_.clear_packets();
+      chain_buffered_.store(chain_.packets().size(),
+                            std::memory_order_relaxed);
       chain_bits_.store(chain_.bits_decoded(), std::memory_order_relaxed);
-      chain_frames_.store(packets.size(), std::memory_order_relaxed);
+      chain_frames_.store(chain_frames_total_, std::memory_order_relaxed);
       chain_crc_.store(chain_.crc_failures(), std::memory_order_relaxed);
     }
     if (emitted != 0) {
@@ -154,6 +167,7 @@ RealtimeReader::Stats RealtimeReader::stats() const {
   s.samples_processed = samples_processed();
   s.packets_emitted = packets_emitted_.load(std::memory_order_relaxed);
   s.packets_dropped = packets_dropped_.load(std::memory_order_relaxed);
+  s.chain_buffered_packets = chain_buffered_.load(std::memory_order_relaxed);
   s.input_depth = input_.size();
   s.input_capacity = input_.capacity();
   s.output_depth = output_.size();

@@ -53,6 +53,12 @@ class RealtimeReader {
     std::uint64_t samples_processed = 0;
     std::uint64_t packets_emitted = 0;  ///< successfully pushed to the output
     std::uint64_t packets_dropped = 0;  ///< lost to a full/closed output
+    /// Packets still buffered inside the single chain's decode list after
+    /// the last block's drain — steady-state 0 (the worker clears the list
+    /// every block). Regression guard for the long-run leak where the list
+    /// grew without bound; FDMA mode reports 0 (the bank keeps its own
+    /// per-channel retention contract, see FdmaRxChain::packets()).
+    std::uint64_t chain_buffered_packets = 0;
     std::size_t input_depth = 0;   ///< raw blocks waiting for the DSP
     std::size_t input_capacity = 0;
     std::size_t output_depth = 0;  ///< decoded packets not yet fetched
@@ -68,11 +74,18 @@ class RealtimeReader {
   RealtimeReader(const RealtimeReader&) = delete;
   RealtimeReader& operator=(const RealtimeReader&) = delete;
 
-  /// Starts the DSP worker thread.
+  /// Starts the DSP worker thread. Restartable: calling start() again
+  /// after stop() reopens both queues and spawns a fresh worker — chain
+  /// DSP state, all counters, any blocks still queued at the close point
+  /// (there are none after stop(), which drains) and any undrained output
+  /// packets carry over, so a stop()/start() pair is a pause, not a
+  /// reset. start() while the worker is already running is a no-op.
+  /// start/stop must be called from one control thread.
   void start();
 
   /// Submits a block of raw DAQ samples. Blocks while the input queue is
-  /// full (back-pressure). Returns false after stop().
+  /// full (back-pressure). Returns false while stopped (between stop()
+  /// and a restart).
   bool submit(Block block);
 
   /// Non-blocking fetch of the next decoded packet.
@@ -84,6 +97,7 @@ class RealtimeReader {
   /// Closes the input, drains the worker, and joins it. Blocks already
   /// accepted by submit() are still fully processed and their packets
   /// remain fetchable — shutdown loses nothing before the close point.
+  /// The reader may be restarted afterwards with start().
   void stop();
 
   /// Raw samples processed so far (worker-side).
@@ -97,6 +111,11 @@ class RealtimeReader {
   /// Requests a slot-boundary resync (applied by the worker before the
   /// next block; single-channel mode only — the FDMA bank free-runs).
   void request_resync() { resync_requested_.store(true); }
+
+  /// The parameters the reader actually runs with. When a registry was
+  /// forwarded into the FDMA bank, the stored `fdma->metrics` reflects
+  /// that patch, so introspection agrees with the live bank.
+  const Params& params() const noexcept { return params_; }
 
  private:
   void worker_loop();
@@ -116,12 +135,18 @@ class RealtimeReader {
   std::atomic<std::uint64_t> chain_bits_{0};
   std::atomic<std::uint64_t> chain_frames_{0};
   std::atomic<std::uint64_t> chain_crc_{0};
-  /// Single-chain emission cursor into chain_.packets(): worker-thread
-  /// only. Deliberately separate from packets_emitted_ — the cursor
-  /// advances past dropped packets, the counter must not (it once doubled
-  /// as both, so a packet dropped on a full output queue was still
-  /// reported as emitted).
-  std::uint64_t emit_cursor_ = 0;
+  /// Packets left in chain_.packets() after a block's drain (the leak
+  /// regression observable behind Stats::chain_buffered_packets).
+  std::atomic<std::uint64_t> chain_buffered_{0};
+  /// Monotonic total of single-chain decoded frames: the worker drains
+  /// chain_.packets() after every block (long-running sessions must not
+  /// accumulate every decoded packet forever), so the chain's own vector
+  /// size no longer doubles as the frame count. Worker-thread only;
+  /// published through chain_frames_. Every decoded packet counts here
+  /// whether or not its emission later dropped — packets_emitted_ counts
+  /// successful pushes only (it once doubled as both, so a packet dropped
+  /// on a full output queue was still reported as emitted).
+  std::uint64_t chain_frames_total_ = 0;
   /// Packets successfully pushed to the output (cross-thread, stats()).
   std::atomic<std::uint64_t> packets_emitted_{0};
   /// Packets lost to a full (drop_on_full_output) or closed output.
@@ -136,7 +161,6 @@ class RealtimeReader {
   telemetry::Counter* c_packets_dropped_ = nullptr;
   telemetry::Counter* c_stall_ns_ = nullptr;
   telemetry::Counter* c_blocks_ = nullptr;
-  bool started_ = false;
 };
 
 }  // namespace arachnet::reader
