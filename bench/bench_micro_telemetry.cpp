@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "arachnet/reader/fdma_rx.hpp"
@@ -73,6 +74,83 @@ static void BM_TraceSpanEnabled(benchmark::State& state) {
   rec.clear();
 }
 BENCHMARK(BM_TraceSpanEnabled);
+
+static void BM_StageLatencyRecord(benchmark::State& state) {
+  // What one stage-attribution point costs the hot path: a steady_clock
+  // read plus a histogram record (the service pays three per block).
+  telemetry::LatencyHistogram h{0.0, 50.0, 250};
+  std::uint64_t prev = 0;
+  for (auto _ : state) {
+    const auto now = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+    h.record(static_cast<double>(now - prev) * 1e-6);
+    prev = now;
+    benchmark::ClobberMemory();
+  }
+  benchmark::DoNotOptimize(h.count());
+}
+BENCHMARK(BM_StageLatencyRecord);
+
+namespace {
+
+/// A registry populated like a busy service fleet: the workload one
+/// monitor sample has to snapshot and delta.
+void populate_registry(telemetry::MetricsRegistry& reg, int sessions) {
+  for (int s = 0; s < sessions; ++s) {
+    const std::string p = "session." + std::to_string(s) + ".";
+    reg.counter(p + "blocks").add(1000 + s);
+    reg.counter(p + "packets").add(100 + s);
+    reg.gauge(p + "depth").set(0.5 * s);
+    auto& h = reg.histogram(p + "block_ms", 0.0, 50.0, 250);
+    for (int i = 0; i < 64; ++i) h.record(0.2 * i);
+  }
+}
+
+}  // namespace
+
+static void BM_MonitorSample(benchmark::State& state) {
+  // One full monitor sampling pass (snapshot + delta/rate math + history
+  // ring + watchdogs) over a fleet-sized registry. Amortized over the 1 s
+  // period this is the monitor's entire steady-state cost.
+  telemetry::MetricsRegistry reg;
+  populate_registry(reg, static_cast<int>(state.range(0)));
+  telemetry::HealthMonitor::Params p;
+  p.registry = &reg;
+  p.history = 120;
+  telemetry::HealthMonitor mon{p};
+  for (int s = 0; s < state.range(0); ++s) {
+    // Progress advances every sample so the stall watchdog stays quiet —
+    // the bench measures the sampling pass, not flag churn.
+    mon.add_probe({.name = "session." + std::to_string(s),
+                   .progress = [n = std::uint64_t{0}]() mutable {
+                     return ++n;
+                   }});
+  }
+  for (auto _ : state) {
+    mon.sample_once();
+    benchmark::ClobberMemory();
+  }
+  benchmark::DoNotOptimize(mon.samples_taken());
+}
+BENCHMARK(BM_MonitorSample)->Arg(8)->Arg(64);
+
+static void BM_SnapshotDelta(benchmark::State& state) {
+  // Just the pure delta/rate math between two fleet-sized snapshots.
+  telemetry::MetricsRegistry reg;
+  populate_registry(reg, 64);
+  const auto prev = reg.snapshot();
+  for (int s = 0; s < 64; ++s) {
+    reg.counter("session." + std::to_string(s) + ".blocks").add(17);
+  }
+  const auto cur = reg.snapshot();
+  for (auto _ : state) {
+    auto d = telemetry::compute_snapshot_delta(prev, cur, 1.0);
+    benchmark::DoNotOptimize(d.counters.data());
+  }
+}
+BENCHMARK(BM_SnapshotDelta);
 
 static void BM_LogSuppressed(benchmark::State& state) {
   // Runtime level gate rejects the call before any field is formatted.

@@ -231,6 +231,10 @@ FdmaRxChain::FdmaRxChain(Params params)
     g_bank_policy_ = &params_.metrics->gauge("fdma.bank_policy");
     c_chzr_frames_ = &params_.metrics->counter("fdma.chzr.frames");
     c_chzr_fft_us_ = &params_.metrics->counter("fdma.chzr.fft_us");
+    h_stage_frontend_us_ =
+        &params_.metrics->histogram("fdma.stage.frontend_us", 0.0, 20000.0, 100);
+    h_stage_decode_us_ =
+        &params_.metrics->histogram("fdma.stage.decode_us", 0.0, 20000.0, 100);
   }
 
   const bool channelized =
@@ -424,14 +428,16 @@ void FdmaRxChain::add_channel(ChannelSpec spec) {
 
 void FdmaRxChain::process(const double* samples, std::size_t n) {
   ARACHNET_TRACE_SPAN("fdma.process");
+  // Stage timing (front-end = DDC + shared channelizer on the caller
+  // thread; decode = per-channel fan-out) is metrics-gated so the
+  // uninstrumented path pays nothing.
+  const bool timed = h_stage_frontend_us_ != nullptr;
+  const std::uint64_t t_in = timed ? steady_now_ns() : 0;
   // Reused member scratch: the steady-state hot path allocates nothing.
   iq_buf_.clear();
   ddc_.process(std::span<const double>{samples, n}, iq_buf_);
   if (iq_buf_.empty()) return;
   if (chzr_ != nullptr) {
-    // Shared front-end on the calling thread, then the per-lane decision
-    // chains fan out. Timing is metrics-gated so the uninstrumented path
-    // pays nothing.
     const std::uint64_t t0 =
         (c_chzr_fft_us_ != nullptr) ? steady_now_ns() : 0;
     const std::size_t frames =
@@ -440,6 +446,11 @@ void FdmaRxChain::process(const double* samples, std::size_t n) {
       c_chzr_fft_us_->add((steady_now_ns() - t0) / 1000);
       c_chzr_frames_->add(frames);
     }
+    const std::uint64_t t_front = timed ? steady_now_ns() : 0;
+    if (timed) {
+      h_stage_frontend_us_->record(static_cast<double>(t_front - t_in) *
+                                   1e-3);
+    }
     if (frames != 0) {
       const std::uint64_t frame_base = chzr_->frames_produced() - frames;
       pool_->run(channels_.size(), [&](std::size_t c) {
@@ -447,12 +458,25 @@ void FdmaRxChain::process(const double* samples, std::size_t n) {
                                    lane_axis_alpha_, lane_rate_,
                                    frame_base);
       });
+      if (timed) {
+        h_stage_decode_us_->record(
+            static_cast<double>(steady_now_ns() - t_front) * 1e-3);
+      }
     }
   } else {
+    const std::uint64_t t_front = timed ? steady_now_ns() : 0;
+    if (timed) {
+      h_stage_frontend_us_->record(static_cast<double>(t_front - t_in) *
+                                   1e-3);
+    }
     pool_->run(channels_.size(), [&](std::size_t c) {
       channels_[c]->process_block(iq_buf_.data(), iq_buf_.size(),
                                   axis_alpha_, iq_rate_, iq_index_);
     });
+    if (timed) {
+      h_stage_decode_us_->record(
+          static_cast<double>(steady_now_ns() - t_front) * 1e-3);
+    }
   }
   iq_index_ += iq_buf_.size();
 }

@@ -95,8 +95,10 @@ class FdmaRxChain {
     /// decode counters (`fdma.ch<i>.{iq_samples,bits,frames,crc_failures}`),
     /// a worker-pool dispatch-latency histogram (`fdma.dispatch_us`), the
     /// active-front-end gauge `fdma.bank_policy` (0 = per-channel,
-    /// 1 = channelizer) and the channelizer counters
-    /// `fdma.chzr.{frames,fft_us}`. The registry must outlive the chain.
+    /// 1 = channelizer), the channelizer counters
+    /// `fdma.chzr.{frames,fft_us}`, and per-block stage histograms
+    /// `fdma.stage.{frontend_us,decode_us}` (shared front-end vs channel
+    /// fan-out). The registry must outlive the chain.
     /// nullptr = no instrumentation.
     telemetry::MetricsRegistry* metrics = nullptr;
     /// DSP implementation for the main DDC and the per-channel mixer/LPF.
@@ -310,6 +312,10 @@ class FdmaRxChain {
   telemetry::Gauge* g_bank_policy_ = nullptr;
   telemetry::Counter* c_chzr_frames_ = nullptr;
   telemetry::Counter* c_chzr_fft_us_ = nullptr;
+  // Per-block stage split of process(): front-end (main DDC + shared
+  // channelizer, caller thread) vs decode (per-channel pool fan-out).
+  telemetry::LatencyHistogram* h_stage_frontend_us_ = nullptr;
+  telemetry::LatencyHistogram* h_stage_decode_us_ = nullptr;
   /// Per-block IQ scratch, reused across process() calls so the steady
   /// state allocates nothing.
   std::vector<std::complex<double>> iq_buf_;

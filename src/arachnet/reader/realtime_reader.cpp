@@ -45,6 +45,9 @@ RealtimeReader::RealtimeReader(Params params)
     c_packets_dropped_ = &m->counter("reader.packets_dropped");
     c_stall_ns_ = &m->counter("reader.backpressure_stall_ns");
     c_blocks_ = &m->counter("reader.blocks");
+    h_stage_wait_ms_ = &m->histogram("reader.stage.queue_wait_ms", 0.0, 50.0, 64);
+    h_stage_process_ms_ = &m->histogram("reader.stage.process_ms", 0.0, 50.0, 64);
+    h_stage_emit_ms_ = &m->histogram("reader.stage.emit_ms", 0.0, 5.0, 64);
   }
 }
 
@@ -66,16 +69,19 @@ void RealtimeReader::start() {
 }
 
 void RealtimeReader::worker_loop() {
-  while (auto block = input_.pop()) {
+  while (auto item = input_.pop()) {
     ARACHNET_TRACE_SPAN("reader.block");
-    const std::uint64_t t0 =
-        (h_block_ms_ != nullptr) ? steady_now_ns() : 0;
+    Block& block = item->block;
+    const bool timed = h_block_ms_ != nullptr;
+    const std::uint64_t t0 = timed ? steady_now_ns() : 0;
+    std::uint64_t t_decoded = 0;
     std::uint64_t out_stall_ns = 0;
     std::uint64_t emitted = 0;
     std::uint64_t dropped = 0;
     if (fdma_) {
-      fdma_->process(block->data(), block->size());
-      samples_processed_.fetch_add(block->size(), std::memory_order_relaxed);
+      fdma_->process(block.data(), block.size());
+      if (timed) t_decoded = steady_now_ns();
+      samples_processed_.fetch_add(block.size(), std::memory_order_relaxed);
       for (auto& pkt : fdma_->drain_packets()) {
         if (emit_packet(std::move(pkt), &out_stall_ns)) {
           ++emitted;
@@ -85,8 +91,9 @@ void RealtimeReader::worker_loop() {
       }
     } else {
       if (resync_requested_.exchange(false)) chain_.resync();
-      chain_.process(block->data(), block->size());
-      samples_processed_.fetch_add(block->size(), std::memory_order_relaxed);
+      chain_.process(block.data(), block.size());
+      if (timed) t_decoded = steady_now_ns();
+      samples_processed_.fetch_add(block.size(), std::memory_order_relaxed);
       // Emit every packet decoded this block, then drain the chain's
       // decode list: a long-running session must not accumulate decoded
       // packets forever (the list once grew without bound, leaking memory
@@ -120,8 +127,13 @@ void RealtimeReader::worker_loop() {
       stall_ns_.fetch_add(out_stall_ns, std::memory_order_relaxed);
       if (c_stall_ns_ != nullptr) c_stall_ns_->add(out_stall_ns);
     }
-    if (h_block_ms_ != nullptr) {
-      h_block_ms_->record(static_cast<double>(steady_now_ns() - t0) * 1e-6);
+    if (timed) {
+      const std::uint64_t t_done = steady_now_ns();
+      h_block_ms_->record(static_cast<double>(t_done - t0) * 1e-6);
+      h_stage_wait_ms_->record(static_cast<double>(t0 - item->submit_ns) *
+                               1e-6);
+      h_stage_process_ms_->record(static_cast<double>(t_decoded - t0) * 1e-6);
+      h_stage_emit_ms_->record(static_cast<double>(t_done - t_decoded) * 1e-6);
       c_blocks_->add();
       if (emitted != 0) c_packets_emitted_->add(emitted);
       g_input_depth_->set(static_cast<double>(input_.size()));
@@ -141,7 +153,11 @@ bool RealtimeReader::emit_packet(RxPacket pkt, std::uint64_t* stall_ns) {
 
 bool RealtimeReader::submit(Block block) {
   std::uint64_t stall = 0;
-  const bool ok = input_.push(std::move(block), &stall);
+  // The submit stamp is taken unconditionally (one clock read per block)
+  // so queue-wait attribution works even when the reader is constructed
+  // before its registry wiring.
+  const bool ok =
+      input_.push(InputItem{std::move(block), steady_now_ns()}, &stall);
   if (stall != 0) {
     stall_ns_.fetch_add(stall, std::memory_order_relaxed);
     if (c_stall_ns_ != nullptr) c_stall_ns_->add(stall);

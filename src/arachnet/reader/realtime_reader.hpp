@@ -118,6 +118,13 @@ class RealtimeReader {
   const Params& params() const noexcept { return params_; }
 
  private:
+  /// One queued capture block plus its submit timestamp, so the worker
+  /// can attribute input-queue wait separately from DSP time.
+  struct InputItem {
+    Block block;
+    std::uint64_t submit_ns = 0;
+  };
+
   void worker_loop();
   /// Pushes one decoded packet per Params::drop_on_full_output; returns
   /// whether it was actually enqueued.
@@ -126,7 +133,7 @@ class RealtimeReader {
   Params params_;
   RxChain chain_;
   std::unique_ptr<FdmaRxChain> fdma_;
-  dsp::RingBuffer<Block> input_;
+  dsp::RingBuffer<InputItem> input_;
   dsp::RingBuffer<RxPacket> output_;
   std::thread worker_;
   std::atomic<std::uint64_t> samples_processed_{0};
@@ -155,6 +162,12 @@ class RealtimeReader {
   std::atomic<std::uint64_t> stall_ns_{0};
   // Registry instruments (nullable; bound once in the constructor).
   telemetry::LatencyHistogram* h_block_ms_ = nullptr;
+  // Per-stage breakdown of the block path: input-queue wait (submit ->
+  // worker pop), chain DSP, packet emit. reader.block_ms stays the
+  // pop -> done view (process + emit) it has always been.
+  telemetry::LatencyHistogram* h_stage_wait_ms_ = nullptr;
+  telemetry::LatencyHistogram* h_stage_process_ms_ = nullptr;
+  telemetry::LatencyHistogram* h_stage_emit_ms_ = nullptr;
   telemetry::Gauge* g_input_depth_ = nullptr;
   telemetry::Gauge* g_output_depth_ = nullptr;
   telemetry::Counter* c_packets_emitted_ = nullptr;

@@ -50,6 +50,11 @@ ReaderService::ReaderService(Params params)
     c_packets_emitted_ = &m->counter("reader.packets_emitted");
     c_packets_dropped_ = &m->counter("reader.packets_dropped");
     h_block_ms_ = &m->histogram("service.block_ms", 0.0, 50.0, 250);
+    h_stage_wait_ms_ =
+        &m->histogram("service.stage.dispatch_wait_ms", 0.0, 50.0, 250);
+    h_stage_process_ms_ =
+        &m->histogram("service.stage.process_ms", 0.0, 50.0, 250);
+    h_stage_emit_ms_ = &m->histogram("service.stage.emit_ms", 0.0, 5.0, 250);
   }
 }
 
@@ -300,8 +305,14 @@ void ReaderService::process_group(Group& group) {
       drop_item(item, /*expired=*/false);
       continue;
     }
+    // Stage attribution: dispatch-queue wait (submit -> here), chain
+    // decode, packet emit. Three extra clock reads per ~20 ms block —
+    // cheap enough to take unconditionally so SessionStats stage sums
+    // stay populated even without a registry.
+    const std::uint64_t t_pickup = steady_now_ns();
     const std::size_t n = item.block.size();
     s->chain->process(item.block.data(), n);
+    const std::uint64_t t_decoded = steady_now_ns();
     s->samples_processed.fetch_add(n, std::memory_order_relaxed);
     // Drain the chain's decode list every block (the RealtimeReader leak
     // discipline): frames_total stays monotonic across the clears.
@@ -332,9 +343,25 @@ void ReaderService::process_group(Group& group) {
     s->blocks_processed.fetch_add(1, std::memory_order_relaxed);
     blocks_processed_.fetch_add(1, std::memory_order_relaxed);
     if (c_blocks_ != nullptr) c_blocks_->add();
+    const std::uint64_t t_emitted = steady_now_ns();
+    const std::uint64_t wait_ns = t_pickup - item.submit_ns;
+    const std::uint64_t process_ns = t_decoded - t_pickup;
+    const std::uint64_t emit_ns = t_emitted - t_decoded;
+    s->stage_wait_ns.fetch_add(wait_ns, std::memory_order_relaxed);
+    s->stage_process_ns.fetch_add(process_ns, std::memory_order_relaxed);
+    s->stage_emit_ns.fetch_add(emit_ns, std::memory_order_relaxed);
     if (h_block_ms_ != nullptr) {
-      h_block_ms_->record(
-          static_cast<double>(steady_now_ns() - item.submit_ns) * 1e-6);
+      h_block_ms_->record(static_cast<double>(t_emitted - item.submit_ns) *
+                          1e-6);
+    }
+    if (h_stage_wait_ms_ != nullptr) {
+      h_stage_wait_ms_->record(static_cast<double>(wait_ns) * 1e-6);
+    }
+    if (h_stage_process_ms_ != nullptr) {
+      h_stage_process_ms_->record(static_cast<double>(process_ns) * 1e-6);
+    }
+    if (h_stage_emit_ms_ != nullptr) {
+      h_stage_emit_ms_->record(static_cast<double>(emit_ns) * 1e-6);
     }
     s->recycle_block(std::move(item.block));
     finish_block(s);

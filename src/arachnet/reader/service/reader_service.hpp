@@ -224,6 +224,13 @@ class ReaderService {
   telemetry::Counter* c_packets_emitted_ = nullptr;
   telemetry::Counter* c_packets_dropped_ = nullptr;
   telemetry::LatencyHistogram* h_block_ms_ = nullptr;
+  // Per-stage breakdown of service.block_ms: dispatch-queue wait (submit
+  // -> worker pickup), chain decode, packet emit. Together with the
+  // chain-internal fdma.stage.* instruments this attributes the whole
+  // capture -> dispatch -> process -> emit path.
+  telemetry::LatencyHistogram* h_stage_wait_ms_ = nullptr;
+  telemetry::LatencyHistogram* h_stage_process_ms_ = nullptr;
+  telemetry::LatencyHistogram* h_stage_emit_ms_ = nullptr;
 };
 
 }  // namespace arachnet::reader::service

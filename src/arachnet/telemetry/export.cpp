@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "arachnet/telemetry/json.hpp"
+#include "arachnet/telemetry/log.hpp"
 
 namespace arachnet::telemetry {
 
@@ -145,9 +146,19 @@ void JsonlExporter::write(std::ostream& out) const {
 
 bool JsonlExporter::write_file(const std::string& path) const {
   std::ofstream out{path};
-  if (!out) return false;
+  if (!out) {
+    ARACHNET_LOG_WARN("export", "failed to open jsonl sidecar",
+                      {"path", path}, {"source", source_});
+    return false;
+  }
   write(out);
-  return out.good();
+  if (!out.good()) {
+    ARACHNET_LOG_WARN("export", "jsonl sidecar write failed",
+                      {"path", path}, {"source", source_},
+                      {"lines", static_cast<std::uint64_t>(lines_.size())});
+    return false;
+  }
+  return true;
 }
 
 }  // namespace arachnet::telemetry

@@ -52,7 +52,9 @@ class JsonlExporter {
   std::size_t line_count() const noexcept { return lines_.size(); }
 
   void write(std::ostream& out) const;
-  /// Returns false if the file could not be opened/written.
+  /// Returns false — after emitting a structured-log warning with the
+  /// path — if the file could not be opened/written, so a dropped sidecar
+  /// is never silent even when the caller ignores the return value.
   bool write_file(const std::string& path) const;
 
  private:

@@ -1,0 +1,75 @@
+#include "arachnet/telemetry/prometheus.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+namespace arachnet::telemetry {
+
+namespace {
+
+std::string sanitize(std::string_view prefix, std::string_view name) {
+  std::string out;
+  out.reserve(prefix.size() + 1 + name.size());
+  out.append(prefix);
+  if (!out.empty()) out.push_back('_');
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void write_double(std::ostream& out, double v) {
+  if (std::isnan(v)) {
+    out << "NaN";
+  } else if (std::isinf(v)) {
+    out << (v > 0 ? "+Inf" : "-Inf");
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out << buf;
+  }
+}
+
+}  // namespace
+
+void write_prometheus_text(const MetricsSnapshot& snapshot, std::ostream& out,
+                           std::string_view prefix) {
+  for (const auto& c : snapshot.counters) {
+    const std::string name = sanitize(prefix, c.name);
+    out << "# TYPE " << name << " counter\n";
+    out << name << ' ' << c.value << '\n';
+  }
+  for (const auto& g : snapshot.gauges) {
+    const std::string name = sanitize(prefix, g.name);
+    out << "# TYPE " << name << " gauge\n";
+    out << name << ' ';
+    write_double(out, g.value);
+    out << '\n';
+  }
+  for (const auto& h : snapshot.histograms) {
+    const std::string name = sanitize(prefix, h.name);
+    out << "# TYPE " << name << " histogram\n";
+    const double width =
+        h.counts.empty() ? 0.0
+                         : (h.hi - h.lo) / static_cast<double>(h.counts.size());
+    // Buckets are cumulative; underflow sits below every finite edge.
+    std::uint64_t cum = h.underflow;
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      cum += h.counts[i];
+      out << name << "_bucket{le=\"";
+      write_double(out, h.lo + width * static_cast<double>(i + 1));
+      out << "\"} " << cum << '\n';
+    }
+    out << name << "_bucket{le=\"+Inf\"} " << h.count << '\n';
+    out << name << "_sum ";
+    write_double(out, h.sum);
+    out << '\n';
+    out << name << "_count " << h.count << '\n';
+  }
+}
+
+}  // namespace arachnet::telemetry

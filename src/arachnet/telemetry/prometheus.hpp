@@ -1,0 +1,29 @@
+#pragma once
+
+#include <ostream>
+#include <string_view>
+
+#include "arachnet/telemetry/metrics.hpp"
+
+namespace arachnet::telemetry {
+
+/// Renders a MetricsSnapshot in the Prometheus text exposition format
+/// (version 0.0.4), suitable for a file-based or HTTP-fronted scrape.
+///
+/// Mapping:
+///  - metric names are prefixed with `<prefix>_` and sanitized: every
+///    character outside [a-zA-Z0-9_] (the registry uses '.') becomes '_';
+///  - counters  -> `# TYPE <name> counter`, one sample line;
+///  - gauges    -> `# TYPE <name> gauge`,   one sample line;
+///  - histograms -> `# TYPE <name> histogram` with cumulative
+///    `<name>_bucket{le="<bin upper edge>"}` lines (underflow samples fold
+///    into the first bucket — they are below `lo`, hence below every
+///    edge), a `le="+Inf"` bucket equal to the total count (covering
+///    overflow), plus `<name>_sum` and `<name>_count`.
+///
+/// Non-finite gauge/sum values are emitted as Prometheus' `NaN`/`+Inf`/
+/// `-Inf` literals.
+void write_prometheus_text(const MetricsSnapshot& snapshot, std::ostream& out,
+                           std::string_view prefix = "arachnet");
+
+}  // namespace arachnet::telemetry

@@ -2,7 +2,9 @@
 
 /// Umbrella header for the observability layer: metrics registry
 /// (counters / gauges / latency histograms), scoped tracing with Chrome
-/// trace export, leveled structured logging, and the JSON-lines exporter.
+/// trace export, leveled structured logging, the JSON-lines exporter, and
+/// the live health monitor (periodic registry sampling, delta/rate
+/// time-series, watchdog flags, Prometheus text exposition).
 ///
 /// Conventions (see DESIGN.md "Observability"):
 ///  - metric names are dot-separated, lowercase, unit-suffixed where the
@@ -19,4 +21,6 @@
 #include "arachnet/telemetry/json.hpp"
 #include "arachnet/telemetry/log.hpp"
 #include "arachnet/telemetry/metrics.hpp"
+#include "arachnet/telemetry/monitor.hpp"
+#include "arachnet/telemetry/prometheus.hpp"
 #include "arachnet/telemetry/trace.hpp"

@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "arachnet/telemetry/json.hpp"
+#include "arachnet/telemetry/log.hpp"
 
 namespace arachnet::telemetry {
 
@@ -16,10 +17,15 @@ void TraceRecorder::enable(std::size_t events_per_thread) {
   {
     std::lock_guard lock{mutex_};
     ring_capacity_ = std::max<std::size_t>(1, events_per_thread);
+    // Capture both clocks back to back: the pair is the anchor that lets
+    // a trace's steady-relative timestamps be placed on the wall clock.
     epoch_ns_ = static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::steady_clock::now().time_since_epoch())
             .count());
+    wall_anchor_ns_ = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::system_clock::now().time_since_epoch())
+                          .count();
   }
   enabled_.store(true, std::memory_order_relaxed);
 }
@@ -72,15 +78,68 @@ std::uint64_t TraceRecorder::dropped() const {
   return total;
 }
 
+std::int64_t TraceRecorder::wall_anchor_ns() const {
+  std::lock_guard lock{mutex_};
+  return wall_anchor_ns_;
+}
+
+std::uint64_t TraceRecorder::epoch_ns() const {
+  std::lock_guard lock{mutex_};
+  return epoch_ns_;
+}
+
 void TraceRecorder::write_chrome_trace(std::ostream& out) const {
   JsonWriter w;
   w.begin_object();
   w.key("displayTimeUnit");
   w.value("ms");
+  {
+    std::lock_guard lock{mutex_};
+    // Wall-clock <-> steady anchor (one record per file): ts values are
+    // microseconds since the steady epoch, so
+    //   wall_ns(event) = wall_anchor_ns + ts * 1000.
+    // chrome://tracing ignores otherData; offline tooling aligning traces
+    // from separate runs/processes reads it from here.
+    w.key("otherData");
+    w.begin_object();
+    w.key("clock_sync");
+    w.begin_object();
+    w.key("wall_ns");
+    w.value(wall_anchor_ns_);
+    w.key("steady_epoch_ns");
+    w.value(epoch_ns_);
+    w.end_object();
+    w.end_object();
+  }
   w.key("traceEvents");
   w.begin_array();
   {
     std::lock_guard lock{mutex_};
+    // The same anchor as an instant event at ts 0, visible inside trace
+    // viewers (otherData is metadata-only there).
+    w.begin_object();
+    w.key("name");
+    w.value("clock_anchor");
+    w.key("cat");
+    w.value("arachnet");
+    w.key("ph");
+    w.value("I");
+    w.key("s");
+    w.value("g");  // global-scope instant
+    w.key("ts");
+    w.value(0.0);
+    w.key("pid");
+    w.value(std::int64_t{1});
+    w.key("tid");
+    w.value(std::int64_t{0});
+    w.key("args");
+    w.begin_object();
+    w.key("wall_ns");
+    w.value(wall_anchor_ns_);
+    w.key("steady_epoch_ns");
+    w.value(epoch_ns_);
+    w.end_object();
+    w.end_object();
     for (const auto& ring : rings_) {
       const std::uint64_t written =
           ring->written.load(std::memory_order_acquire);
@@ -115,9 +174,17 @@ void TraceRecorder::write_chrome_trace(std::ostream& out) const {
 
 bool TraceRecorder::write_chrome_trace_file(const std::string& path) const {
   std::ofstream out{path};
-  if (!out) return false;
+  if (!out) {
+    ARACHNET_LOG_WARN("trace", "failed to open chrome trace file",
+                      {"path", path});
+    return false;
+  }
   write_chrome_trace(out);
-  return out.good();
+  if (!out.good()) {
+    ARACHNET_LOG_WARN("trace", "chrome trace write failed", {"path", path});
+    return false;
+  }
+  return true;
 }
 
 }  // namespace arachnet::telemetry

@@ -35,7 +35,8 @@ class TraceRecorder {
   static TraceRecorder& instance();
 
   /// Starts recording; sizes rings created after this call. Also resets
-  /// the epoch so exported timestamps start near zero.
+  /// the epoch so exported timestamps start near zero, and captures the
+  /// wall-clock anchor paired with it (see wall_anchor_ns()).
   void enable(std::size_t events_per_thread = 1 << 14);
   void disable() { enabled_.store(false, std::memory_order_relaxed); }
   bool enabled() const noexcept {
@@ -62,8 +63,19 @@ class TraceRecorder {
   /// Events overwritten by ring wrap-around since the last clear().
   std::uint64_t dropped() const;
 
+  /// system_clock (UTC ns) captured at the same instant as the steady
+  /// epoch in enable(): `wall time of span = wall_anchor_ns() + ts`.
+  /// Exported traces carry one anchor record (`otherData.clock_sync` plus
+  /// a `clock_anchor` instant event), so traces from different runs or
+  /// processes can be aligned on a shared wall-clock axis — raw ts values
+  /// are per-process steady offsets and compare only within one file.
+  std::int64_t wall_anchor_ns() const;
+  /// The steady_clock value (ns since its arbitrary origin) used as ts 0.
+  std::uint64_t epoch_ns() const;
+
   void write_chrome_trace(std::ostream& out) const;
-  /// Returns false if the file could not be opened.
+  /// Returns false (after logging a warning) if the file could not be
+  /// opened or the write failed.
   bool write_chrome_trace_file(const std::string& path) const;
 
  private:
@@ -80,6 +92,7 @@ class TraceRecorder {
 
   std::atomic<bool> enabled_{false};
   std::uint64_t epoch_ns_ = 0;
+  std::int64_t wall_anchor_ns_ = 0;  ///< system_clock at the epoch instant
   std::size_t ring_capacity_ = 1 << 14;
   mutable std::mutex mutex_;  ///< guards rings_ (registration & export)
   std::vector<std::unique_ptr<ThreadRing>> rings_;

@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -165,6 +166,49 @@ TEST(Trace, RingWrapCountsDropped) {
   EXPECT_GE(rec.dropped(), 12u);
 #endif
   rec.clear();
+}
+
+TEST(Trace, ExportCarriesWallClockAnchor) {
+  auto& rec = TraceRecorder::instance();
+  rec.clear();
+  rec.enable();
+  { ARACHNET_TRACE_SPAN("anchored"); }
+  rec.disable();
+
+  // enable() captured both clocks back to back; the steady epoch is ts 0.
+  EXPECT_NE(rec.wall_anchor_ns(), 0);
+  EXPECT_NE(rec.epoch_ns(), 0u);
+
+  std::ostringstream out;
+  rec.write_chrome_trace(out);
+  const std::string json = out.str();
+  // One anchor record per file, in otherData and as an instant event.
+  EXPECT_NE(json.find("\"clock_sync\""), std::string::npos);
+  EXPECT_NE(json.find("\"clock_anchor\""), std::string::npos);
+  EXPECT_NE(json.find("\"steady_epoch_ns\":" +
+                      std::to_string(rec.epoch_ns())),
+            std::string::npos);
+  EXPECT_NE(json.find("\"wall_ns\":" + std::to_string(rec.wall_anchor_ns())),
+            std::string::npos);
+  rec.clear();
+}
+
+// -------------------------------------------------------------------- json
+
+TEST(Json, NonFiniteDoublesSerializeAsNull) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("nan");
+  w.value(std::numeric_limits<double>::quiet_NaN());
+  w.key("inf");
+  w.value(std::numeric_limits<double>::infinity());
+  w.key("ninf");
+  w.value(-std::numeric_limits<double>::infinity());
+  w.key("ok");
+  w.value(1.5);
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            "{\"nan\":null,\"inf\":null,\"ninf\":null,\"ok\":1.5}");
 }
 
 // ----------------------------------------------------------------- logging
