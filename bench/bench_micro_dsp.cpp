@@ -178,6 +178,11 @@ static void BM_DdcBlock(benchmark::State& state) {
 }
 BENCHMARK(BM_DdcBlock);
 
+static void BM_DdcSimd(benchmark::State& state) {
+  ddc_policy_bench(state, dsp::KernelPolicy::kSimd);
+}
+BENCHMARK(BM_DdcSimd);
+
 // ----------------------------------------------- bank-policy scaling
 
 namespace {
@@ -334,6 +339,97 @@ static void BM_FdmaBankBlock(benchmark::State& state) {
 }
 BENCHMARK(BM_FdmaBankBlock);
 
+static void BM_FdmaBankSimd(benchmark::State& state) {
+  fdma_policy_bench(state, dsp::KernelPolicy::kSimd);
+}
+BENCHMARK(BM_FdmaBankSimd);
+
+// ------------------------------------------------ three-tier parity
+
+namespace {
+
+// Timestamp tolerance for the kSimd tier: the float32 lane path can move
+// a slicer crossing by a sample or two, and the channelizer bank adds up
+// to one lane sample of grid skew — two channelizer lane samples bound
+// both at every bench channel count.
+constexpr double kSimdTimeTol = 256e-6;
+
+// Per-channel packet comparison between two drained captures. Payloads,
+// channels and CRC verdicts must match exactly; timestamps bit-exact when
+// `time_tol` is 0, else within `time_tol` seconds.
+template <typename P>
+bool tiers_match(const std::vector<P>& ref, const std::vector<P>& got,
+                 std::size_t channels, double time_tol) {
+  for (std::size_t c = 0; c < channels; ++c) {
+    std::vector<std::size_t> ia, ib;
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      if (ref[i].channel == c) ia.push_back(i);
+    }
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      if (got[i].channel == c) ib.push_back(i);
+    }
+    if (ia.size() != ib.size()) return false;
+    for (std::size_t i = 0; i < ia.size(); ++i) {
+      const auto& pa = ref[ia[i]];
+      const auto& pb = got[ib[i]];
+      if (!(pa.packet == pb.packet)) return false;
+      if (time_tol == 0.0 ? pa.time_s != pb.time_s
+                          : std::abs(pa.time_s - pb.time_s) > time_tol) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+static void BM_TierPacketParity(benchmark::State& state) {
+  // Not a timing bench: records packet parity across all three kernel
+  // tiers (plus the simd channelizer bank) at the arg's channel count.
+  // scalar vs block must be bit-exact, including timestamps; the simd
+  // tiers must decode the identical packet set with timestamps inside
+  // kSimdTimeTol. CI fails the run if any parity counter is not 1.
+  const int n = static_cast<int>(state.range(0));
+  const auto& wave = bank_capture(n);
+  bool channelized = false;
+  const auto run = [&](dsp::KernelPolicy k,
+                       reader::FdmaRxChain::BankPolicy bank,
+                       bool* engaged = nullptr) {
+    auto p = bank_policy_params(n, bank);
+    p.kernels = k;
+    reader::FdmaRxChain chain{p};
+    chain.process(wave);
+    if (engaged != nullptr) {
+      *engaged = chain.active_bank() ==
+                 reader::FdmaRxChain::BankPolicy::kChannelizer;
+    }
+    return chain.drain_packets();
+  };
+  using Bank = reader::FdmaRxChain::BankPolicy;
+  const auto scalar = run(dsp::KernelPolicy::kScalar, Bank::kPerChannel);
+  const auto block = run(dsp::KernelPolicy::kBlock, Bank::kPerChannel);
+  const auto simd = run(dsp::KernelPolicy::kSimd, Bank::kPerChannel);
+  const auto simd_chzr =
+      run(dsp::KernelPolicy::kSimd, Bank::kChannelizer, &channelized);
+  const auto channels = static_cast<std::size_t>(n);
+  const bool equal = !scalar.empty() && channelized &&
+                     tiers_match(scalar, block, channels, 0.0) &&
+                     tiers_match(scalar, simd, channels, kSimdTimeTol) &&
+                     tiers_match(scalar, simd_chzr, channels, kSimdTimeTol);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(equal);
+  }
+  state.counters["parity"] = equal ? 1.0 : 0.0;
+  state.counters["channelized"] = channelized ? 1.0 : 0.0;
+  state.counters["scalar_packets"] = static_cast<double>(scalar.size());
+  state.counters["block_packets"] = static_cast<double>(block.size());
+  state.counters["simd_packets"] = static_cast<double>(simd.size());
+  state.counters["simd_channelizer_packets"] =
+      static_cast<double>(simd_chzr.size());
+}
+BENCHMARK(BM_TierPacketParity)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
 static void BM_NcoFill(benchmark::State& state) {
   dsp::PhasorNco nco{0.0, 1.131};
   std::vector<std::complex<double>> buf(8192);
@@ -398,27 +494,35 @@ static void BM_FftRealPlan(benchmark::State& state) {
 BENCHMARK(BM_FftRealPlan)->Arg(1024)->Arg(4096);
 
 static void BM_PolicyPacketParity(benchmark::State& state) {
-  // Not a timing bench: records packet-level scalar/block parity into the
-  // sidecar so CI can assert the speedup comparison is between paths that
-  // decode the same packets. parity == 1 means identical packet sets.
+  // Not a timing bench: records packet-level parity across the three
+  // kernel tiers on the BM_FdmaBank* workload, so CI can assert the
+  // speedup comparisons are between paths that decode the same packets.
+  // scalar vs block must be bit-exact including timestamps; simd must
+  // match payload-for-payload with timestamps inside kSimdTimeTol.
+  // parity == 1 means all three decode identical packet sets.
   const auto& wave = fdma_capture();
-  std::uint64_t scalar_packets = 0, block_packets = 0;
+  std::uint64_t scalar_packets = 0, block_packets = 0, simd_packets = 0;
   bool equal = true;
   {
     reader::FdmaRxChain scalar{
         fdma_bench_params(dsp::KernelPolicy::kScalar)};
     reader::FdmaRxChain block{fdma_bench_params(dsp::KernelPolicy::kBlock)};
+    reader::FdmaRxChain simd{fdma_bench_params(dsp::KernelPolicy::kSimd)};
     scalar.process(wave);
     block.process(wave);
+    simd.process(wave);
     const auto a = scalar.drain_packets();
     const auto b = block.drain_packets();
+    const auto c = simd.drain_packets();
     scalar_packets = a.size();
     block_packets = b.size();
+    simd_packets = c.size();
     equal = a.size() == b.size();
     for (std::size_t i = 0; equal && i < a.size(); ++i) {
       equal = a[i].packet == b[i].packet && a[i].channel == b[i].channel &&
               a[i].time_s == b[i].time_s;
     }
+    equal = equal && tiers_match(a, c, 4, kSimdTimeTol);
   }
   for (auto _ : state) {
     benchmark::DoNotOptimize(equal);
@@ -426,6 +530,7 @@ static void BM_PolicyPacketParity(benchmark::State& state) {
   state.counters["parity"] = equal ? 1.0 : 0.0;
   state.counters["scalar_packets"] = static_cast<double>(scalar_packets);
   state.counters["block_packets"] = static_cast<double>(block_packets);
+  state.counters["simd_packets"] = static_cast<double>(simd_packets);
 }
 BENCHMARK(BM_PolicyPacketParity);
 

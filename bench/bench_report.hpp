@@ -19,6 +19,8 @@
 #include <utility>
 #include <vector>
 
+#include "arachnet/dsp/kernels/cpu_dispatch.hpp"
+#include "arachnet/dsp/kernels/kernel_policy.hpp"
 #include "arachnet/sim/stats.hpp"
 #include "arachnet/telemetry/export.hpp"
 #include "arachnet/telemetry/metrics.hpp"
@@ -30,7 +32,14 @@ class Report {
   explicit Report(std::string name)
       : name_(std::move(name)),
         exporter_(std::string{telemetry::JsonlExporter::kBenchSchema},
-                  name_) {}
+                  name_) {
+    // Every sidecar states which kernel tier and ISA produced its numbers
+    // so perf rows from different machines/configs stay attributable.
+    exporter_.add_info("kernel.policy",
+                       dsp::to_string(dsp::default_kernel_policy()));
+    exporter_.add_info("kernel.isa", dsp::to_string(dsp::active_simd_isa()));
+    exporter_.add_info("kernel.cpu", dsp::cpu_feature_string());
+  }
 
   ~Report() { write(); }
 

@@ -1,15 +1,23 @@
 #!/usr/bin/env python3
 """CI gate over the BENCH_micro_dsp.json sidecar (arachnet.bench.v1).
 
-Asserts the two kernel-policy invariants the block DSP layer promises:
+Asserts the kernel-tier invariants the DSP layer promises:
 
-  1. parity  — BM_PolicyPacketParity.parity == 1: the scalar and block
-     policies decoded byte-identical packet sets (same packets, channels
-     and timestamps). A speedup between paths that decode different
-     packets is meaningless, so this is checked first.
-  2. speed   — for each BM_<X>Scalar / BM_<X>Block pair, the block path's
-     real_time must not exceed the scalar path's. The block kernels exist
-     only to be faster; a regression below scalar fails the build.
+  1. parity — BM_PolicyPacketParity.parity == 1 and every
+     BM_TierPacketParity/<n>.parity == 1: the scalar, block and simd
+     policies (and the simd channelizer bank) decoded identical packet
+     sets at 4/8/16/32 channels. A speedup between paths that decode
+     different packets is meaningless, so this is checked first.
+  2. speed — for each BM_<X>Scalar / BM_<X>Block pair, the block path's
+     real_time must not exceed the scalar path's; for each
+     BM_<X>Block / BM_<X>Simd pair, the simd path must not exceed the
+     block path's. The faster tiers exist only to be faster; a
+     regression fails the build. The simd comparison is enforced only
+     when an ISA-specialized tier dispatched (kernel.isa != generic) —
+     the portable fallback promises correctness, not speed.
+  3. provenance — the sidecar must carry kernel.policy and kernel.isa
+     info rows so the numbers are attributable to the configuration
+     that produced them.
 
 Usage: check_kernel_bench.py path/to/BENCH_micro_dsp.json
 """
@@ -17,10 +25,25 @@ Usage: check_kernel_bench.py path/to/BENCH_micro_dsp.json
 import json
 import sys
 
-PAIRS = [
+SCALAR_BLOCK_PAIRS = [
     ("BM_DdcScalar.real_time", "BM_DdcBlock.real_time"),
     ("BM_FdmaBankScalar.real_time", "BM_FdmaBankBlock.real_time"),
 ]
+
+BLOCK_SIMD_PAIRS = [
+    ("BM_DdcBlock.real_time", "BM_DdcSimd.real_time"),
+    ("BM_FdmaBankBlock.real_time", "BM_FdmaBankSimd.real_time"),
+]
+
+PARITY_ROWS = [
+    "BM_PolicyPacketParity.parity",
+    "BM_TierPacketParity/4.parity",
+    "BM_TierPacketParity/8.parity",
+    "BM_TierPacketParity/16.parity",
+    "BM_TierPacketParity/32.parity",
+]
+
+INFO_ROWS = ["kernel.policy", "kernel.isa"]
 
 
 def main() -> int:
@@ -40,30 +63,56 @@ def main() -> int:
                 return 2
             metrics[rec["name"]] = rec["value"]
 
-    parity = metrics.get("BM_PolicyPacketParity.parity")
-    if parity != 1:
-        print(
-            f"::error::kernel policies decoded different packets "
-            f"(parity={parity}, scalar="
-            f"{metrics.get('BM_PolicyPacketParity.scalar_packets')}, block="
-            f"{metrics.get('BM_PolicyPacketParity.block_packets')})"
-        )
-        return 1
-
     failed = False
-    for scalar, block in PAIRS:
-        if scalar not in metrics or block not in metrics:
-            print(f"::error::missing metric {scalar} or {block}")
+
+    for row in INFO_ROWS:
+        if row not in metrics:
+            print(f"::error::sidecar missing {row} info row")
             failed = True
-            continue
-        s, b = metrics[scalar], metrics[block]
-        print(f"{scalar.split('.')[0]} -> {block.split('.')[0]}: {s / b:.2f}x")
-        if b > s:
+    isa = metrics.get("kernel.isa", "generic")
+    print(
+        f"kernel.policy={metrics.get('kernel.policy')} kernel.isa={isa} "
+        f"kernel.cpu={metrics.get('kernel.cpu')}"
+    )
+
+    for row in PARITY_ROWS:
+        parity = metrics.get(row)
+        if parity != 1:
+            bench = row.rsplit(".", 1)[0]
+            counts = {
+                k.rsplit(".", 1)[1]: v
+                for k, v in metrics.items()
+                if k.startswith(bench + ".") and k.endswith("_packets")
+            }
             print(
-                f"::error::block path slower than scalar "
-                f"({block}={b:.0f}ns vs {scalar}={s:.0f}ns)"
+                f"::error::kernel tiers decoded different packets "
+                f"({row}={parity}, {counts})"
             )
             failed = True
+    if failed:
+        return 1
+
+    def check_pairs(pairs, slow_label, fast_label):
+        nonlocal failed
+        for slow, fast in pairs:
+            if slow not in metrics or fast not in metrics:
+                print(f"::error::missing metric {slow} or {fast}")
+                failed = True
+                continue
+            s, f = metrics[slow], metrics[fast]
+            print(f"{slow.split('.')[0]} -> {fast.split('.')[0]}: {s / f:.2f}x")
+            if f > s:
+                print(
+                    f"::error::{fast_label} path slower than {slow_label} "
+                    f"({fast}={f:.0f}ns vs {slow}={s:.0f}ns)"
+                )
+                failed = True
+
+    check_pairs(SCALAR_BLOCK_PAIRS, "scalar", "block")
+    if isa == "generic":
+        print("notice: kernel.isa=generic — skipping block->simd speed gate")
+    else:
+        check_pairs(BLOCK_SIMD_PAIRS, "block", "simd")
     return 1 if failed else 0
 
 

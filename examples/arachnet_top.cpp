@@ -26,6 +26,8 @@
 #include <vector>
 
 #include "arachnet/acoustic/waveform_channel.hpp"
+#include "arachnet/dsp/kernels/cpu_dispatch.hpp"
+#include "arachnet/dsp/kernels/kernel_policy.hpp"
 #include "arachnet/phy/fm0.hpp"
 #include "arachnet/reader/service/reader_service.hpp"
 #include "arachnet/reader/service/service_health.hpp"
@@ -188,9 +190,11 @@ int main(int argc, char** argv) {
     const auto& d = latest->delta;
 
     std::printf("\x1b[H\x1b[1marachnet_top\x1b[0m  sample #%llu  dt %.2fs  "
-                "period %.2fs\x1b[K\n",
+                "period %.2fs  kernels %s/%s\x1b[K\n",
                 static_cast<unsigned long long>(latest->index), latest->dt_s,
-                monitor.period_s());
+                monitor.period_s(),
+                dsp::to_string(dsp::default_kernel_policy()),
+                dsp::to_string(dsp::active_simd_isa()));
     const auto st = svc.stats();
     const auto* blocks = d.counter("service.blocks");
     const auto* pk_em = d.counter("reader.packets_emitted");

@@ -18,7 +18,9 @@ Ddc::Ddc(Params params)
     : params_(params),
       lpf_(ddc_coeffs(params)),
       decimator_(ddc_coeffs(params),
-                 params.decimation == 0 ? 1 : params.decimation) {
+                 params.decimation == 0 ? 1 : params.decimation),
+      decimator_s_(ddc_coeffs(params),
+                   params.decimation == 0 ? 1 : params.decimation) {
   if (params_.decimation == 0) {
     throw std::invalid_argument("Ddc: decimation must be >= 1");
   }
@@ -29,9 +31,10 @@ void Ddc::set_carrier(double hz) noexcept {
   params_.carrier_hz = hz;
   phase_step_ = 2.0 * std::numbers::pi * hz / params_.sample_rate_hz;
   // The scalar path mixes by conj(e^{j*phase}) with phase advancing
-  // +phase_step_; the block NCO holds e^{-j*phase} directly, so its step
-  // is the negation. Both keep their phase across a retune.
+  // +phase_step_; the block and simd NCOs hold e^{-j*phase} directly, so
+  // their step is the negation. All keep their phase across a retune.
   nco_.set_step(-phase_step_);
+  nco_s_.set_step(-phase_step_);
 }
 
 std::optional<std::complex<double>> Ddc::push(double sample) {
@@ -42,6 +45,13 @@ std::optional<std::complex<double>> Ddc::push(double sample) {
     nco_.mix_real(&sample, mixed_.data(), 1);
     std::complex<double> out;
     if (decimator_.process(mixed_.data(), 1, &out) != 0) return out;
+    return std::nullopt;
+  }
+  if (params_.kernels == KernelPolicy::kSimd) {
+    mixed_f_.resize(2);
+    nco_s_.mix_real(&sample, mixed_f_.data(), 1);
+    std::complex<double> out;
+    if (decimator_s_.process(mixed_f_.data(), 1, &out) != 0) return out;
     return std::nullopt;
   }
   // Mix with e^{-j w t}: shifts the 90 kHz band to DC.
@@ -78,6 +88,18 @@ std::size_t Ddc::process(std::span<const double> in,
     out.resize(base + got);
     return got;
   }
+  if (params_.kernels == KernelPolicy::kSimd) {
+    const std::size_t n = in.size();
+    if (n == 0) return 0;
+    mixed_f_.resize(2 * n);
+    nco_s_.mix_real(in.data(), mixed_f_.data(), n);
+    const std::size_t base = out.size();
+    out.resize(base + n / params_.decimation + 1);
+    const std::size_t got =
+        decimator_s_.process(mixed_f_.data(), n, out.data() + base);
+    out.resize(base + got);
+    return got;
+  }
   std::size_t got = 0;
   for (double s : in) {
     if (const auto iq = push(s)) {
@@ -103,6 +125,9 @@ void Ddc::reset() {
   nco_.set(0.0, -phase_step_);
   decimator_.reset();
   mixed_.clear();
+  nco_s_.set(0.0, -phase_step_);
+  decimator_s_.reset();
+  mixed_f_.clear();
 }
 
 double estimate_frequency_offset(const std::vector<std::complex<double>>& iq,
@@ -126,6 +151,16 @@ std::vector<std::complex<double>> derotate(
   if (policy == KernelPolicy::kBlock) {
     PhasorNco nco{0.0, step};
     nco.mix(iq.data(), out.data(), iq.size());
+    return out;
+  }
+  if (policy == KernelPolicy::kSimd) {
+    simd::SimdNco nco{0.0, step};
+    std::vector<float> scratch(2 * iq.size());
+    nco.mix(iq.data(), scratch.data(), iq.size());
+    for (std::size_t i = 0; i < iq.size(); ++i) {
+      out[i] = {static_cast<double>(scratch[2 * i]),
+                static_cast<double>(scratch[2 * i + 1])};
+    }
     return out;
   }
   double phase = 0.0;

@@ -10,6 +10,7 @@
 #include "arachnet/dsp/kernels/fir_kernels.hpp"
 #include "arachnet/dsp/kernels/kernel_policy.hpp"
 #include "arachnet/dsp/kernels/nco.hpp"
+#include "arachnet/dsp/kernels/simd/stages.hpp"
 
 namespace arachnet::dsp {
 
@@ -21,11 +22,14 @@ namespace arachnet::dsp {
 /// This is the first block of the paper's reader software chain
 /// ("down conversion, ... filtering, decimation", Sec. 6.1).
 ///
-/// Two implementations live behind Params::kernels (see KernelPolicy):
-/// the scalar reference path (per-sample cos/sin mixer + streaming FIR)
-/// and the block-kernel path (phasor-recurrence NCO + one-pass polyphase
-/// decimator), which produces the same IQ to rounding tolerance at a
-/// fraction of the cost. The decimation grid is identical across policies.
+/// Three implementations live behind Params::kernels (see KernelPolicy):
+/// the scalar reference path (per-sample cos/sin mixer + streaming FIR),
+/// the block-kernel path (phasor-recurrence NCO + one-pass polyphase
+/// decimator) which produces the same IQ to rounding tolerance at a
+/// fraction of the cost, and the simd path (float32 vector lanes with
+/// runtime ISA dispatch, double accumulation at the decimation points)
+/// which matches to float32 tolerance. The decimation grid is identical
+/// across all policies.
 class Ddc {
  public:
   struct Params {
@@ -68,8 +72,15 @@ class Ddc {
   /// [0, decimation) — lets block consumers map each produced IQ sample
   /// back to the exact raw-sample index that emitted it.
   std::size_t decimation_phase() const noexcept {
-    return params_.kernels == KernelPolicy::kBlock ? decimator_.phase()
-                                                   : decim_count_;
+    switch (params_.kernels) {
+      case KernelPolicy::kBlock:
+        return decimator_.phase();
+      case KernelPolicy::kSimd:
+        return decimator_s_.phase();
+      case KernelPolicy::kScalar:
+        break;
+    }
+    return decim_count_;
   }
 
   void reset();
@@ -86,6 +97,10 @@ class Ddc {
   PhasorNco nco_;
   FirBlockDecimator<std::complex<double>> decimator_;
   std::vector<std::complex<double>> mixed_;
+  // Simd path: float32 lanes, interleaved mix scratch, double outputs.
+  simd::SimdNco nco_s_;
+  simd::FirSimdDecimator decimator_s_;
+  std::vector<float> mixed_f_;
 };
 
 /// Estimates a small carrier-frequency offset from decimated IQ: the slope

@@ -5,6 +5,8 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "arachnet/dsp/kernels/simd/simd_kernels.hpp"
+
 namespace arachnet::dsp {
 
 namespace {
@@ -178,14 +180,18 @@ std::size_t PolyphaseChannelizer::process(const cplx* in, std::size_t n) {
     // Branch sums: v[p] = sum_q h[p+qC] * x[t-p-qC]. Every prototype tap
     // is touched exactly once, so this costs L complex-by-real multiplies
     // per frame no matter how large C is.
-    for (std::size_t p = 0; p < fft_size; ++p) {
-      double re = 0.0, im = 0.0;
-      for (std::size_t m = p; m < taps; m += fft_size) {
-        const cplx x = win[taps - 1 - m];
-        re += h[m] * x.real();
-        im += h[m] * x.imag();
+    if (params_.kernels == KernelPolicy::kSimd) {
+      simd::kernels().chzr_fold_f64(win, h, taps, fft_size, v);
+    } else {
+      for (std::size_t p = 0; p < fft_size; ++p) {
+        double re = 0.0, im = 0.0;
+        for (std::size_t m = p; m < taps; m += fft_size) {
+          const cplx x = win[taps - 1 - m];
+          re += h[m] * x.real();
+          im += h[m] * x.imag();
+        }
+        v[p] = cplx{re, im};
       }
-      v[p] = cplx{re, im};
     }
     // inverse() gives (1/C) * sum_p v[p] e^{+j*2*pi*p*b/C}; the 1/C is
     // pre-folded into scaled_proto_, leaving Y_b exactly.

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "arachnet/dsp/kernels/fft_plan.hpp"
+#include "arachnet/dsp/kernels/kernel_policy.hpp"
 #include "arachnet/dsp/kernels/nco.hpp"
 
 namespace arachnet::dsp {
@@ -64,6 +65,12 @@ class PolyphaseChannelizer {
     /// Per-lane center frequencies in Hz. Each maps to its nearest bin;
     /// bins must be distinct and inside (0, fs/2).
     std::vector<double> center_hz;
+    /// Under kSimd the branch fold runs through the ISA-dispatched
+    /// vector kernel (still float64 — the lane rate leaves the decision
+    /// chain its thinnest margins, so the fold keeps double precision);
+    /// other policies use the portable scalar fold. Lane outputs agree
+    /// to rounding tolerance.
+    KernelPolicy kernels = default_kernel_policy();
   };
 
   /// Auto-planner output for a subcarrier bank (see plan()).

@@ -7,6 +7,8 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "arachnet/dsp/kernels/simd/vec.hpp"
+
 namespace arachnet::dsp {
 
 namespace {
@@ -41,17 +43,46 @@ void FftPlan::transform(cplx* data, bool inverse) const noexcept {
     const std::size_t j = bitrev_[i];
     if (i < j) std::swap(data[i], data[j]);
   }
+  // Stages with half >= 2 run two butterflies per iteration on 256-bit
+  // lanes. Each lane performs the exact arithmetic of the scalar
+  // butterfly (same multiplies, adds and ordering; the {-1,+1} sign
+  // vector turns the subtract into an exact negate-and-add), so the
+  // vector path is bit-identical to the scalar recurrence and needs no
+  // policy gate — every KernelPolicy shares it.
+  constexpr simd::f64x4 kSign = {-1.0, 1.0, -1.0, 1.0};
+  constexpr simd::i64x4 kDupRe = {0, 0, 2, 2};
+  constexpr simd::i64x4 kDupIm = {1, 1, 3, 3};
+  constexpr simd::i64x4 kSwap = {1, 0, 3, 2};
+  const double sgn = inverse ? -1.0 : 1.0;
+  double* d = reinterpret_cast<double*>(data);
   for (std::size_t len = 2; len <= n; len <<= 1) {
     const std::size_t half = len / 2;
     const std::size_t stride = n / len;
-    for (std::size_t i = 0; i < n; i += len) {
-      for (std::size_t k = 0; k < half; ++k) {
-        cplx w = twiddle_[k * stride];
+    if (half < 2) {
+      for (std::size_t i = 0; i < n; i += len) {
+        cplx w = twiddle_[0];
         if (inverse) w = std::conj(w);
-        const cplx u = data[i + k];
-        const cplx v = data[i + k + half] * w;
-        data[i + k] = u + v;
-        data[i + k + half] = u - v;
+        const cplx u = data[i];
+        const cplx v = data[i + half] * w;
+        data[i] = u + v;
+        data[i + half] = u - v;
+      }
+      continue;
+    }
+    for (std::size_t i = 0; i < n; i += len) {
+      for (std::size_t k = 0; k + 2 <= half; k += 2) {
+        const cplx w0 = twiddle_[k * stride];
+        const cplx w1 = twiddle_[(k + 1) * stride];
+        const simd::f64x4 w = {w0.real(), sgn * w0.imag(), w1.real(),
+                               sgn * w1.imag()};
+        const simd::f64x4 x =
+            simd::loadu<simd::f64x4>(d + 2 * (i + k + half));
+        const simd::f64x4 v = __builtin_shuffle(x, kDupRe) * w +
+                              kSign * (__builtin_shuffle(x, kDupIm) *
+                                       __builtin_shuffle(w, kSwap));
+        const simd::f64x4 u = simd::loadu<simd::f64x4>(d + 2 * (i + k));
+        simd::storeu(d + 2 * (i + k), u + v);
+        simd::storeu(d + 2 * (i + k + half), u - v);
       }
     }
   }

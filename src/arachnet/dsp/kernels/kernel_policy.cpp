@@ -1,29 +1,45 @@
 #include "arachnet/dsp/kernels/kernel_policy.hpp"
 
 #include <cstdlib>
-#include <cstring>
+
+#include "arachnet/telemetry/log.hpp"
 
 namespace arachnet::dsp {
 
-namespace {
+std::optional<KernelPolicy> parse_kernel_policy(
+    std::string_view name) noexcept {
+  if (name == "scalar") return KernelPolicy::kScalar;
+  if (name == "block") return KernelPolicy::kBlock;
+  if (name == "simd") return KernelPolicy::kSimd;
+  return std::nullopt;
+}
 
-KernelPolicy resolve_from_env() noexcept {
-  const char* env = std::getenv("ARACHNET_KERNEL_POLICY");
-  if (env != nullptr && std::strcmp(env, "scalar") == 0) {
-    return KernelPolicy::kScalar;
-  }
+KernelPolicy kernel_policy_from_env_value(const char* value) noexcept {
+  if (value == nullptr || *value == '\0') return KernelPolicy::kBlock;
+  if (const auto parsed = parse_kernel_policy(value)) return *parsed;
+  ARACHNET_LOG_WARN("kernels",
+                    "unrecognized ARACHNET_KERNEL_POLICY value; falling back",
+                    {"value", value}, {"fallback", "block"},
+                    {"accepted", "scalar|block|simd"});
   return KernelPolicy::kBlock;
 }
 
-}  // namespace
-
 KernelPolicy default_kernel_policy() noexcept {
-  static const KernelPolicy policy = resolve_from_env();
+  static const KernelPolicy policy =
+      kernel_policy_from_env_value(std::getenv("ARACHNET_KERNEL_POLICY"));
   return policy;
 }
 
 const char* to_string(KernelPolicy policy) noexcept {
-  return policy == KernelPolicy::kScalar ? "scalar" : "block";
+  switch (policy) {
+    case KernelPolicy::kScalar:
+      return "scalar";
+    case KernelPolicy::kBlock:
+      return "block";
+    case KernelPolicy::kSimd:
+      return "simd";
+  }
+  return "block";
 }
 
 }  // namespace arachnet::dsp

@@ -1,0 +1,215 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <cstddef>
+#include <numbers>
+#include <stdexcept>
+#include <vector>
+
+#include "arachnet/dsp/kernels/simd/simd_kernels.hpp"
+
+namespace arachnet::dsp::simd {
+
+/// float32 oscillator for the kSimd tier, mirroring PhasorNco's API over
+/// interleaved float32 output.
+///
+/// Precision model: the master phase is kept in double and advanced
+/// exactly (one fused multiply + remainder reduction per chunk), and the
+/// eight float32 phasor lanes are reseeded from it every kChunk samples.
+/// Float32 recurrence error therefore never accumulates past one chunk:
+/// 512 lane rotations at ~1e-7 relative rounding bounds in-chunk phase
+/// drift near 1e-4 rad, and a 10^8-sample run is as accurate as the
+/// first chunk — the long-run renormalization the scalar tiers get from
+/// PhasorNco::renorm() falls out of the reseed for free.
+class SimdNco {
+ public:
+  SimdNco() = default;
+  SimdNco(double phase_rad, double step_rad) { set(phase_rad, step_rad); }
+
+  void set(double phase_rad, double step_rad) noexcept {
+    phase_ = wrap(phase_rad);
+    step_ = step_rad;
+  }
+
+  /// Changes the per-sample step keeping the current phase (mid-stream
+  /// retunes stay phase-continuous, as with PhasorNco::set_step).
+  void set_step(double step_rad) noexcept { step_ = step_rad; }
+
+  double phase() const noexcept { return phase_; }
+  double step() const noexcept { return step_; }
+
+  /// out[i] = in[i] * e^{j*phase_i}, real input, interleaved float32 out.
+  void mix_real(const double* in, float* out, std::size_t n) {
+    const KernelTable& k = kernels();
+    std::size_t off = 0;
+    while (off < n) {
+      const std::size_t len = std::min(kChunk, n - off);
+      float lre[8];
+      float lim[8];
+      float rre;
+      float rim;
+      seed(lre, lim, rre, rim);
+      k.mix_real_cf32(in + off, len, lre, lim, rre, rim, out + 2 * off);
+      advance(len);
+      off += len;
+    }
+  }
+
+  /// out[i] = in[i] * e^{j*phase_i}, complex<double> input.
+  void mix(const std::complex<double>* in, float* out, std::size_t n) {
+    const KernelTable& k = kernels();
+    std::size_t off = 0;
+    while (off < n) {
+      const std::size_t len = std::min(kChunk, n - off);
+      float lre[8];
+      float lim[8];
+      float rre;
+      float rim;
+      seed(lre, lim, rre, rim);
+      k.mix_cplx_cf32(in + off, len, lre, lim, rre, rim, out + 2 * off);
+      advance(len);
+      off += len;
+    }
+  }
+
+ private:
+  /// Lane reseed cadence; 16 transcendentals per chunk is noise at this
+  /// length, and 512 8-wide rotations keep float32 drift ~1e-4 rad.
+  static constexpr std::size_t kChunk = 4096;
+
+  static double wrap(double p) noexcept {
+    return std::remainder(p, 2.0 * std::numbers::pi);
+  }
+
+  /// Eight lane phasors at phase + l*step and the 8-step rotator, all
+  /// evaluated in double then narrowed.
+  void seed(float* lre, float* lim, float& rre, float& rim) const noexcept {
+    for (std::size_t l = 0; l < 8; ++l) {
+      const double p = phase_ + static_cast<double>(l) * step_;
+      lre[l] = static_cast<float>(std::cos(p));
+      lim[l] = static_cast<float>(std::sin(p));
+    }
+    rre = static_cast<float>(std::cos(8.0 * step_));
+    rim = static_cast<float>(std::sin(8.0 * step_));
+  }
+
+  void advance(std::size_t n) noexcept {
+    phase_ = wrap(phase_ + static_cast<double>(n) * step_);
+  }
+
+  double phase_ = 0.0;
+  double step_ = 0.0;
+};
+
+/// Builds the reversed+duplicated float32 coefficient layout the kernel
+/// table's FIR entries expect (see simd_kernels.hpp).
+inline std::vector<float> duplicate_reversed(
+    const std::vector<double>& coeffs) {
+  const std::size_t taps = coeffs.size();
+  std::vector<float> hd(2 * taps);
+  for (std::size_t j = 0; j < taps; ++j) {
+    const float c = static_cast<float>(coeffs[taps - 1 - j]);
+    hd[2 * j] = c;
+    hd[2 * j + 1] = c;
+  }
+  return hd;
+}
+
+/// Streaming float32 block FIR over interleaved complex buffers — the
+/// kSimd counterpart of FirBlockFilter<std::complex<double>>, same
+/// taps-1 history-carry contract. In-place operation (out == in) is
+/// allowed: the input is copied into the work buffer before any output
+/// is written.
+class FirSimdFilter {
+ public:
+  explicit FirSimdFilter(const std::vector<double>& coeffs)
+      : hd_(duplicate_reversed(coeffs)), taps_(coeffs.size()) {
+    if (taps_ == 0) {
+      throw std::invalid_argument("FirSimdFilter: empty coefficients");
+    }
+    work_.assign(2 * (taps_ - 1), 0.0f);
+  }
+
+  void process(const float* in, float* out, std::size_t n) {
+    work_.resize(2 * (taps_ - 1 + n));
+    std::copy(in, in + 2 * n,
+              work_.begin() + static_cast<std::ptrdiff_t>(2 * (taps_ - 1)));
+    kernels().fir_block_cf32(work_.data(), hd_.data(), taps_, n, out);
+    std::copy(work_.end() - static_cast<std::ptrdiff_t>(2 * (taps_ - 1)),
+              work_.end(), work_.begin());
+    work_.resize(2 * (taps_ - 1));
+  }
+
+  void reset() { work_.assign(2 * (taps_ - 1), 0.0f); }
+
+  std::size_t taps() const noexcept { return taps_; }
+
+ private:
+  std::vector<float> hd_;
+  std::size_t taps_;
+  std::vector<float> work_;  ///< interleaved history between calls
+};
+
+/// float32 decimating FIR writing complex<double> outputs (the decimated
+/// stream feeds double-precision decision chains downstream). Output
+/// alignment matches FirBlockDecimator exactly: with phase() samples
+/// consumed since the last output, the next fires after
+/// decimation - phase() further samples.
+class FirSimdDecimator {
+ public:
+  FirSimdDecimator(const std::vector<double>& coeffs, std::size_t decimation)
+      : hd_(duplicate_reversed(coeffs)),
+        taps_(coeffs.size()),
+        decimation_(decimation) {
+    if (taps_ == 0) {
+      throw std::invalid_argument("FirSimdDecimator: empty coefficients");
+    }
+    if (decimation_ == 0) {
+      throw std::invalid_argument(
+          "FirSimdDecimator: decimation must be >= 1");
+    }
+    work_.assign(2 * (taps_ - 1), 0.0f);
+  }
+
+  /// Consumes n interleaved complex float32 samples, writes the
+  /// decimation survivors (caller provides n / decimation + 1 slots).
+  /// Returns the number written.
+  std::size_t process(const float* in, std::size_t n,
+                      std::complex<double>* out) {
+    work_.resize(2 * (taps_ - 1 + n));
+    std::copy(in, in + 2 * n,
+              work_.begin() + static_cast<std::ptrdiff_t>(2 * (taps_ - 1)));
+    const std::size_t first = decimation_ - 1 - phase_;
+    std::size_t count = 0;
+    if (first < n) count = (n - first + decimation_ - 1) / decimation_;
+    kernels().fir_decim_cf32(work_.data(), hd_.data(), taps_, first,
+                             decimation_, count, out);
+    phase_ = (phase_ + n) % decimation_;
+    std::copy(work_.end() - static_cast<std::ptrdiff_t>(2 * (taps_ - 1)),
+              work_.end(), work_.begin());
+    work_.resize(2 * (taps_ - 1));
+    return count;
+  }
+
+  void reset() {
+    work_.assign(2 * (taps_ - 1), 0.0f);
+    phase_ = 0;
+  }
+
+  std::size_t taps() const noexcept { return taps_; }
+  std::size_t decimation() const noexcept { return decimation_; }
+
+  /// Samples consumed since the last emitted output, in [0, decimation).
+  std::size_t phase() const noexcept { return phase_; }
+
+ private:
+  std::vector<float> hd_;
+  std::size_t taps_;
+  std::size_t decimation_;
+  std::vector<float> work_;  ///< interleaved history between calls
+  std::size_t phase_ = 0;
+};
+
+}  // namespace arachnet::dsp::simd

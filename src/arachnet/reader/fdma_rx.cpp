@@ -51,7 +51,9 @@ FdmaRxChain::Channel::Channel(double hz, double iq_rate, double chip_rate,
   kernels = kernel_policy;
   nco_step = -2.0 * std::numbers::pi * hz / iq_rate;
   nco.set(0.0, nco_step);
+  nco_s.set(0.0, nco_step);
   lpf.emplace(coeffs);
+  slpf.emplace(coeffs);
   blpf.emplace(std::move(coeffs));
 }
 
@@ -118,6 +120,21 @@ void FdmaRxChain::Channel::process_block(const std::complex<double>* iq,
   // carrier leak sits at baseband DC, i.e. at -f_sc after the shift —
   // outside the channel low-pass, so no explicit leak cancellation is
   // needed here.
+  if (kernels == dsp::KernelPolicy::kSimd) {
+    // float32 lanes through mixer and LPF; the decision chain reads the
+    // interleaved buffer widened back to double per sample.
+    mixed_f.resize(2 * n);
+    nco_s.mix(iq, mixed_f.data(), n);
+    slpf->process(mixed_f.data(), mixed_f.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      cursor = base_index + i;
+      decide({static_cast<double>(mixed_f[2 * i]),
+              static_cast<double>(mixed_f[2 * i + 1])},
+             axis_alpha, iq_rate);
+    }
+    publish(n, prev_bits, prev_frames, prev_crc);
+    return;
+  }
   mixed.resize(n);
   if (kernels == dsp::KernelPolicy::kBlock) {
     nco.mix(iq, mixed.data(), n);
@@ -279,7 +296,8 @@ bool FdmaRxChain::engage_channelizer(const std::vector<double>& freqs) {
           .decimation = plan.decimation,
           .prototype =
               dsp::design_lowpass(plan.cutoff_hz, iq_rate_, plan.taps),
-          .center_hz = freqs});
+          .center_hz = freqs,
+          .kernels = params_.kernels});
   grid_origin_hz_ = plan.grid_origin_hz;
   grid_spacing_hz_ = plan.grid_spacing_hz;
   lane_rate_ = chzr_->lane_rate_hz();

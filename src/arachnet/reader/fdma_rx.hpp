@@ -13,6 +13,7 @@
 #include "arachnet/dsp/kernels/fir_kernels.hpp"
 #include "arachnet/dsp/kernels/kernel_policy.hpp"
 #include "arachnet/dsp/kernels/nco.hpp"
+#include "arachnet/dsp/kernels/simd/stages.hpp"
 #include "arachnet/dsp/pipeline.hpp"
 #include "arachnet/dsp/schmitt.hpp"
 #include "arachnet/dsp/slicer.hpp"
@@ -238,6 +239,11 @@ class FdmaRxChain {
     std::optional<dsp::FirFilter<std::complex<double>>> lpf;  ///< scalar LPF
     std::optional<dsp::FirBlockFilter<std::complex<double>>> blpf;
     std::vector<std::complex<double>> mixed;  ///< per-block scratch
+    // Simd-path mixer state: float32 lanes end-to-end through the LPF,
+    // widened back to double at the decision chain.
+    dsp::simd::SimdNco nco_s;
+    std::optional<dsp::simd::FirSimdFilter> slpf;
+    std::vector<float> mixed_f;  ///< interleaved per-block scratch
     std::size_t lane_decim = 0;  ///< 0 = per-channel mode
     std::int64_t lane_delay = 0;
     std::complex<double> pseudo_variance{0.0, 0.0};

@@ -64,6 +64,13 @@ void JsonlExporter::add_gauge(std::string_view name, double value,
   lines_.push_back(line.finish());
 }
 
+void JsonlExporter::add_info(std::string_view name, std::string_view value) {
+  LineBuilder line{*this, "info", name, ""};
+  line.w.key("value");
+  line.w.value(value);
+  lines_.push_back(line.finish());
+}
+
 void JsonlExporter::add_percentiles(
     std::string_view name,
     const std::vector<std::pair<double, double>>& points,

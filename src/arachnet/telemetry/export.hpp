@@ -34,6 +34,10 @@ class JsonlExporter {
   /// A last-value reading (kind "gauge").
   void add_gauge(std::string_view name, double value,
                  std::string_view unit = "");
+  /// A string-valued annotation (kind "info") — environment facts like
+  /// the resolved kernel policy or the dispatched SIMD ISA, so perf rows
+  /// are attributable to the configuration that produced them.
+  void add_info(std::string_view name, std::string_view value);
   /// Quantile summary (kind "percentiles"): `points` = {q, value} pairs.
   void add_percentiles(std::string_view name,
                        const std::vector<std::pair<double, double>>& points,

@@ -701,12 +701,13 @@ TEST(Channelizer, FdmaBankPacketsIdenticalAcrossSplitCalls) {
 }
 
 TEST(KernelParity, BankPolicyMatrixDecodesIdenticalPacketStreams) {
-  // The full matrix the parity contract covers: {scalar, block} kernels x
-  // {per-channel, channelizer} banks (threading varied for good measure).
-  // Payloads, channels and CRC verdicts must agree exactly across all
-  // four; timestamps within one channelizer lane sample (the two banks
-  // run different prototype filters, so sub-lane-sample timing is not
-  // defined to match).
+  // The full matrix the parity contract covers: {scalar, block, simd}
+  // kernels x {per-channel, channelizer} banks (threading varied for good
+  // measure). Payloads, channels and CRC verdicts must agree exactly
+  // across all six; timestamps within one channelizer lane sample — that
+  // bounds both the banks' differing prototype filters and the simd
+  // tier's float32 slicer jitter (a crossing can move ±1 decimated
+  // sample, an order of magnitude under the lane sample).
   using Bank = reader::FdmaRxChain::BankPolicy;
   struct Cell {
     dsp::KernelPolicy kernels;
@@ -716,8 +717,10 @@ TEST(KernelParity, BankPolicyMatrixDecodesIdenticalPacketStreams) {
   const Cell cells[] = {
       {dsp::KernelPolicy::kScalar, 1, Bank::kPerChannel},
       {dsp::KernelPolicy::kBlock, 4, Bank::kPerChannel},
+      {dsp::KernelPolicy::kSimd, 1, Bank::kPerChannel},
       {dsp::KernelPolicy::kScalar, 1, Bank::kChannelizer},
       {dsp::KernelPolicy::kBlock, 4, Bank::kChannelizer},
+      {dsp::KernelPolicy::kSimd, 4, Bank::kChannelizer},
   };
   const auto wave = fdma_capture(chzr_centers());
   std::vector<std::vector<reader::RxPacket>> decoded;

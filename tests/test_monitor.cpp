@@ -180,8 +180,11 @@ TEST(HealthMonitor, SampleOnceComputesRatesAndBoundsHistory) {
   const auto hist = mon.history();
   ASSERT_EQ(hist.size(), 3u);  // bounded ring, oldest evicted
   EXPECT_EQ(hist.back().index, 4u);
-  ASSERT_TRUE(mon.latest().has_value());
-  const auto* cd = mon.latest()->delta.counter("work.done");
+  // latest() returns the sample by value — keep it alive past the
+  // counter() pointer lookup.
+  const auto latest = mon.latest();
+  ASSERT_TRUE(latest.has_value());
+  const auto* cd = latest->delta.counter("work.done");
   ASSERT_NE(cd, nullptr);
   EXPECT_EQ(cd->value, 50u);
   EXPECT_EQ(cd->delta, 10u);

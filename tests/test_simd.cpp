@@ -1,0 +1,587 @@
+// Tests for the SIMD kernel tier (dsp/kernels/simd/ + cpu_dispatch):
+// runtime ISA dispatch and its clamping rules, the kernel-policy env
+// parsing (including the structured WARN on unrecognized values), the
+// float32 SimdNco against a long-double phase reference over 10^8
+// samples and at near-Nyquist steps, the float32 FIR stages against the
+// double block kernels (including denormal and NaN blocks), Ddc /
+// derotate / channelizer parity, and — the load-bearing guarantee — that
+// the kSimd policy decodes the identical packet set as the scalar
+// reference, on the hardware tier and on the forced portable fallback.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <cstddef>
+#include <limits>
+#include <map>
+#include <numbers>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "arachnet/acoustic/waveform_channel.hpp"
+#include "arachnet/dsp/ddc.hpp"
+#include "arachnet/dsp/fir.hpp"
+#include "arachnet/dsp/kernels/channelizer.hpp"
+#include "arachnet/dsp/kernels/cpu_dispatch.hpp"
+#include "arachnet/dsp/kernels/fir_kernels.hpp"
+#include "arachnet/dsp/kernels/kernel_policy.hpp"
+#include "arachnet/dsp/kernels/simd/simd_kernels.hpp"
+#include "arachnet/dsp/kernels/simd/stages.hpp"
+#include "arachnet/phy/fm0.hpp"
+#include "arachnet/phy/packet.hpp"
+#include "arachnet/phy/subcarrier.hpp"
+#include "arachnet/reader/fdma_rx.hpp"
+#include "arachnet/sim/rng.hpp"
+#include "arachnet/telemetry/log.hpp"
+
+namespace {
+
+using namespace arachnet;
+using cplx = std::complex<double>;
+
+constexpr double kPi = std::numbers::pi;
+
+// ----------------------------------------------------------- cpu_dispatch
+
+TEST(CpuDispatch, ActiveTierIsSupportedAndTableMatches) {
+  const dsp::CpuFeatures& f = dsp::detect_cpu_features();
+  const dsp::SimdIsa isa = dsp::active_simd_isa();
+  if (isa == dsp::SimdIsa::kAvx2) {
+    EXPECT_TRUE(f.avx2 && f.fma);
+  }
+  if (isa == dsp::SimdIsa::kNeon) {
+    EXPECT_TRUE(f.neon);
+  }
+  EXPECT_STREQ(dsp::simd::kernels().isa, dsp::to_string(isa));
+  EXPECT_FALSE(dsp::cpu_feature_string().empty());
+}
+
+TEST(CpuDispatch, ForceClampsToHardwareAndBuild) {
+  const dsp::SimdIsa before = dsp::active_simd_isa();
+  const dsp::CpuFeatures& f = dsp::detect_cpu_features();
+
+  dsp::force_simd_isa(dsp::SimdIsa::kGeneric);
+  // On aarch64 the portable tier *is* the NEON tier; everywhere else the
+  // request must be honored exactly.
+  const dsp::SimdIsa portable = dsp::active_simd_isa();
+  EXPECT_EQ(portable, f.neon ? dsp::SimdIsa::kNeon : dsp::SimdIsa::kGeneric);
+  EXPECT_STREQ(dsp::simd::kernels().isa, dsp::to_string(portable));
+
+  dsp::force_simd_isa(dsp::SimdIsa::kAvx2);
+#if defined(ARACHNET_DISABLE_SIMD)
+  // The build compiled the AVX2 tier out: the request must degrade.
+  EXPECT_NE(dsp::active_simd_isa(), dsp::SimdIsa::kAvx2);
+#else
+  if (f.avx2 && f.fma) {
+    EXPECT_EQ(dsp::active_simd_isa(), dsp::SimdIsa::kAvx2);
+  } else {
+    EXPECT_NE(dsp::active_simd_isa(), dsp::SimdIsa::kAvx2);
+  }
+#endif
+  EXPECT_STREQ(dsp::simd::kernels().isa,
+               dsp::to_string(dsp::active_simd_isa()));
+
+  dsp::force_simd_isa(before);
+  EXPECT_EQ(dsp::active_simd_isa(), before);
+}
+
+// --------------------------------------------------- kernel policy env
+
+struct CapturedLog {
+  int count = 0;
+  telemetry::LogLevel level = telemetry::LogLevel::kTrace;
+  std::string component;
+  std::string message;
+  std::map<std::string, std::string> string_fields;
+};
+
+void capture_sink(const telemetry::LogRecord& rec, void* user) {
+  auto* cap = static_cast<CapturedLog*>(user);
+  ++cap->count;
+  cap->level = rec.level;
+  cap->component = std::string{rec.component};
+  cap->message = std::string{rec.message};
+  for (std::size_t i = 0; i < rec.field_count; ++i) {
+    const telemetry::LogField& field = rec.fields[i];
+    if (field.kind == telemetry::LogField::Kind::kString) {
+      cap->string_fields[std::string{field.key}] = std::string{field.s};
+    }
+  }
+}
+
+TEST(KernelPolicyEnv, ParseAcceptsAllThreeTiers) {
+  EXPECT_EQ(dsp::parse_kernel_policy("scalar"), dsp::KernelPolicy::kScalar);
+  EXPECT_EQ(dsp::parse_kernel_policy("block"), dsp::KernelPolicy::kBlock);
+  EXPECT_EQ(dsp::parse_kernel_policy("simd"), dsp::KernelPolicy::kSimd);
+  EXPECT_FALSE(dsp::parse_kernel_policy("turbo").has_value());
+  EXPECT_FALSE(dsp::parse_kernel_policy("").has_value());
+}
+
+TEST(KernelPolicyEnv, UnrecognizedValueWarnsNamingValueAndFallback) {
+  CapturedLog cap;
+  telemetry::set_log_sink(capture_sink, &cap);
+
+  // Unset and recognized values resolve silently.
+  EXPECT_EQ(dsp::kernel_policy_from_env_value(nullptr),
+            dsp::KernelPolicy::kBlock);
+  EXPECT_EQ(dsp::kernel_policy_from_env_value("simd"),
+            dsp::KernelPolicy::kSimd);
+  EXPECT_EQ(cap.count, 0);
+
+  // An unrecognized value falls back to kBlock with a WARN that names
+  // what was rejected, what it fell back to, and what is accepted —
+  // instead of the old silent fallback.
+  EXPECT_EQ(dsp::kernel_policy_from_env_value("turbo"),
+            dsp::KernelPolicy::kBlock);
+  telemetry::set_log_sink(telemetry::stderr_log_sink);
+  ASSERT_EQ(cap.count, 1);
+  EXPECT_EQ(cap.level, telemetry::LogLevel::kWarn);
+  EXPECT_EQ(cap.component, "kernels");
+  EXPECT_EQ(cap.string_fields["value"], "turbo");
+  EXPECT_EQ(cap.string_fields["fallback"], "block");
+  EXPECT_NE(cap.string_fields["accepted"].find("simd"), std::string::npos);
+}
+
+// --------------------------------------------------------------- SimdNco
+
+// Long-double phase reference: exact enough (ulp ~1e-11 at 10^8 steps)
+// to measure the simd oscillator's drift rather than its own.
+cplx reference_phasor(double phase0, double step, std::size_t index) {
+  const long double p =
+      static_cast<long double>(phase0) +
+      static_cast<long double>(index) * static_cast<long double>(step);
+  const long double wrapped =
+      std::remainder(p, 2.0L * std::numbers::pi_v<long double>);
+  return {static_cast<double>(std::cos(wrapped)),
+          static_cast<double>(std::sin(wrapped))};
+}
+
+TEST(SimdNco, PhaseStaysLockedOverHundredMillionSamples) {
+  // The drift requirement behind the per-chunk reseed: after >= 10^8
+  // samples the oscillator must still be phase-locked — float32 lane
+  // error must not accumulate across chunks. Unit input makes the output
+  // the bare phasor.
+  const double phase0 = 0.25;
+  const double step = -2.0 * kPi * 90e3 / 500e3;  // the DDC carrier step
+  dsp::simd::SimdNco nco{phase0, step};
+  constexpr std::size_t kBlockLen = 1u << 16;
+  constexpr std::size_t kTarget = 100'000'000;
+  std::vector<double> in(kBlockLen, 1.0);
+  std::vector<float> out(2 * kBlockLen);
+  std::size_t done = 0;
+  while (done < kTarget) {
+    nco.mix_real(in.data(), out.data(), kBlockLen);
+    done += kBlockLen;
+  }
+  ASSERT_GE(done, kTarget);
+  // Every 997th sample of the final block (plus the very last) against
+  // the reference: in-chunk float32 drift ~1e-4 rad plus ~1e-5 rad of
+  // accumulated double master-phase rounding stays far under 2e-3.
+  const std::size_t base = done - kBlockLen;
+  for (std::size_t k = 0; k < kBlockLen; k += 997) {
+    const cplx want = reference_phasor(phase0, step, base + k);
+    EXPECT_NEAR(out[2 * k], want.real(), 2e-3) << "sample " << base + k;
+    EXPECT_NEAR(out[2 * k + 1], want.imag(), 2e-3) << "sample " << base + k;
+  }
+  const cplx last = reference_phasor(phase0, step, done - 1);
+  EXPECT_NEAR(out[2 * (kBlockLen - 1)], last.real(), 2e-3);
+  EXPECT_NEAR(out[2 * (kBlockLen - 1) + 1], last.imag(), 2e-3);
+  // The lanes stay on the unit circle (no amplitude decay either way).
+  for (std::size_t k = 0; k < kBlockLen; k += 131) {
+    const double mag = std::hypot(static_cast<double>(out[2 * k]),
+                                  static_cast<double>(out[2 * k + 1]));
+    ASSERT_NEAR(mag, 1.0, 1e-3) << "sample " << base + k;
+  }
+}
+
+TEST(SimdNco, NearNyquistStepStaysAccurate) {
+  // A subcarrier just under Nyquist: the per-sample step is almost pi,
+  // the worst case for the lane rotator (the 8-step advance wraps nearly
+  // four full turns between reseeds).
+  const double phase0 = -1.1;
+  const double step = 2.0 * kPi * 0.49;
+  dsp::simd::SimdNco nco{phase0, step};
+  constexpr std::size_t kBlockLen = 1u << 15;
+  std::vector<double> in(kBlockLen, 1.0);
+  std::vector<float> out(2 * kBlockLen);
+  std::size_t base = 0;
+  for (int block = 0; block < 64; ++block) {  // ~2.1M samples
+    nco.mix_real(in.data(), out.data(), kBlockLen);
+    for (std::size_t k = 0; k < kBlockLen; k += 509) {
+      const cplx want = reference_phasor(phase0, step, base + k);
+      ASSERT_NEAR(out[2 * k], want.real(), 2e-3) << "sample " << base + k;
+      ASSERT_NEAR(out[2 * k + 1], want.imag(), 2e-3)
+          << "sample " << base + k;
+    }
+    base += kBlockLen;
+  }
+}
+
+TEST(SimdNco, ComplexMixMatchesScalarRotation) {
+  sim::Rng rng{31};
+  const double phase0 = 0.5;
+  const double step = -0.71;
+  std::vector<cplx> in(5000);
+  for (auto& v : in) v = {rng.normal(0.0, 1.0), rng.normal(0.0, 1.0)};
+  std::vector<float> out(2 * in.size());
+  dsp::simd::SimdNco nco{phase0, step};
+  nco.mix(in.data(), out.data(), in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const double ph = phase0 + static_cast<double>(i) * step;
+    const cplx want = in[i] * cplx{std::cos(ph), std::sin(ph)};
+    EXPECT_NEAR(out[2 * i], want.real(), 1e-4) << "sample " << i;
+    EXPECT_NEAR(out[2 * i + 1], want.imag(), 1e-4) << "sample " << i;
+  }
+}
+
+// ------------------------------------------------------------ FIR stages
+
+std::vector<float> to_interleaved(const std::vector<cplx>& in) {
+  std::vector<float> out(2 * in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    out[2 * i] = static_cast<float>(in[i].real());
+    out[2 * i + 1] = static_cast<float>(in[i].imag());
+  }
+  return out;
+}
+
+TEST(FirSimd, FilterMatchesBlockFilterWithinFloatTolerance) {
+  const auto coeffs = dsp::design_lowpass(4e3, 31.25e3, 127);
+  dsp::FirBlockFilter<cplx> ref{coeffs};
+  dsp::simd::FirSimdFilter simd{coeffs};
+  sim::Rng rng{32};
+  std::vector<cplx> in, want;
+  // Chunk sizes smaller and larger than the tap count: history carry
+  // must line up with the double block filter at every split.
+  for (std::size_t n : {1u, 3u, 126u, 127u, 128u, 1000u}) {
+    in.resize(n);
+    want.resize(n);
+    for (auto& v : in) v = {rng.normal(0.0, 1.0), rng.normal(0.0, 1.0)};
+    ref.process(in.data(), want.data(), n);
+    const auto in_f = to_interleaved(in);
+    std::vector<float> got(2 * n);
+    simd.process(in_f.data(), got.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(got[2 * i], want[i].real(), 1e-4) << "chunk " << n;
+      EXPECT_NEAR(got[2 * i + 1], want[i].imag(), 1e-4) << "chunk " << n;
+    }
+  }
+}
+
+TEST(FirSimd, FilterInPlaceMatchesOutOfPlace) {
+  const auto coeffs = dsp::design_lowpass(4e3, 31.25e3, 63);
+  dsp::simd::FirSimdFilter a{coeffs};
+  dsp::simd::FirSimdFilter b{coeffs};
+  sim::Rng rng{33};
+  std::vector<cplx> in(500);
+  for (auto& v : in) v = {rng.normal(0.0, 1.0), rng.normal(0.0, 1.0)};
+  auto x = to_interleaved(in);
+  std::vector<float> out(x.size());
+  a.process(x.data(), out.data(), in.size());
+  b.process(x.data(), x.data(), in.size());  // in-place
+  EXPECT_EQ(x, out);
+}
+
+TEST(FirSimd, DecimatorMatchesBlockDecimationGrid) {
+  const auto coeffs = dsp::design_lowpass(6e3, 500e3, 129);
+  const std::size_t decim = 8;
+  dsp::FirBlockDecimator<cplx> ref{coeffs, decim};
+  dsp::simd::FirSimdDecimator simd{coeffs, decim};
+  sim::Rng rng{34};
+  std::vector<cplx> in, want;
+  // Chunks smaller than, equal to, and coprime with the decimation: the
+  // survivor grid and phase must match the block decimator exactly.
+  for (std::size_t n : {1u, 5u, 7u, 8u, 9u, 777u, 4096u}) {
+    in.resize(n);
+    want.resize(n / decim + 1);
+    for (auto& v : in) v = {rng.normal(0.0, 1.0), rng.normal(0.0, 1.0)};
+    const std::size_t want_n = ref.process(in.data(), n, want.data());
+    const auto in_f = to_interleaved(in);
+    std::vector<cplx> got(n / decim + 1);
+    const std::size_t got_n = simd.process(in_f.data(), n, got.data());
+    ASSERT_EQ(got_n, want_n) << "chunk " << n;
+    ASSERT_EQ(simd.phase(), ref.phase()) << "chunk " << n;
+    for (std::size_t i = 0; i < got_n; ++i) {
+      EXPECT_NEAR(got[i].real(), want[i].real(), 1e-4) << "chunk " << n;
+      EXPECT_NEAR(got[i].imag(), want[i].imag(), 1e-4) << "chunk " << n;
+    }
+  }
+}
+
+TEST(FirSimd, DenormalBlocksStayFiniteAndTiny) {
+  // A block of float32 denormals must neither trap nor produce garbage:
+  // outputs are finite and essentially zero (flush-to-zero is fine).
+  const auto coeffs = dsp::design_lowpass(4e3, 31.25e3, 63);
+  dsp::simd::FirSimdFilter lpf{coeffs};
+  std::vector<float> in(2 * 256);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    in[i] = (i % 2 ? 1.0f : -1.0f) * 1e-42f;  // subnormal float32
+  }
+  std::vector<float> out(in.size());
+  lpf.process(in.data(), out.data(), 256);
+  for (float v : out) {
+    ASSERT_TRUE(std::isfinite(v));
+    ASSERT_LE(std::abs(v), 1e-30f);
+  }
+  // Same through the oscillator on subnormal doubles.
+  dsp::simd::SimdNco nco{0.3, 1.1};
+  std::vector<double> tiny(256, 1e-310);
+  std::vector<float> mixed(2 * tiny.size());
+  nco.mix_real(tiny.data(), mixed.data(), tiny.size());
+  for (float v : mixed) {
+    ASSERT_TRUE(std::isfinite(v));
+    ASSERT_LE(std::abs(v), 1e-30f);
+  }
+}
+
+TEST(FirSimd, NanBlockFlushesInsteadOfPoisoningState) {
+  // NaNs must stay confined to the outputs whose window overlaps them:
+  // once taps-1 clean samples have passed, the filter matches a double
+  // reference fed the same stream sample for sample.
+  const auto coeffs = dsp::design_lowpass(4e3, 31.25e3, 63);
+  const std::size_t taps = coeffs.size();
+  dsp::FirBlockFilter<cplx> ref{coeffs};
+  dsp::simd::FirSimdFilter simd{coeffs};
+  sim::Rng rng{35};
+  const std::size_t nan_len = 32;
+  const std::size_t clean_len = 512;
+  std::vector<cplx> in(nan_len + clean_len);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (std::size_t i = 0; i < nan_len; ++i) in[i] = {nan, nan};
+  for (std::size_t i = nan_len; i < in.size(); ++i) {
+    in[i] = {rng.normal(0.0, 1.0), rng.normal(0.0, 1.0)};
+  }
+  std::vector<cplx> want(in.size());
+  ref.process(in.data(), want.data(), in.size());
+  const auto in_f = to_interleaved(in);
+  std::vector<float> got(2 * in.size());
+  simd.process(in_f.data(), got.data(), in.size());
+  const std::size_t flushed = nan_len + taps - 1;
+  for (std::size_t i = flushed; i < in.size(); ++i) {
+    ASSERT_TRUE(std::isfinite(got[2 * i])) << "sample " << i;
+    ASSERT_TRUE(std::isfinite(got[2 * i + 1])) << "sample " << i;
+    EXPECT_NEAR(got[2 * i], want[i].real(), 1e-4) << "sample " << i;
+    EXPECT_NEAR(got[2 * i + 1], want[i].imag(), 1e-4) << "sample " << i;
+  }
+}
+
+// ----------------------------------------------------- Ddc / derotate
+
+dsp::Ddc::Params ddc_params(dsp::KernelPolicy policy) {
+  dsp::Ddc::Params p;
+  p.kernels = policy;
+  return p;
+}
+
+TEST(SimdParity, DdcSimdMatchesBlockIq) {
+  dsp::Ddc block{ddc_params(dsp::KernelPolicy::kBlock)};
+  dsp::Ddc simd{ddc_params(dsp::KernelPolicy::kSimd)};
+  sim::Rng rng{36};
+  std::vector<double> in;
+  std::vector<cplx> iq_b, iq_s;
+  // Chunks below, at, and coprime with the decimation of 16.
+  for (std::size_t n : {3u, 16u, 17u, 999u, 20000u}) {
+    in.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      in[i] = std::cos(1.13 * static_cast<double>(i)) +
+              rng.normal(0.0, 0.01);
+    }
+    iq_b.clear();
+    iq_s.clear();
+    const std::size_t got_b = block.process(std::span<const double>{in}, iq_b);
+    const std::size_t got_s = simd.process(std::span<const double>{in}, iq_s);
+    ASSERT_EQ(got_s, got_b) << "chunk " << n;
+    ASSERT_EQ(simd.decimation_phase(), block.decimation_phase());
+    for (std::size_t i = 0; i < got_b; ++i) {
+      EXPECT_NEAR(iq_s[i].real(), iq_b[i].real(), 1e-5);
+      EXPECT_NEAR(iq_s[i].imag(), iq_b[i].imag(), 1e-5);
+    }
+  }
+}
+
+TEST(SimdParity, DdcPushAndProcessShareState) {
+  // push() streams one sample at a time through the same simd stages, so
+  // mixing call styles tracks block-call-only processing to float32
+  // tolerance (lane reseeds land differently per call split, so bit
+  // equality is not promised — the kSimd IQ contract is).
+  dsp::Ddc mixed_calls{ddc_params(dsp::KernelPolicy::kSimd)};
+  dsp::Ddc block_calls{ddc_params(dsp::KernelPolicy::kSimd)};
+  sim::Rng rng{37};
+  std::vector<double> in(1000);
+  for (auto& v : in) v = rng.normal(0.0, 1.0);
+
+  std::vector<cplx> got;
+  for (std::size_t i = 0; i < 100; ++i) {
+    if (const auto iq = mixed_calls.push(in[i])) got.push_back(*iq);
+  }
+  mixed_calls.process(std::span<const double>{in}.subspan(100), got);
+
+  std::vector<cplx> want;
+  block_calls.process(std::span<const double>{in}, want);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got[i].real(), want[i].real(), 1e-5) << "iq sample " << i;
+    EXPECT_NEAR(got[i].imag(), want[i].imag(), 1e-5) << "iq sample " << i;
+  }
+}
+
+TEST(SimdParity, DerotateSimdMatchesScalar) {
+  sim::Rng rng{38};
+  std::vector<cplx> iq(5000);
+  for (auto& v : iq) v = {rng.normal(0.0, 1.0), rng.normal(0.0, 1.0)};
+  const auto a = dsp::derotate(iq, 31250.0, 12.7, dsp::KernelPolicy::kScalar);
+  const auto b = dsp::derotate(iq, 31250.0, 12.7, dsp::KernelPolicy::kSimd);
+  // Tolerance: ~1e-4 rad of in-chunk float32 phasor drift scaled by the
+  // unit-normal sample magnitudes (|x| reaches ~4 at n=5000).
+  for (std::size_t i = 0; i < iq.size(); ++i) {
+    EXPECT_NEAR(a[i].real(), b[i].real(), 5e-5);
+    EXPECT_NEAR(a[i].imag(), b[i].imag(), 5e-5);
+  }
+}
+
+// ----------------------------------------------------------- Channelizer
+
+TEST(SimdParity, ChannelizerSimdFoldMatchesScalarFold) {
+  // The simd branch fold stays in float64 (only the loop structure and
+  // summation order change), so lanes agree to summation-reordering
+  // tolerance — not just float32 tolerance.
+  const double fs = 62500.0;
+  const std::vector<double> centers = {3000.0, 4500.0, 6000.0, 7500.0};
+  const auto plan = dsp::PolyphaseChannelizer::plan(fs, 375.0, centers);
+  ASSERT_TRUE(plan.viable) << plan.reason;
+  const auto proto = dsp::design_lowpass(plan.cutoff_hz, fs, plan.taps);
+  const auto make = [&](dsp::KernelPolicy policy) {
+    return dsp::PolyphaseChannelizer{{
+        .sample_rate_hz = fs,
+        .fft_size = plan.fft_size,
+        .decimation = plan.decimation,
+        .prototype = proto,
+        .center_hz = centers,
+        .kernels = policy,
+    }};
+  };
+  auto scalar = make(dsp::KernelPolicy::kScalar);
+  auto simd = make(dsp::KernelPolicy::kSimd);
+  sim::Rng rng{39};
+  std::vector<cplx> in(12000);
+  for (auto& v : in) v = {rng.normal(0.0, 1.0), rng.normal(0.0, 1.0)};
+  const std::size_t frames_a = scalar.process(in.data(), in.size());
+  const std::size_t frames_b = simd.process(in.data(), in.size());
+  ASSERT_EQ(frames_a, frames_b);
+  ASSERT_GT(frames_a, 100u);
+  for (std::size_t k = 0; k < centers.size(); ++k) {
+    for (std::size_t f = 0; f < frames_a; ++f) {
+      ASSERT_NEAR(simd.lane(k)[f].real(), scalar.lane(k)[f].real(), 1e-9)
+          << "lane " << k << " frame " << f;
+      ASSERT_NEAR(simd.lane(k)[f].imag(), scalar.lane(k)[f].imag(), 1e-9)
+          << "lane " << k << " frame " << f;
+    }
+  }
+}
+
+// --------------------------------------------------- packet-level parity
+
+// Timestamp tolerance for kSimd decodes: float32 can move a slicer
+// crossing by a decimated sample or two — two channelizer lane samples
+// bound it with an order of magnitude to spare.
+constexpr double kSimdTimeTol = 256e-6;
+
+reader::FdmaRxChain::Params fdma_params(dsp::KernelPolicy policy) {
+  reader::FdmaRxChain::Params fp;
+  fp.ddc.decimation = 8;
+  fp.workers = 1;
+  fp.kernels = policy;
+  fp.bank = reader::FdmaRxChain::BankPolicy::kPerChannel;
+  for (int k = 0; k < 4; ++k) fp.channels.push_back({3000.0 + 1500.0 * k});
+  return fp;
+}
+
+std::vector<double> fdma_capture() {
+  acoustic::UplinkWaveformSynth synth{
+      acoustic::UplinkWaveformSynth::Params{}};
+  sim::Rng rng{101};
+  std::vector<acoustic::BackscatterSource> srcs;
+  for (int k = 0; k < 4; ++k) {
+    const phy::UlPacket pkt{.tid = static_cast<std::uint8_t>(k + 1),
+                            .payload =
+                                static_cast<std::uint16_t>(0x500 + k)};
+    phy::SubcarrierModulator mod{{375.0, 3000.0 + 1500.0 * k}};
+    acoustic::BackscatterSource s;
+    s.chips = mod.modulate(phy::Fm0Encoder::encode_frame(pkt.serialize()));
+    s.chip_rate = mod.subchip_rate();
+    s.start_s = 0.03;
+    s.amplitude = 0.12 + 0.01 * k;
+    s.phase_rad = 0.5 + 0.4 * k;
+    srcs.push_back(s);
+  }
+  return synth.synthesize(srcs, 0.3, rng);
+}
+
+std::vector<reader::RxPacket> decode_with(dsp::KernelPolicy policy,
+                                          const std::vector<double>& wave) {
+  reader::FdmaRxChain chain{fdma_params(policy)};
+  // Awkward chunking so the simd stages cross many lane/chunk alignments.
+  constexpr std::size_t kChunk = 7777;
+  for (std::size_t off = 0; off < wave.size(); off += kChunk) {
+    chain.process(wave.data() + off, std::min(kChunk, wave.size() - off));
+  }
+  return chain.drain_packets();
+}
+
+void expect_packet_parity(const std::vector<reader::RxPacket>& ref,
+                          const std::vector<reader::RxPacket>& got,
+                          double time_tol) {
+  ASSERT_EQ(got.size(), ref.size());
+  for (std::size_t c = 0; c < 4; ++c) {
+    std::vector<const reader::RxPacket*> a, b;
+    for (const auto& p : ref) {
+      if (p.channel == c) a.push_back(&p);
+    }
+    for (const auto& p : got) {
+      if (p.channel == c) b.push_back(&p);
+    }
+    ASSERT_EQ(b.size(), a.size()) << "channel " << c;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(b[i]->packet, a[i]->packet) << "channel " << c;
+      EXPECT_NEAR(b[i]->time_s, a[i]->time_s, time_tol) << "channel " << c;
+    }
+  }
+}
+
+TEST(SimdParity, FdmaBankThreeTierPacketParity) {
+  const auto wave = fdma_capture();
+  const auto scalar = decode_with(dsp::KernelPolicy::kScalar, wave);
+  const auto block = decode_with(dsp::KernelPolicy::kBlock, wave);
+  const auto simd = decode_with(dsp::KernelPolicy::kSimd, wave);
+  ASSERT_GE(scalar.size(), 4u);  // every channel decodes its tag
+  // scalar vs block: bit-exact including timestamps.
+  ASSERT_EQ(block.size(), scalar.size());
+  for (std::size_t i = 0; i < scalar.size(); ++i) {
+    EXPECT_EQ(block[i].packet, scalar[i].packet);
+    EXPECT_EQ(block[i].channel, scalar[i].channel);
+    EXPECT_DOUBLE_EQ(block[i].time_s, scalar[i].time_s);
+  }
+  // simd: identical packets, timestamps inside the float32 jitter bound.
+  expect_packet_parity(scalar, simd, kSimdTimeTol);
+}
+
+TEST(SimdParity, ForcedPortableTierDecodesIdenticalPackets) {
+  // The runtime half of the -DARACHNET_DISABLE_SIMD guarantee: kSimd on
+  // the portable vector tier decodes the same packets as on the best
+  // hardware tier — an ISA downgrade (or a disabled build) degrades
+  // speed, never results.
+  const dsp::SimdIsa before = dsp::active_simd_isa();
+  const auto wave = fdma_capture();
+  const auto best = decode_with(dsp::KernelPolicy::kSimd, wave);
+  dsp::force_simd_isa(dsp::SimdIsa::kGeneric);
+  EXPECT_STREQ(dsp::simd::kernels().isa,
+               dsp::to_string(dsp::active_simd_isa()));
+  const auto portable = decode_with(dsp::KernelPolicy::kSimd, wave);
+  dsp::force_simd_isa(before);
+  ASSERT_GE(best.size(), 4u);
+  expect_packet_parity(best, portable, kSimdTimeTol);
+}
+
+}  // namespace
