@@ -8,12 +8,17 @@
 // and any raised health.* flags.
 //
 // Usage: example_arachnet_top [--sessions=4] [--seconds=10]
-//                             [--period=0.5] [--stall]
+//                             [--period=0.5] [--stall] [--fleet=N]
 //                             [--jsonl=PATH] [--prom=PATH]
 //
 //   --stall   also opens a session on a deliberately never-started
 //             second service, so the stall watchdog visibly raises
 //             health.victim.stalled after two periods.
+//   --fleet   fleet view instead of the session view: N RealtimeReader
+//             instances share one registry under per-instance scopes
+//             (r0., r1., ...) and the screen shows one row per reader —
+//             block/packet rates and queue depths straight from the
+//             scoped metrics.
 //   --jsonl   stream every monitor sample to PATH (arachnet.monitor.v1).
 //   --prom    dump a Prometheus text exposition of the registry to PATH
 //             on exit (scrape-file integration; see README).
@@ -21,6 +26,7 @@
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -29,6 +35,7 @@
 #include "arachnet/dsp/kernels/cpu_dispatch.hpp"
 #include "arachnet/dsp/kernels/kernel_policy.hpp"
 #include "arachnet/phy/fm0.hpp"
+#include "arachnet/reader/realtime_reader.hpp"
 #include "arachnet/reader/service/reader_service.hpp"
 #include "arachnet/reader/service/service_health.hpp"
 #include "arachnet/telemetry/telemetry.hpp"
@@ -63,10 +70,116 @@ double hist_stat(const telemetry::HistogramDelta* h, bool p99) {
   return p99 ? h->interval_p99 : h->interval_p50;
 }
 
+double counter_rate(const telemetry::SnapshotDelta& d, const std::string& n) {
+  const auto* c = d.counter(n);
+  return c != nullptr ? c->rate_per_s : 0.0;
+}
+
+/// --fleet=N: one RealtimeReader per reader, all instrumenting the same
+/// registry under per-instance scopes. The per-reader rows below read the
+/// scoped names back — the display is the consumer the scoping exists for.
+int run_fleet_view(std::size_t readers, double seconds, double period_s,
+                   const std::string& jsonl_path) {
+  telemetry::MetricsRegistry registry;
+  std::vector<std::unique_ptr<reader::RealtimeReader>> fleet;
+  std::vector<std::string> scopes;
+  for (std::size_t i = 0; i < readers; ++i) {
+    scopes.push_back("r" + std::to_string(i) + ".");
+    reader::RealtimeReader::Params rp;
+    rp.metrics = &registry;
+    rp.metrics_scope = scopes.back();
+    rp.drop_on_full_output = true;  // the display drains lazily
+    fleet.push_back(std::make_unique<reader::RealtimeReader>(rp));
+    fleet.back()->start();
+  }
+
+  telemetry::HealthMonitor::Params mp;
+  mp.registry = &registry;
+  mp.period_s = period_s;
+  mp.source = "arachnet_top_fleet";
+  mp.jsonl_path = jsonl_path;
+  telemetry::HealthMonitor monitor{mp};
+  monitor.start();
+
+  // Paced producers, one per reader, staggered like a line of stations.
+  std::atomic<bool> stop_producers{false};
+  const auto wave = render_template();
+  std::vector<std::thread> producers;
+  producers.reserve(readers);
+  for (std::size_t i = 0; i < readers; ++i) {
+    producers.emplace_back([&, i] {
+      std::size_t off = (i * 17) % (wave.size() / kBlockSamples);
+      auto next = std::chrono::steady_clock::now();
+      while (!stop_producers.load(std::memory_order_relaxed)) {
+        next += std::chrono::microseconds(
+            static_cast<long>(kBlockPeriodS * 1e6));
+        std::this_thread::sleep_until(next);
+        const auto* src = wave.data() + off * kBlockSamples;
+        fleet[i]->submit({src, src + kBlockSamples});
+        off = (off + 1) % (wave.size() / kBlockSamples);
+        while (fleet[i]->poll_packet().has_value()) {
+        }
+      }
+    });
+  }
+
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(seconds);
+  std::printf("\x1b[2J");
+  while (std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(period_s));
+    const auto latest = monitor.latest();
+    if (!latest.has_value()) continue;
+    const auto& d = latest->delta;
+
+    std::printf("\x1b[H\x1b[1marachnet_top --fleet\x1b[0m  sample #%llu  "
+                "dt %.2fs  %zu readers  kernels %s/%s\x1b[K\n\n",
+                static_cast<unsigned long long>(latest->index), latest->dt_s,
+                readers, dsp::to_string(dsp::default_kernel_policy()),
+                dsp::to_string(dsp::active_simd_isa()));
+
+    std::printf("\x1b[4mreader   blocks/s   packets/s   in-q   out-q   "
+                "block p99 ms\x1b[0m\x1b[K\n");
+    double total_blocks = 0.0, total_packets = 0.0;
+    for (std::size_t i = 0; i < readers; ++i) {
+      const auto& sc = scopes[i];
+      const double blocks = counter_rate(d, sc + "reader.blocks");
+      const double packets = counter_rate(d, sc + "reader.packets_emitted");
+      total_blocks += blocks;
+      total_packets += packets;
+      std::printf("  r%-5zu %9.1f %11.2f %6.0f %7.0f %14.3f\x1b[K\n", i,
+                  blocks, packets,
+                  registry.gauge(sc + "reader.input_depth").value(),
+                  registry.gauge(sc + "reader.output_depth").value(),
+                  hist_stat(d.histogram(sc + "reader.block_ms"), true));
+    }
+    std::printf("  \x1b[1mtotal  %9.1f %11.2f\x1b[0m\x1b[K\n", total_blocks,
+                total_packets);
+
+    std::printf("\nhealth:\x1b[K\n");
+    if (latest->raised.empty()) {
+      std::printf("  \x1b[32mall clear\x1b[0m\x1b[K\n");
+    } else {
+      for (const auto& flag : latest->raised) {
+        std::printf("  \x1b[31m%s\x1b[0m\x1b[K\n", flag.c_str());
+      }
+    }
+    std::printf("\x1b[J");
+    std::fflush(stdout);
+  }
+
+  stop_producers.store(true);
+  for (auto& p : producers) p.join();
+  monitor.stop();
+  for (auto& r : fleet) r->stop();
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::size_t sessions = 4;
+  std::size_t fleet_readers = 0;
   double seconds = 10.0;
   double period_s = 0.5;
   bool demo_stall = false;
@@ -76,6 +189,8 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg.rfind("--sessions=", 0) == 0) {
       sessions = static_cast<std::size_t>(std::stoul(arg.substr(11)));
+    } else if (arg.rfind("--fleet=", 0) == 0) {
+      fleet_readers = static_cast<std::size_t>(std::stoul(arg.substr(8)));
     } else if (arg.rfind("--seconds=", 0) == 0) {
       seconds = std::stod(arg.substr(10));
     } else if (arg.rfind("--period=", 0) == 0) {
@@ -87,6 +202,10 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--prom=", 0) == 0) {
       prom_path = arg.substr(7);
     }
+  }
+
+  if (fleet_readers > 0) {
+    return run_fleet_view(fleet_readers, seconds, period_s, jsonl_path);
   }
 
   telemetry::MetricsRegistry registry;
@@ -125,7 +244,9 @@ int main(int argc, char** argv) {
   // Optional stall demo: a session on a service whose dispatcher never
   // started accepts submits (up to its in-flight cap) but processes
   // nothing — exactly the signature the stall watchdog looks for.
-  ReaderService frozen{ReaderService::Params{.workers = 1}};
+  ReaderService::Params frozen_params;
+  frozen_params.workers = 1;
+  ReaderService frozen{frozen_params};
   SessionId victim_id = 0;
   if (demo_stall) {
     const auto vid = frozen.open_session(SessionConfig{});

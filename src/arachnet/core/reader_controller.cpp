@@ -16,6 +16,8 @@ void ReaderController::register_tag(int tid, int period) {
       history_capacity_, 2 * static_cast<std::size_t>(period));
 }
 
+void ReaderController::unregister_tag(int tid) { tags_.erase(tid); }
+
 bool ReaderController::offset_conflicts(int period_a, int offset_a,
                                         int period_b, int offset_b) const {
   // Periods are powers of two, so residue classes nest: two schedules

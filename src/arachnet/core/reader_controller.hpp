@@ -43,6 +43,11 @@ class ReaderController {
   /// Declares a deployed tag and its period.
   void register_tag(int tid, int period);
 
+  /// Withdraws a tag (fleet handoff / departure): its belief entry and
+  /// pending victim NACKs are forgotten so future-collision avoidance no
+  /// longer plans around it. Unknown tids are a no-op.
+  void unregister_tag(int tid);
+
   /// Closes slot `slot_index` with what was received and returns the
   /// beacon command to broadcast for the next slot.
   phy::DlCommand close_slot(const SlotObservation& obs);

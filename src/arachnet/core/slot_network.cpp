@@ -30,6 +30,41 @@ SlotNetwork::SlotNetwork(Params params, std::vector<TagSpec> tags)
   }
 }
 
+void SlotNetwork::add_tag(const TagSpec& spec) {
+  if (has_tag(spec.tid)) {
+    throw std::invalid_argument("SlotNetwork::add_tag: duplicate tid");
+  }
+  TagStateMachine::Config cfg;
+  cfg.period = spec.period;
+  cfg.nack_threshold = params_.nack_threshold;
+  cfg.beacon_loss_migrate = params_.beacon_loss_migrate;
+  cfg.empty_gating = params_.empty_gating;
+  TagSpec adjusted = spec;
+  if (adjusted.activation_slot < slot_) adjusted.activation_slot = slot_;
+  tags_.push_back(TagRuntime{adjusted,
+                             TagStateMachine{cfg, rng_.next_u64()},
+                             adjusted.activation_slot <= slot_});
+  reader_.register_tag(adjusted.tid, adjusted.period);
+}
+
+bool SlotNetwork::remove_tag(int tid) {
+  for (auto it = tags_.begin(); it != tags_.end(); ++it) {
+    if (it->spec.tid == tid) {
+      tags_.erase(it);
+      reader_.unregister_tag(tid);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool SlotNetwork::has_tag(int tid) const noexcept {
+  for (const auto& t : tags_) {
+    if (t.spec.tid == tid) return true;
+  }
+  return false;
+}
+
 const TagStateMachine& SlotNetwork::tag_machine(int tid) const {
   for (const auto& t : tags_) {
     if (t.spec.tid == tid) return t.machine;

@@ -61,6 +61,21 @@ class SlotNetwork {
 
   SlotNetwork(Params params, std::vector<TagSpec> tags);
 
+  /// Admits a tag mid-run (fleet handoff arrival / late deployment). The
+  /// tag registers with the reader immediately and activates at
+  /// max(spec.activation_slot, current slot). Duplicate tids throw.
+  void add_tag(const TagSpec& spec);
+
+  /// Withdraws a tag mid-run (fleet handoff departure / battery death):
+  /// removed from the air interface and unregistered from the reader so
+  /// its slot can be reclaimed. Returns false for an unknown tid.
+  bool remove_tag(int tid);
+
+  /// Whether `tid` is currently deployed in this network.
+  bool has_tag(int tid) const noexcept;
+
+  std::size_t tag_count() const noexcept { return tags_.size(); }
+
   /// Simulates one slot.
   SlotRecord step();
 

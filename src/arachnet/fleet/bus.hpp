@@ -1,0 +1,122 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arachnet/telemetry/metrics.hpp"
+
+namespace arachnet::fleet {
+
+/// Bus topics. Kept small and fixed: the fleet's coordination traffic is
+/// packets, tag handoffs, planner updates and membership changes.
+enum class Topic : std::uint8_t {
+  kPacket = 0,     ///< decoded-packet announcements (dedup input)
+  kHandoff = 1,    ///< tag ownership transfers
+  kPlan = 2,       ///< slot/frequency planner assignments
+  kMembership = 3  ///< reader join/leave
+};
+inline constexpr std::size_t kTopicCount = 4;
+
+/// One inter-reader message. Payload is three opaque words interpreted per
+/// topic (tag id / sequence / epoch / channel ...) — the bus itself only
+/// routes, orders and bounds.
+struct BusMessage {
+  Topic topic = Topic::kPacket;
+  int from = 0;      ///< publishing reader id
+  int to = -1;       ///< destination reader id, -1 = broadcast
+  int priority = 0;  ///< higher wins under contention (goby buffer idiom)
+  /// Remaining lifetime in commit epochs; a message still undelivered
+  /// after this many commits is dropped (stale coordination is worse
+  /// than none). 0 = use the bus default.
+  int ttl_epochs = 0;
+  std::uint64_t a = 0, b = 0, c = 0;  ///< topic-specific payload words
+  // ---- assigned by the bus at commit ----
+  std::uint64_t pub_seq = 0;    ///< per-publisher publication sequence
+  std::uint64_t topic_seq = 0;  ///< per-topic delivery sequence
+};
+
+/// In-process inter-reader message bus with bounded, priority+TTL queueing
+/// (the goby3 dynamic_buffer idiom: a full buffer displaces the
+/// lowest-priority newest entry; stale entries expire by TTL) and
+/// per-topic delivery sequence numbers.
+///
+/// Concurrency model mirrors the fleet's BSP epochs:
+///  - publish(from, ...) may run concurrently across DIFFERENT publishers
+///    (each publisher owns a pre-sized outbox and is the only writer), so
+///    shard tasks post from the parallel phase without locks;
+///  - commit(epoch) and drain() run on the serial coordinator only.
+///
+/// commit() merges every outbox in a deterministic order — priority
+/// descending, then publisher id ascending, then per-publisher publication
+/// sequence — independent of which worker ran which shard when. Delivery
+/// bandwidth is bounded by `max_deliveries_per_commit` (an acoustic
+/// side-channel does not have infinite capacity); the backlog is bounded
+/// by `capacity` with lowest-priority-newest displacement.
+class MessageBus {
+ public:
+  struct Params {
+    std::size_t capacity = 256;  ///< max undelivered messages buffered
+    /// Messages handed out per commit (bus bandwidth). 0 = unlimited.
+    std::size_t max_deliveries_per_commit = 0;
+    int default_ttl_epochs = 4;  ///< applied when BusMessage::ttl_epochs==0
+    /// Optional registry for `bus.*` counters/gauges; prefix with
+    /// `metrics_scope` (see telemetry::scoped_name).
+    telemetry::MetricsRegistry* metrics = nullptr;
+    std::string metrics_scope;
+  };
+
+  struct Stats {
+    std::uint64_t published = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t displaced = 0;  ///< dropped by capacity displacement
+    std::uint64_t expired = 0;    ///< dropped by TTL
+    std::size_t depth = 0;        ///< undelivered backlog after last commit
+    std::uint64_t topic_seq[kTopicCount] = {0, 0, 0, 0};
+  };
+
+  MessageBus(Params params, std::size_t publishers);
+
+  /// Posts a message from publisher `from`. Parallel-phase safe under the
+  /// one-writer-per-outbox contract; ordering within a publisher is its
+  /// call order (stamped as pub_seq at commit).
+  void publish(int from, BusMessage msg);
+
+  /// Serial barrier step: merges all outboxes deterministically into the
+  /// bounded pending queue, expires TTLs, applies displacement, assigns
+  /// per-topic sequence numbers to the messages scheduled for delivery
+  /// this epoch, and stages them for drain().
+  void commit();
+
+  /// Messages delivered by the last commit(), in delivery order. Valid
+  /// until the next commit().
+  const std::vector<BusMessage>& drain() const noexcept { return delivered_; }
+
+  Stats stats() const noexcept { return stats_; }
+  std::size_t publisher_count() const noexcept { return outboxes_.size(); }
+  const Params& params() const noexcept { return params_; }
+
+ private:
+  struct Pending {
+    BusMessage msg;
+    int ttl_left = 0;
+    std::uint64_t admit_seq = 0;  ///< admission order (displacement key)
+  };
+
+  Params params_;
+  std::vector<std::vector<BusMessage>> outboxes_;  ///< one per publisher
+  std::vector<std::uint64_t> pub_next_seq_;
+  std::vector<Pending> pending_;  ///< undelivered backlog, kept sorted
+  std::vector<BusMessage> delivered_;
+  std::uint64_t admit_counter_ = 0;
+  std::uint64_t topic_next_seq_[kTopicCount] = {0, 0, 0, 0};
+  Stats stats_;
+  // Registry instruments (nullable; bound once in the constructor).
+  telemetry::Counter* c_published_ = nullptr;
+  telemetry::Counter* c_delivered_ = nullptr;
+  telemetry::Counter* c_displaced_ = nullptr;
+  telemetry::Counter* c_expired_ = nullptr;
+  telemetry::Gauge* g_depth_ = nullptr;
+};
+
+}  // namespace arachnet::fleet

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_set>
+
+namespace arachnet::fleet {
+
+/// Bounded duplicate-packet suppressor keyed on (tag id, tag sequence,
+/// slot epoch). Overlapping reader coverage means one uplink transmission
+/// can be decoded by several readers; the coordinator admits the first
+/// report of a key and suppresses the echoes. The window is bounded (FIFO
+/// eviction) so a long-running fleet holds memory constant — at the cost
+/// that a duplicate arriving after its key was evicted passes through,
+/// which callers can observe via Stats::passed_after_eviction.
+class DedupWindow {
+ public:
+  explicit DedupWindow(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  struct Stats {
+    std::uint64_t admitted = 0;    ///< fresh keys inserted
+    std::uint64_t suppressed = 0;  ///< duplicates caught in the window
+    std::uint64_t evicted = 0;     ///< keys aged out by capacity
+  };
+
+  /// Returns true (and remembers the key) when (tag, seq, epoch) has not
+  /// been seen within the window; false for a duplicate.
+  bool admit(std::uint32_t tag, std::uint32_t seq, std::uint64_t epoch) {
+    const std::uint64_t key = make_key(tag, seq, epoch);
+    if (seen_.count(key) != 0) {
+      ++stats_.suppressed;
+      return false;
+    }
+    if (order_.size() >= capacity_) {
+      seen_.erase(order_.front());
+      order_.pop_front();
+      ++stats_.evicted;
+    }
+    seen_.insert(key);
+    order_.push_back(key);
+    ++stats_.admitted;
+    return true;
+  }
+
+  Stats stats() const noexcept { return stats_; }
+  std::size_t size() const noexcept { return order_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  /// 20 bits of tag, 24 of sequence, 20 of epoch — wraparound at those
+  /// widths is far beyond any bounded window's lifetime.
+  static std::uint64_t make_key(std::uint32_t tag, std::uint32_t seq,
+                                std::uint64_t epoch) noexcept {
+    return (static_cast<std::uint64_t>(tag & 0xFFFFF) << 44) |
+           (static_cast<std::uint64_t>(seq & 0xFFFFFF) << 20) |
+           (epoch & 0xFFFFF);
+  }
+
+  std::size_t capacity_;
+  std::unordered_set<std::uint64_t> seen_;
+  std::deque<std::uint64_t> order_;  ///< insertion order (FIFO eviction)
+  Stats stats_;
+};
+
+}  // namespace arachnet::fleet

@@ -1,0 +1,73 @@
+#include "arachnet/fleet/planner.hpp"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+namespace arachnet::fleet {
+
+std::vector<GridPlanner::Assignment> GridPlanner::plan(
+    std::size_t readers,
+    const std::vector<std::vector<int>>& interferers) const {
+  // Symmetrized adjacency (callers may list an edge on one side only).
+  std::vector<std::set<std::size_t>> adj(readers);
+  for (std::size_t r = 0; r < readers && r < interferers.size(); ++r) {
+    for (int other : interferers[r]) {
+      if (other < 0 || static_cast<std::size_t>(other) >= readers) continue;
+      const auto o = static_cast<std::size_t>(other);
+      if (o == r) continue;
+      adj[r].insert(o);
+      adj[o].insert(r);
+    }
+  }
+
+  // Greedy coloring in reader-id order: each reader takes the smallest
+  // color no already-colored neighbour holds. Deterministic by
+  // construction (no tie depends on anything but the ids).
+  std::vector<std::size_t> color(readers, 0);
+  std::size_t ncolors = readers == 0 ? 0 : 1;
+  for (std::size_t r = 0; r < readers; ++r) {
+    std::vector<bool> used(ncolors + 1, false);
+    for (std::size_t o : adj[r]) {
+      if (o < r && color[o] < used.size()) used[color[o]] = true;
+    }
+    std::size_t c = 0;
+    while (c < used.size() && used[c]) ++c;
+    color[r] = c;
+    ncolors = std::max(ncolors, c + 1);
+  }
+
+  // Map colors onto the grid. Enough channel blocks: disjoint frequency
+  // blocks, everyone transmits every epoch. Too many colors: one channel
+  // per color slot and TDMA strides absorb the surplus.
+  std::vector<Assignment> out(readers);
+  if (readers == 0) return out;
+  if (ncolors <= params_.channels_total) {
+    const std::size_t block =
+        std::max<std::size_t>(1, params_.channels_total / ncolors);
+    for (std::size_t r = 0; r < readers; ++r) {
+      out[r].chan_begin = color[r] * block;
+      out[r].chan_count = block;
+      out[r].tdma_phase = 0;
+      out[r].tdma_stride = 1;
+    }
+  } else {
+    const std::size_t stride =
+        (ncolors + params_.channels_total - 1) / params_.channels_total;
+    for (std::size_t r = 0; r < readers; ++r) {
+      out[r].chan_begin = color[r] % params_.channels_total;
+      out[r].chan_count = 1;
+      out[r].tdma_phase = color[r] / params_.channels_total;
+      out[r].tdma_stride = stride;
+    }
+  }
+  return out;
+}
+
+std::size_t GridPlanner::color_count(const std::vector<Assignment>& plan) {
+  std::set<std::pair<std::size_t, std::uint64_t>> distinct;
+  for (const auto& a : plan) distinct.insert({a.chan_begin, a.tdma_phase});
+  return distinct.size();
+}
+
+}  // namespace arachnet::fleet

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace arachnet::fleet {
+
+/// Global slot/frequency planner: partitions the FDMA subcarrier grid and
+/// TDMA epochs across readers so co-channel readers never interfere.
+///
+/// Input is the reader interference graph (an edge means two readers'
+/// coverage overlaps enough that simultaneous same-channel uplinks
+/// collide). The planner greedily colors the graph in reader-id order —
+/// deterministic, and within one color of optimal on the ring/strip
+/// topologies a vehicle line actually has — then maps colors onto the
+/// available channel blocks. When there are more colors than blocks the
+/// surplus is time-sliced: every reader gets a TDMA (phase, stride) and
+/// transmits only in epochs where `epoch % stride == phase`.
+class GridPlanner {
+ public:
+  struct Params {
+    /// Total FDMA channels in the grid available to the fleet.
+    std::size_t channels_total = 16;
+  };
+
+  /// One reader's share of the grid.
+  struct Assignment {
+    std::size_t chan_begin = 0;  ///< first channel of the reader's block
+    std::size_t chan_count = 0;  ///< channels in the block
+    std::uint64_t tdma_phase = 0;
+    std::uint64_t tdma_stride = 1;  ///< 1 = every epoch
+
+    bool active_in_epoch(std::uint64_t epoch) const noexcept {
+      return epoch % tdma_stride == tdma_phase;
+    }
+    friend bool operator==(const Assignment&, const Assignment&) = default;
+  };
+
+  explicit GridPlanner(Params params) : params_(params) {}
+
+  /// Computes assignments for `readers` readers given the interference
+  /// adjacency (interferers[r] lists reader ids whose coverage overlaps
+  /// r's; the relation is treated as symmetric). Pure function of its
+  /// inputs — every caller computes the identical plan.
+  std::vector<Assignment> plan(
+      std::size_t readers,
+      const std::vector<std::vector<int>>& interferers) const;
+
+  /// Colors used by the last plan() (diagnostic; recomputed per call).
+  static std::size_t color_count(const std::vector<Assignment>& plan);
+
+  const Params& params() const noexcept { return params_; }
+
+ private:
+  Params params_;
+};
+
+}  // namespace arachnet::fleet

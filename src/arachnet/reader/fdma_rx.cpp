@@ -245,13 +245,16 @@ FdmaRxChain::FdmaRxChain(Params params)
   }
 
   if (params_.metrics != nullptr) {
-    g_bank_policy_ = &params_.metrics->gauge("fdma.bank_policy");
-    c_chzr_frames_ = &params_.metrics->counter("fdma.chzr.frames");
-    c_chzr_fft_us_ = &params_.metrics->counter("fdma.chzr.fft_us");
-    h_stage_frontend_us_ =
-        &params_.metrics->histogram("fdma.stage.frontend_us", 0.0, 20000.0, 100);
-    h_stage_decode_us_ =
-        &params_.metrics->histogram("fdma.stage.decode_us", 0.0, 20000.0, 100);
+    const auto sn = [&](std::string_view name) {
+      return telemetry::scoped_name(params_.metrics_scope, name);
+    };
+    g_bank_policy_ = &params_.metrics->gauge(sn("fdma.bank_policy"));
+    c_chzr_frames_ = &params_.metrics->counter(sn("fdma.chzr.frames"));
+    c_chzr_fft_us_ = &params_.metrics->counter(sn("fdma.chzr.fft_us"));
+    h_stage_frontend_us_ = &params_.metrics->histogram(
+        sn("fdma.stage.frontend_us"), 0.0, 20000.0, 100);
+    h_stage_decode_us_ = &params_.metrics->histogram(
+        sn("fdma.stage.decode_us"), 0.0, 20000.0, 100);
   }
 
   const bool channelized =
@@ -265,8 +268,9 @@ FdmaRxChain::FdmaRxChain(Params params)
     g_bank_policy_->set(channelized ? 1.0 : 0.0);
   }
   if (params_.metrics != nullptr) {
-    pool_->set_dispatch_histogram(
-        &params_.metrics->histogram("fdma.dispatch_us", 0.0, 2000.0, 64));
+    pool_->set_dispatch_histogram(&params_.metrics->histogram(
+        telemetry::scoped_name(params_.metrics_scope, "fdma.dispatch_us"),
+        0.0, 2000.0, 64));
   }
   ARACHNET_LOG_DEBUG("fdma", "chain ready",
                      {"channels", channels_.size()},
@@ -333,7 +337,8 @@ void FdmaRxChain::bind_channel_metrics(std::size_t index) {
   char name[48];
   const auto bind = [&](const char* suffix) -> telemetry::Counter* {
     std::snprintf(name, sizeof(name), "fdma.ch%zu.%s", index, suffix);
-    return &params_.metrics->counter(name);
+    return &params_.metrics->counter(
+        telemetry::scoped_name(params_.metrics_scope, name));
   };
   ch.m_iq = bind("iq_samples");
   ch.m_bits = bind("bits");
@@ -424,6 +429,15 @@ void FdmaRxChain::fallback_to_per_channel(const char* reason) {
 }
 
 void FdmaRxChain::add_channel(ChannelSpec spec) {
+  if (processing_.load(std::memory_order_acquire)) {
+    // Documented non-reentrancy, enforced: growing the channel list while
+    // the worker fan-out walks it is memory corruption, not a race worth
+    // losing silently. Callers (the fleet planner's dynamic channel
+    // re-assignment in particular) must serialize against process().
+    throw std::logic_error(
+        "FdmaRxChain::add_channel: process() is in flight; serialize "
+        "channel re-assignment against the processing thread");
+  }
   validate_subcarrier(spec.subcarrier_hz, subcarriers());
   if (chzr_ != nullptr) {
     if (on_grid(spec.subcarrier_hz) &&
@@ -444,8 +458,23 @@ void FdmaRxChain::add_channel(ChannelSpec spec) {
                     {"channels", channels_.size()});
 }
 
+namespace {
+
+/// RAII arm/disarm of the process-in-flight flag (exception-safe: a
+/// throwing decode must not leave add_channel locked out forever).
+struct ProcessingGuard {
+  explicit ProcessingGuard(std::atomic<bool>& flag) : flag_(flag) {
+    flag_.store(true, std::memory_order_release);
+  }
+  ~ProcessingGuard() { flag_.store(false, std::memory_order_release); }
+  std::atomic<bool>& flag_;
+};
+
+}  // namespace
+
 void FdmaRxChain::process(const double* samples, std::size_t n) {
   ARACHNET_TRACE_SPAN("fdma.process");
+  ProcessingGuard in_flight{processing_};
   // Stage timing (front-end = DDC + shared channelizer on the caller
   // thread; decode = per-channel fan-out) is metrics-gated so the
   // uninstrumented path pays nothing.

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "arachnet/dsp/ddc.hpp"
@@ -102,6 +103,10 @@ class FdmaRxChain {
     /// fan-out). The registry must outlive the chain.
     /// nullptr = no instrumentation.
     telemetry::MetricsRegistry* metrics = nullptr;
+    /// Per-instance metric-name prefix (e.g. "r0.") so several banks can
+    /// share one registry without their `fdma.*` instruments colliding.
+    /// Empty (the default) keeps the historical unscoped names.
+    std::string metrics_scope;
     /// DSP implementation for the main DDC and the per-channel mixer/LPF.
     /// Decoded packets are identical across policies (see KernelPolicy);
     /// the block path is the production default. The channelizer front-end
@@ -136,7 +141,18 @@ class FdmaRxChain {
   /// or the channel_stats() readers. When the chain is owned by a
   /// RealtimeReader (which processes on its worker thread), stop the
   /// reader — or otherwise serialize against its worker — before calling.
+  /// The contract is enforced: add_channel() throws std::logic_error when
+  /// a process() call is in flight (the fleet planner re-assigns channels
+  /// dynamically, and an unsynchronized call must fail loudly, not corrupt
+  /// the channel list mid-fan-out). The check is one relaxed atomic flag,
+  /// so it is always on, not just in debug builds.
   void add_channel(ChannelSpec spec);
+
+  /// True while a process() call is in flight (the add_channel guard;
+  /// useful for callers that want to poll instead of catching).
+  bool processing_now() const noexcept {
+    return processing_.load(std::memory_order_relaxed);
+  }
 
   /// Processes raw DAQ samples. Not reentrant: one processing thread at a
   /// time (the worker fan-out happens internally).
@@ -325,6 +341,9 @@ class FdmaRxChain {
   /// Per-block IQ scratch, reused across process() calls so the steady
   /// state allocates nothing.
   std::vector<std::complex<double>> iq_buf_;
+  /// Set for the duration of process(); add_channel() refuses while it is
+  /// up (documented non-reentrancy, now enforced).
+  std::atomic<bool> processing_{false};
 };
 
 }  // namespace arachnet::reader

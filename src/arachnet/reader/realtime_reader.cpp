@@ -25,6 +25,11 @@ RealtimeReader::Params with_metrics(RealtimeReader::Params params) {
   if (params.fdma && params.fdma->metrics == nullptr) {
     params.fdma->metrics = params.metrics;
   }
+  // The bank inherits the reader's scope unless the caller set its own, so
+  // a fleet of instrumented readers keeps its fdma.* rows apart too.
+  if (params.fdma && params.fdma->metrics_scope.empty()) {
+    params.fdma->metrics_scope = params.metrics_scope;
+  }
   return params;
 }
 
@@ -38,16 +43,21 @@ RealtimeReader::RealtimeReader(Params params)
       input_(params_.input_capacity),
       output_(params_.output_capacity) {
   if (auto* m = params_.metrics) {
-    h_block_ms_ = &m->histogram("reader.block_ms", 0.0, 50.0, 64);
-    g_input_depth_ = &m->gauge("reader.input_depth");
-    g_output_depth_ = &m->gauge("reader.output_depth");
-    c_packets_emitted_ = &m->counter("reader.packets_emitted");
-    c_packets_dropped_ = &m->counter("reader.packets_dropped");
-    c_stall_ns_ = &m->counter("reader.backpressure_stall_ns");
-    c_blocks_ = &m->counter("reader.blocks");
-    h_stage_wait_ms_ = &m->histogram("reader.stage.queue_wait_ms", 0.0, 50.0, 64);
-    h_stage_process_ms_ = &m->histogram("reader.stage.process_ms", 0.0, 50.0, 64);
-    h_stage_emit_ms_ = &m->histogram("reader.stage.emit_ms", 0.0, 5.0, 64);
+    const auto n = [&](std::string_view name) {
+      return telemetry::scoped_name(params_.metrics_scope, name);
+    };
+    h_block_ms_ = &m->histogram(n("reader.block_ms"), 0.0, 50.0, 64);
+    g_input_depth_ = &m->gauge(n("reader.input_depth"));
+    g_output_depth_ = &m->gauge(n("reader.output_depth"));
+    c_packets_emitted_ = &m->counter(n("reader.packets_emitted"));
+    c_packets_dropped_ = &m->counter(n("reader.packets_dropped"));
+    c_stall_ns_ = &m->counter(n("reader.backpressure_stall_ns"));
+    c_blocks_ = &m->counter(n("reader.blocks"));
+    h_stage_wait_ms_ =
+        &m->histogram(n("reader.stage.queue_wait_ms"), 0.0, 50.0, 64);
+    h_stage_process_ms_ =
+        &m->histogram(n("reader.stage.process_ms"), 0.0, 50.0, 64);
+    h_stage_emit_ms_ = &m->histogram(n("reader.stage.emit_ms"), 0.0, 5.0, 64);
   }
 }
 

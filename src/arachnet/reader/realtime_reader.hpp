@@ -3,6 +3,7 @@
 #include <atomic>
 #include <memory>
 #include <optional>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -45,6 +46,12 @@ class RealtimeReader {
     /// packet/stall counters, and is forwarded to the FDMA bank unless the
     /// bank params carry their own registry. nullptr = no instrumentation.
     telemetry::MetricsRegistry* metrics = nullptr;
+    /// Per-instance metric-name prefix (e.g. "r0.") so several readers can
+    /// share one registry without their `reader.*` counters silently
+    /// summing into the same instruments. Empty (the default) keeps the
+    /// historical unscoped names. Forwarded to the FDMA bank unless the
+    /// bank params carry their own scope.
+    std::string metrics_scope;
   };
 
   /// Live counters: queue depths plus per-channel decode statistics

@@ -39,22 +39,26 @@ ReaderService::ReaderService(Params params)
       queue_(params.dispatch_capacity == 0 ? 4 * workers_
                                            : params.dispatch_capacity) {
   if (auto* m = params_.metrics) {
-    g_active_ = &m->gauge("session.active");
-    g_dispatch_depth_ = &m->gauge("service.dispatch_depth");
-    c_admission_rejected_ = &m->counter("session.admission_rejected");
-    c_shed_ = &m->counter("session.shed");
-    c_slots_reused_ = &m->counter("session.slots_reused");
-    c_blocks_ = &m->counter("service.blocks");
-    c_blocks_dropped_ = &m->counter("session.blocks_dropped");
-    c_blocks_expired_ = &m->counter("session.blocks_expired");
-    c_packets_emitted_ = &m->counter("reader.packets_emitted");
-    c_packets_dropped_ = &m->counter("reader.packets_dropped");
-    h_block_ms_ = &m->histogram("service.block_ms", 0.0, 50.0, 250);
+    const auto n = [&](std::string_view name) {
+      return telemetry::scoped_name(params_.metrics_scope, name);
+    };
+    g_active_ = &m->gauge(n("session.active"));
+    g_dispatch_depth_ = &m->gauge(n("service.dispatch_depth"));
+    c_admission_rejected_ = &m->counter(n("session.admission_rejected"));
+    c_shed_ = &m->counter(n("session.shed"));
+    c_slots_reused_ = &m->counter(n("session.slots_reused"));
+    c_blocks_ = &m->counter(n("service.blocks"));
+    c_blocks_dropped_ = &m->counter(n("session.blocks_dropped"));
+    c_blocks_expired_ = &m->counter(n("session.blocks_expired"));
+    c_packets_emitted_ = &m->counter(n("reader.packets_emitted"));
+    c_packets_dropped_ = &m->counter(n("reader.packets_dropped"));
+    h_block_ms_ = &m->histogram(n("service.block_ms"), 0.0, 50.0, 250);
     h_stage_wait_ms_ =
-        &m->histogram("service.stage.dispatch_wait_ms", 0.0, 50.0, 250);
+        &m->histogram(n("service.stage.dispatch_wait_ms"), 0.0, 50.0, 250);
     h_stage_process_ms_ =
-        &m->histogram("service.stage.process_ms", 0.0, 50.0, 250);
-    h_stage_emit_ms_ = &m->histogram("service.stage.emit_ms", 0.0, 5.0, 250);
+        &m->histogram(n("service.stage.process_ms"), 0.0, 50.0, 250);
+    h_stage_emit_ms_ =
+        &m->histogram(n("service.stage.emit_ms"), 0.0, 5.0, 250);
   }
 }
 

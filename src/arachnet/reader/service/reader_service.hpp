@@ -5,6 +5,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -74,6 +75,10 @@ class ReaderService {
     /// Optional registry (must outlive the service): `session.*` fleet
     /// counters, `service.*` latency/depth instruments.
     telemetry::MetricsRegistry* metrics = nullptr;
+    /// Per-instance metric-name prefix (e.g. "svc1.") so several services
+    /// can share one registry without their instruments silently summing.
+    /// Empty (the default) keeps the historical unscoped names.
+    std::string metrics_scope;
   };
 
   /// Service-wide counters.

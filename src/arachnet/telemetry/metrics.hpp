@@ -152,4 +152,22 @@ class MetricsRegistry {
 /// (benches and examples mostly pass their own registry explicitly).
 MetricsRegistry& global_registry();
 
+/// Applies an instance scope prefix to a metric name: scoped_name("r3.",
+/// "reader.blocks") == "r3.reader.blocks"; an empty scope returns the name
+/// unchanged, so unscoped (single-instance) metric names stay exactly as
+/// they always were. Components that may be instantiated several times
+/// against one shared registry (RealtimeReader, ReaderService, FdmaRxChain,
+/// the fleet engine's per-reader shards) take a `metrics_scope` parameter
+/// and register every instrument through this helper — without it, two
+/// instances silently resolve the same name to one counter and their
+/// totals sum indistinguishably.
+inline std::string scoped_name(std::string_view scope,
+                               std::string_view name) {
+  std::string s;
+  s.reserve(scope.size() + name.size());
+  s.append(scope);
+  s.append(name);
+  return s;
+}
+
 }  // namespace arachnet::telemetry

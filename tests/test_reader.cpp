@@ -3,15 +3,20 @@
 // back-to-back packets, and IQ-cluster collision detection.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "arachnet/acoustic/waveform_channel.hpp"
 #include "arachnet/phy/fm0.hpp"
 #include "arachnet/phy/packet.hpp"
+#include "arachnet/reader/fdma_rx.hpp"
 #include "arachnet/reader/fm0_stream_decoder.hpp"
+#include "arachnet/reader/realtime_reader.hpp"
 #include "arachnet/reader/rx_chain.hpp"
 #include "arachnet/sim/rng.hpp"
+#include "arachnet/telemetry/metrics.hpp"
 
 namespace {
 
@@ -280,6 +285,91 @@ TEST(RxChain, AmbientVehicleVibrationDoesNotBreakDecoding) {
     }
   }
   EXPECT_GE(decoded, 4);
+}
+
+// ------------------------------------------------ FdmaRxChain reentrancy
+
+TEST(FdmaRx, AddChannelWhileProcessingThrows) {
+  // The fleet planner re-assigns channels at runtime; an add_channel()
+  // racing a process() call must fail loudly (std::logic_error) instead of
+  // corrupting the channel list mid-fan-out. The guard is an always-on
+  // atomic flag — this holds in release builds too.
+  reader::FdmaRxChain::Params fp;
+  fp.ddc.decimation = 8;
+  fp.workers = 1;
+  fp.channels = {{3000.0}, {4500.0}};
+  fp.max_subcarrier_hz = 9000.0;  // headroom for the post-join add
+  reader::FdmaRxChain bank{fp};
+
+  // ~16 s of silence at 500 kS/s: a multi-second process() window, so the
+  // in-flight check below races a microsecond gap against seconds of work.
+  const std::vector<double> block(static_cast<std::size_t>(1) << 23, 0.0);
+  std::thread worker([&] { bank.process(block); });
+  bool saw_inflight = false;
+  for (int spin = 0; spin < 200000; ++spin) {
+    if (bank.processing_now()) {
+      saw_inflight = true;
+      break;
+    }
+    std::this_thread::yield();
+  }
+  ASSERT_TRUE(saw_inflight) << "process() never observed in flight";
+  EXPECT_THROW(bank.add_channel({6000.0}), std::logic_error);
+  worker.join();
+
+  // Once the processing thread retires, the same call succeeds and the
+  // bank keeps working.
+  EXPECT_FALSE(bank.processing_now());
+  EXPECT_NO_THROW(bank.add_channel({6000.0}));
+  EXPECT_EQ(bank.channel_count(), 3u);
+  bank.process(block.data(), 12500);
+}
+
+// --------------------------------------------------- per-instance scopes
+
+TEST(RealtimeReaderScope, TwoReadersShareOneRegistryWithoutColliding) {
+  telemetry::MetricsRegistry registry;
+  reader::RealtimeReader::Params p0;
+  p0.metrics = &registry;
+  p0.metrics_scope = "r0.";
+  reader::RealtimeReader r0{p0};
+  reader::RealtimeReader::Params p1;
+  p1.metrics = &registry;
+  p1.metrics_scope = "r1.";
+  reader::RealtimeReader r1{p1};
+  r0.start();
+  r1.start();
+
+  Rng rng{7};
+  UplinkWaveformSynth synth{UplinkWaveformSynth::Params{}};
+  const UlPacket pkt{.tid = 9, .payload = 0x5C3};
+  BackscatterSource src;
+  src.chips = Fm0Encoder::encode_frame(pkt.serialize());
+  src.chip_rate = 375.0;
+  src.start_s = 0.03;
+  src.amplitude = 0.2;
+  src.phase_rad = 1.2;
+  const auto wave = synth.synthesize({src}, 0.35, rng);
+
+  // Only r0 sees traffic; r1 stays idle on the same registry.
+  constexpr std::size_t kBlock = 12500;
+  std::size_t blocks = 0;
+  for (std::size_t off = 0; off < wave.size(); off += kBlock, ++blocks) {
+    const std::size_t len = std::min(kBlock, wave.size() - off);
+    ASSERT_TRUE(r0.submit({wave.begin() + off, wave.begin() + off + len}));
+  }
+  r0.stop();
+  r1.stop();
+
+  std::size_t fetched = 0;
+  while (r0.poll_packet()) ++fetched;
+  ASSERT_GT(fetched, 0u);
+  EXPECT_EQ(registry.counter("r0.reader.packets_emitted").value(), fetched);
+  EXPECT_EQ(registry.counter("r0.reader.blocks").value(), blocks);
+  EXPECT_EQ(registry.counter("r1.reader.packets_emitted").value(), 0u);
+  EXPECT_EQ(registry.counter("r1.reader.blocks").value(), 0u);
+  // The unscoped historical name is untouched by scoped instances.
+  EXPECT_EQ(registry.counter("reader.blocks").value(), 0u);
 }
 
 }  // namespace

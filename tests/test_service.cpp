@@ -479,4 +479,35 @@ TEST(ReaderService, PerSessionInFlightCapDropsExcess) {
   EXPECT_EQ(svc.session_stats(*id)->blocks_processed, 2u);
 }
 
+TEST(ReaderService, ScopedServicesShareOneRegistryWithoutColliding) {
+  // A fleet host runs one ReaderService per reader against a single
+  // registry; metrics_scope keeps every instance's rows distinct while an
+  // unscoped instance keeps the historical names.
+  telemetry::MetricsRegistry registry;
+  ReaderService::Params p0;
+  p0.workers = 1;
+  p0.metrics = &registry;
+  p0.metrics_scope = "r0.";
+  ReaderService s0{p0};
+  ReaderService::Params p1;
+  p1.workers = 1;
+  p1.metrics = &registry;
+  p1.metrics_scope = "r1.";
+  ReaderService s1{p1};
+  s0.start();
+  s1.start();
+
+  const auto id = s0.open_session({});
+  ASSERT_TRUE(id.has_value());
+  EXPECT_TRUE(s0.submit(*id, std::vector<double>(16, 0.0)));
+  EXPECT_TRUE(s0.submit(*id, std::vector<double>(16, 0.0)));
+  s0.stop();
+  s1.stop();
+
+  EXPECT_EQ(registry.counter("r0.service.blocks").value(), 2u);
+  EXPECT_EQ(registry.counter("r1.service.blocks").value(), 0u);
+  EXPECT_EQ(registry.counter("service.blocks").value(), 0u)
+      << "scoped instances must not leak into the unscoped name";
+}
+
 }  // namespace

@@ -444,3 +444,23 @@ TEST(TelemetryParity, RealtimeReaderPublishesQueueAndPacketMetrics) {
   ASSERT_NE(hist, snap.histograms.end());
   EXPECT_EQ(hist->count, blocks);
 }
+
+// ------------------------------------------------------------ scoping
+
+TEST(Metrics, ScopedNamePrefixesOnlyWhenScopeSet) {
+  EXPECT_EQ(scoped_name("", "reader.blocks"), "reader.blocks");
+  EXPECT_EQ(scoped_name("r0.", "reader.blocks"), "r0.reader.blocks");
+  EXPECT_EQ(scoped_name("fleet.", "bus.depth"), "fleet.bus.depth");
+}
+
+TEST(Metrics, ScopedInstancesShareRegistryWithoutColliding) {
+  // Two instruments that differ only by scope are distinct rows; the
+  // unscoped name keeps its historical identity.
+  MetricsRegistry reg;
+  reg.counter(scoped_name("r0.", "reader.blocks")).add(3);
+  reg.counter(scoped_name("r1.", "reader.blocks")).add(5);
+  reg.counter("reader.blocks").add(7);
+  EXPECT_EQ(reg.counter("r0.reader.blocks").value(), 3u);
+  EXPECT_EQ(reg.counter("r1.reader.blocks").value(), 5u);
+  EXPECT_EQ(reg.counter("reader.blocks").value(), 7u);
+}
