@@ -22,6 +22,7 @@
 #include "arachnet/reader/pam4_rx.hpp"
 #include "arachnet/reader/rx_chain.hpp"
 #include "arachnet/sim/stats.hpp"
+#include "arachnet/telemetry/counting_alloc.hpp"
 
 #include "bench_report.hpp"
 
@@ -228,8 +229,10 @@ int main(int argc, char** argv) {
   std::printf("=== Extension 1c: FDMA Channelizer Bank Scaling ===\n\n");
   {
     using Bank = reader::FdmaRxChain::BankPolicy;
-    std::printf("%9s %17s %19s %9s %7s\n", "channels", "per-chan (MS/s)",
-                "channelizer (MS/s)", "speedup", "parity");
+    using Fold = dsp::PolyphaseChannelizer::Params::Fold;
+    std::printf("%9s %17s %19s %9s %7s %12s %12s %9s\n", "channels",
+                "per-chan (MS/s)", "channelizer (MS/s)", "speedup", "parity",
+                "f64 (MS/s)", "f32 (MS/s)", "f32 gain");
     for (int n : channel_counts) {
       // Uniform grid from 3375 Hz: odd subcarrier harmonics land 750 Hz
       // off-channel, so decode success does not depend on which bank's
@@ -255,33 +258,54 @@ int main(int argc, char** argv) {
         srcs.push_back(s);
       }
       const auto wave = synth.synthesize(srcs, 0.3, rng);
-      const auto make = [&](Bank bank) {
+      const auto make = [&](Bank bank, dsp::KernelPolicy kernels,
+                            Fold fold) {
         reader::FdmaRxChain::Params fp;
         // 32 channels top out near 50 kHz and need the 125 kS/s
         // (decimation-4) IQ rate; up to 16 fit the usual 62.5 kS/s bank.
         fp.ddc.decimation = n > 16 ? 4 : 8;
         fp.workers = 1;  // the bank DSP itself, not the thread pool
-        fp.kernels = dsp::KernelPolicy::kBlock;
+        fp.kernels = kernels;
         fp.bank = bank;
+        fp.chzr_fold = fold;
         for (double hz : freqs) fp.channels.push_back({hz});
         return fp;
       };
-      reader::FdmaRxChain pc_bank{make(Bank::kPerChannel)};
-      reader::FdmaRxChain cz_bank{make(Bank::kChannelizer)};
+      reader::FdmaRxChain pc_bank{
+          make(Bank::kPerChannel, dsp::KernelPolicy::kBlock, Fold::kAuto)};
+      reader::FdmaRxChain cz_bank{
+          make(Bank::kChannelizer, dsp::KernelPolicy::kBlock, Fold::kAuto)};
+      // The kSimd channelizer with the fold pinned to float64 vs left on
+      // the float32 fast path: same bank structure, the delta is purely
+      // the single-precision frontend (gated >= 1.3x at 16/32 channels
+      // by ci/check_kernel_bench.py).
+      reader::FdmaRxChain f64_bank{make(
+          Bank::kChannelizer, dsp::KernelPolicy::kSimd, Fold::kFloat64)};
+      reader::FdmaRxChain f32_bank{
+          make(Bank::kChannelizer, dsp::KernelPolicy::kSimd, Fold::kAuto)};
       const int reps = n >= 32 ? 1 : 3;
       const std::vector<std::vector<double>> blocks(
           static_cast<std::size_t>(reps), wave);
       const double pc_s = run_bank(pc_bank, blocks, nullptr);
       const double cz_s = run_bank(cz_bank, blocks, nullptr);
+      const double f64_s = run_bank(f64_bank, blocks, nullptr);
+      const double f32_s = run_bank(f32_bank, blocks, nullptr);
       bool parity = cz_bank.active_bank() == Bank::kChannelizer;
       for (std::size_t c = 0; c < pc_bank.channel_count(); ++c) {
         parity = parity && pc_bank.packets(c) == cz_bank.packets(c);
       }
+      // The float32 fold must keep the kSimd packet contract: identical
+      // packet sets against the float64 fold on every channel.
+      bool f32_parity = f32_bank.active_bank() == Bank::kChannelizer;
+      for (std::size_t c = 0; c < f64_bank.channel_count(); ++c) {
+        f32_parity = f32_parity && f64_bank.packets(c) == f32_bank.packets(c);
+      }
       const double total =
           static_cast<double>(wave.size()) * static_cast<double>(reps);
-      std::printf("%9d %17.2f %19.2f %8.2fx %7s\n", n, total / pc_s / 1e6,
-                  total / cz_s / 1e6, pc_s / cz_s,
-                  parity ? "ok" : "DIFFER");
+      std::printf("%9d %17.2f %19.2f %8.2fx %7s %12.2f %12.2f %8.2fx\n", n,
+                  total / pc_s / 1e6, total / cz_s / 1e6, pc_s / cz_s,
+                  parity && f32_parity ? "ok" : "DIFFER",
+                  total / f64_s / 1e6, total / f32_s / 1e6, f64_s / f32_s);
       char name[64];
       std::snprintf(name, sizeof(name),
                     "fdma.bank.%d.per_channel_samples_per_s", n);
@@ -296,8 +320,82 @@ int main(int argc, char** argv) {
       std::snprintf(name, sizeof(name), "fdma.bank.%d.channelized", n);
       report.counter(name,
                      cz_bank.active_bank() == Bank::kChannelizer ? 1u : 0u);
+      std::snprintf(name, sizeof(name),
+                    "fdma.bank.%d.chzr_f64_samples_per_s", n);
+      report.metric(name, total / f64_s, "S/s");
+      std::snprintf(name, sizeof(name),
+                    "fdma.bank.%d.chzr_f32_samples_per_s", n);
+      report.metric(name, total / f32_s, "S/s");
+      std::snprintf(name, sizeof(name), "fdma.bank.%d.chzr_f32_speedup_x",
+                    n);
+      report.metric(name, f64_s / f32_s);
+      std::snprintf(name, sizeof(name), "fdma.bank.%d.chzr_f32_parity", n);
+      report.counter(name, f32_parity ? 1u : 0u);
     }
     std::printf("\n");
+  }
+
+  // --------------------------------------------- steady-state allocation
+  std::printf("=== Extension 1d: Steady-State Allocation Audit ===\n\n");
+  {
+    // The allocation-free contract on the hot decode loop (DESIGN.md
+    // Sec. 11): after one warm-up pass over the capture, re-processing
+    // the identical block schedule must not touch the heap at all.
+    // Gated == 0 by ci/check_alloc_gate.py.
+    reader::FdmaRxChain::Params fp;
+    fp.ddc.decimation = 8;
+    fp.workers = 1;
+    fp.kernels = dsp::KernelPolicy::kSimd;
+    fp.bank = reader::FdmaRxChain::BankPolicy::kChannelizer;
+    for (int k = 0; k < 4; ++k) fp.channels.push_back({3375.0 + 1500.0 * k});
+    reader::FdmaRxChain chain{fp};
+    sim::Rng rng{101};
+    acoustic::UplinkWaveformSynth synth{
+        acoustic::UplinkWaveformSynth::Params{}};
+    std::vector<acoustic::BackscatterSource> srcs;
+    for (int k = 0; k < 4; ++k) {
+      const phy::UlPacket pkt{.tid = static_cast<std::uint8_t>(k + 1),
+                              .payload =
+                                  static_cast<std::uint16_t>(0x500 + k)};
+      phy::SubcarrierModulator mod{{375.0, 3375.0 + 1500.0 * k}};
+      acoustic::BackscatterSource s;
+      s.chips =
+          mod.modulate(phy::Fm0Encoder::encode_frame(pkt.serialize()));
+      s.chip_rate = mod.subchip_rate();
+      s.start_s = 0.03;
+      s.amplitude = 0.18 + 0.01 * k;
+      s.phase_rad = 0.5 + 0.4 * k;
+      srcs.push_back(s);
+    }
+    const auto wave = synth.synthesize(srcs, 0.3, rng);
+    constexpr std::size_t kBlock = 10000;  // 20 ms DAQ blocks
+    std::vector<reader::RxPacket> drained;
+    const auto pass = [&]() {
+      std::size_t packets = 0;
+      for (std::size_t off = 0; off < wave.size(); off += kBlock) {
+        chain.process(wave.data() + off,
+                      std::min(kBlock, wave.size() - off));
+        packets += chain.drain_packets(drained);
+      }
+      return packets;
+    };
+    telemetry::CountingAllocatorGuard warm_guard;
+    const std::size_t warm_packets = pass();
+    const std::uint64_t warmup_count = warm_guard.allocations();
+    telemetry::CountingAllocatorGuard steady_guard;
+    const std::size_t steady_packets = pass();
+    const std::uint64_t steady_count = steady_guard.allocations();
+    std::printf("4-channel channelizer bank, %zu-sample blocks:\n", kBlock);
+    std::printf("  warm-up pass       %6llu allocations (%zu packets)\n",
+                static_cast<unsigned long long>(warmup_count),
+                warm_packets);
+    std::printf("  steady-state pass  %6llu allocations (%zu packets)\n\n",
+                static_cast<unsigned long long>(steady_count),
+                steady_packets);
+    report.counter("alloc.warmup_count", warmup_count);
+    report.counter("alloc.steady_state_count", steady_count);
+    report.counter("alloc.steady_state_packets",
+                   static_cast<std::uint64_t>(steady_packets));
   }
 
   // ---------------------------------------------------------------- PAM4

@@ -33,6 +33,7 @@
 #include "arachnet/phy/fm0.hpp"
 #include "arachnet/reader/service/reader_service.hpp"
 #include "arachnet/reader/service/service_health.hpp"
+#include "arachnet/telemetry/counting_alloc.hpp"
 #include "arachnet/telemetry/metrics.hpp"
 #include "arachnet/telemetry/monitor.hpp"
 
@@ -420,6 +421,48 @@ int main(int argc, char** argv) {
   report.metric("soak.monitor.off_samples_per_s", rate_off, "S/s");
   report.metric("soak.monitor.on_samples_per_s", rate_on, "S/s");
   report.metric("soak.monitor.overhead_pct", overhead_pct, "%");
+
+  // ------------------------------------------------------------ phase 3
+  // Steady-state allocation audit on the session loop (DESIGN.md Sec.
+  // 11): with the monitor off and the fleet quiescent, stream one
+  // session's paced schedule twice — the soak above is the warm-up for
+  // everything process-wide, so the measured pass must not allocate.
+  // Gated == 0 by ci/check_alloc_gate.py.
+  {
+    const auto id = ids.front();
+    const auto stream_once = [&]() {
+      std::uint64_t processed = svc.session_stats(id)->blocks_processed;
+      std::size_t off_b = 0;
+      for (int b = 0; b < 8; ++b) {
+        auto blk = svc.acquire_block(id);
+        const auto* src = wave.data() + off_b * kBlockSamples;
+        blk.assign(src, src + kBlockSamples);
+        off_b = (off_b + 1) % (wave.size() / kBlockSamples);
+        if (!svc.submit(id, std::move(blk))) continue;
+        ++processed;
+        // Wait each block out so the dispatch queue stays at the depth
+        // the warm-up established (its node free list covers it).
+        while (svc.session_stats(id)->blocks_processed < processed) {
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+        while (svc.poll_packet(id).has_value()) {
+        }
+      }
+    };
+    telemetry::CountingAllocatorGuard warm_guard;
+    stream_once();
+    const std::uint64_t warmup_count = warm_guard.allocations();
+    telemetry::CountingAllocatorGuard steady_guard;
+    stream_once();
+    const std::uint64_t steady_count = steady_guard.allocations();
+    std::printf("steady-state allocation audit (8 paced blocks/pass):\n");
+    std::printf("  warm-up pass       %6llu allocations\n",
+                static_cast<unsigned long long>(warmup_count));
+    std::printf("  steady-state pass  %6llu allocations\n\n",
+                static_cast<unsigned long long>(steady_count));
+    report.counter("alloc.warmup_count", warmup_count);
+    report.counter("alloc.steady_state_count", steady_count);
+  }
 
   for (const auto id : ids) svc.close_session(id);
   svc.stop();

@@ -17,9 +17,18 @@ Asserts the kernel-tier invariants the DSP layer promises:
      the portable fallback promises correctness, not speed.
   3. provenance — the sidecar must carry kernel.policy and kernel.isa
      info rows so the numbers are attributable to the configuration
-     that produced them.
+     that produced them; when kernel.cpu shows avx512f+avx512vl+fma,
+     kernel.isa must actually be avx512 (the top tier dispatched, not
+     silently degraded). On hardware without AVX-512 this check is
+     skipped, not failed.
+  4. float32 fold — when a BENCH_ext_throughput.json sidecar is also
+     supplied, its fdma.bank.<n>.chzr_f32_* rows gate the float32
+     channelizer fast path: packet parity against the float64 fold at
+     every width, at least break-even at >= 8 channels, and >= 1.3x at
+     16 and 32 channels (the ROADMAP item-3 headroom this tier exists
+     to close).
 
-Usage: check_kernel_bench.py path/to/BENCH_micro_dsp.json
+Usage: check_kernel_bench.py BENCH_micro_dsp.json [BENCH_ext_throughput.json ...]
 """
 
 import json
@@ -47,21 +56,24 @@ INFO_ROWS = ["kernel.policy", "kernel.isa"]
 
 
 def main() -> int:
-    if len(sys.argv) != 2:
+    if len(sys.argv) < 2:
         print(__doc__, file=sys.stderr)
         return 2
 
     metrics = {}
-    with open(sys.argv[1]) as f:
-        for line in f:
-            line = line.strip()
-            if not line:
-                continue
-            rec = json.loads(line)
-            if rec.get("schema") != "arachnet.bench.v1":
-                print(f"unexpected schema in record: {rec}", file=sys.stderr)
-                return 2
-            metrics[rec["name"]] = rec["value"]
+    for path in sys.argv[1:]:
+        with open(path) as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                rec = json.loads(line)
+                if rec.get("schema") != "arachnet.bench.v1":
+                    print(f"unexpected schema in record: {rec}",
+                          file=sys.stderr)
+                    return 2
+                if "value" in rec:  # histograms/percentiles carry none
+                    metrics[rec["name"]] = rec["value"]
 
     failed = False
 
@@ -70,10 +82,25 @@ def main() -> int:
             print(f"::error::sidecar missing {row} info row")
             failed = True
     isa = metrics.get("kernel.isa", "generic")
+    cpu = str(metrics.get("kernel.cpu", ""))
     print(
         f"kernel.policy={metrics.get('kernel.policy')} kernel.isa={isa} "
-        f"kernel.cpu={metrics.get('kernel.cpu')}"
+        f"kernel.cpu={cpu}"
     )
+
+    # AVX-512 provenance: on hardware that has the full avx512 feature
+    # set the top tier must have dispatched — a silent degrade to avx2
+    # would quietly void every simd speed number below. Skip (not fail)
+    # when the runner simply lacks AVX-512.
+    if {"avx512f", "avx512vl", "fma"} <= set(cpu.split("+")):
+        if isa != "avx512":
+            print(
+                f"::error::CPU supports avx512 ({cpu}) but kernel.isa="
+                f"{isa} — the avx512 tier did not dispatch"
+            )
+            failed = True
+    else:
+        print(f"notice: CPU lacks AVX-512 ({cpu}) — provenance check skipped")
 
     for row in PARITY_ROWS:
         parity = metrics.get(row)
@@ -113,6 +140,35 @@ def main() -> int:
         print("notice: kernel.isa=generic — skipping block->simd speed gate")
     else:
         check_pairs(BLOCK_SIMD_PAIRS, "block", "simd")
+
+    # Float32 channelizer fold (rows come from BENCH_ext_throughput.json
+    # when supplied): parity always, break-even from 8 channels, and the
+    # 1.3x acceptance floor at the 16/32-channel wideband widths.
+    f32_widths = [
+        n for n in (4, 8, 16, 32)
+        if f"fdma.bank.{n}.chzr_f32_speedup_x" in metrics
+    ]
+    if not f32_widths:
+        print("notice: no chzr_f32 rows supplied — skipping float32 fold "
+              "gate")
+    for n in f32_widths:
+        speedup = metrics[f"fdma.bank.{n}.chzr_f32_speedup_x"]
+        parity = metrics.get(f"fdma.bank.{n}.chzr_f32_parity")
+        print(f"chzr f32 fold {n:>2} channels: {speedup:.2f}x "
+              f"(parity={parity})")
+        if parity != 1:
+            print(f"::error::float32 fold decoded different packets than "
+                  f"float64 at {n} channels (parity={parity})")
+            failed = True
+        if n >= 8 and speedup < 1.0:
+            print(f"::error::float32 fold slower than float64 at {n} "
+                  f"channels ({speedup:.2f}x)")
+            failed = True
+        if n >= 16 and speedup < 1.3:
+            print(f"::error::float32 fold under 1.3x at {n} channels "
+                  f"({speedup:.2f}x)")
+            failed = True
+
     return 1 if failed else 0
 
 

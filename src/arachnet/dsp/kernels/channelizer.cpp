@@ -118,6 +118,17 @@ PolyphaseChannelizer::PolyphaseChannelizer(Params params)
   }
   work_.assign(scaled_proto_.size() - 1, cplx{});
   spec_.resize(params_.fft_size);
+  use_f32_ = params_.kernels == KernelPolicy::kSimd &&
+             params_.fold == Params::Fold::kAuto;
+  if (use_f32_) {
+    proto_f_.resize(2 * scaled_proto_.size());
+    for (std::size_t m = 0; m < scaled_proto_.size(); ++m) {
+      proto_f_[2 * m] = static_cast<float>(scaled_proto_[m]);
+      proto_f_[2 * m + 1] = proto_f_[2 * m];
+    }
+    work_f_.assign(2 * (scaled_proto_.size() - 1), 0.0f);
+    spec_f_.resize(2 * params_.fft_size);
+  }
   const std::vector<double> centers = std::move(params_.center_hz);
   params_.center_hz.clear();
   for (double hz : centers) add_lane(hz);
@@ -140,8 +151,19 @@ void PolyphaseChannelizer::seed_lane_nco(double center_hz) {
   const double d = static_cast<double>(params_.decimation);
   const double t_next =
       (static_cast<double>(frames_produced_) + 1.0) * d - 1.0;
-  lane_nco_.emplace_back(-std::fmod(w * t_next, kTwoPi),
-                         -std::fmod(w * d, kTwoPi));
+  const double phase0 = -std::fmod(w * t_next, kTwoPi);
+  const double step = -std::fmod(w * d, kTwoPi);
+  lane_nco_.emplace_back(phase0, step);
+  // Float32 twin, seeded from the same double phase (kept in sync even
+  // when the float path is inactive so Params carry no mode coupling).
+  LaneF32 lf;
+  lf.phase = phase0;
+  lf.step = step;
+  lf.re = static_cast<float>(std::cos(phase0));
+  lf.im = static_cast<float>(std::sin(phase0));
+  lf.rre = static_cast<float>(std::cos(step));
+  lf.rim = static_cast<float>(std::sin(step));
+  lane_f32_.push_back(lf);
 }
 
 std::size_t PolyphaseChannelizer::add_lane(double center_hz) {
@@ -158,6 +180,7 @@ std::size_t PolyphaseChannelizer::add_lane(double center_hz) {
 }
 
 std::size_t PolyphaseChannelizer::process(const cplx* in, std::size_t n) {
+  if (use_f32_) return process_f32(in, n);
   const std::size_t taps = scaled_proto_.size();
   const std::size_t fft_size = params_.fft_size;
   const std::size_t decim = params_.decimation;
@@ -204,6 +227,62 @@ std::size_t PolyphaseChannelizer::process(const cplx* in, std::size_t n) {
   std::copy(work_.end() - static_cast<std::ptrdiff_t>(taps - 1),
             work_.end(), work_.begin());
   work_.resize(taps - 1);
+  last_frames_ = count;
+  frames_produced_ += count;
+  return count;
+}
+
+std::size_t PolyphaseChannelizer::process_f32(const cplx* in, std::size_t n) {
+  const std::size_t taps = scaled_proto_.size();
+  const std::size_t fft_size = params_.fft_size;
+  const std::size_t decim = params_.decimation;
+  // Interleaved float32 mirror of the window: history (taps-1 samples)
+  // already sits at the front; narrow the new block in behind it.
+  work_f_.resize(2 * (taps - 1 + n));
+  float* wf = work_f_.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    wf[2 * (taps - 1 + i)] = static_cast<float>(in[i].real());
+    wf[2 * (taps - 1 + i) + 1] = static_cast<float>(in[i].imag());
+  }
+  const std::size_t count = (phase_ + n) / decim;
+  for (auto& lane : lanes_) lane.resize(count);
+  const float* hd = proto_f_.data();
+  float* v = spec_f_.data();
+  auto* vc = reinterpret_cast<std::complex<float>*>(spec_f_.data());
+  const auto& kt = simd::kernels();
+  std::size_t f = 0;
+  // Same frame grid as the float64 path (identical phase arithmetic), so
+  // frame timestamps are bit-identical across fold precisions.
+  for (std::size_t i = decim - 1 - phase_; i < n; i += decim, ++f) {
+    kt.chzr_fold_cf32(wf + 2 * i, hd, taps, fft_size, v);
+    fft_->inverse_f(vc);
+    for (std::size_t k = 0; k < lane_f32_.size(); ++k) {
+      LaneF32& c = lane_f32_[k];
+      const float br = v[2 * bins_[k]];
+      const float bi = v[2 * bins_[k] + 1];
+      lanes_[k][f] = cplx{static_cast<double>(br * c.re - bi * c.im),
+                          static_cast<double>(br * c.im + bi * c.re)};
+      const float nre = c.re * c.rre - c.im * c.rim;
+      const float nim = c.re * c.rim + c.im * c.rre;
+      c.re = nre;
+      c.im = nim;
+      c.phase += c.step;
+    }
+    if (--f32_reseed_left_ == 0) {
+      // Chunk boundary (SimdNco idiom): fold the accumulated float32
+      // phase/magnitude drift back to the double master.
+      f32_reseed_left_ = kF32ReseedFrames;
+      for (LaneF32& c : lane_f32_) {
+        c.phase = std::fmod(c.phase, kTwoPi);
+        c.re = static_cast<float>(std::cos(c.phase));
+        c.im = static_cast<float>(std::sin(c.phase));
+      }
+    }
+  }
+  phase_ = (phase_ + n) % decim;
+  std::copy(work_f_.end() - static_cast<std::ptrdiff_t>(2 * (taps - 1)),
+            work_f_.end(), work_f_.begin());
+  work_f_.resize(2 * (taps - 1));
   last_frames_ = count;
   frames_produced_ += count;
   return count;

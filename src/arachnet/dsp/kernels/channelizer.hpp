@@ -65,12 +65,21 @@ class PolyphaseChannelizer {
     /// Per-lane center frequencies in Hz. Each maps to its nearest bin;
     /// bins must be distinct and inside (0, fs/2).
     std::vector<double> center_hz;
-    /// Under kSimd the branch fold runs through the ISA-dispatched
-    /// vector kernel (still float64 — the lane rate leaves the decision
-    /// chain its thinnest margins, so the fold keeps double precision);
-    /// other policies use the portable scalar fold. Lane outputs agree
-    /// to rounding tolerance.
+    /// Under kSimd the frontend runs the single-precision fast path by
+    /// default: the branch fold, the inverse FFT and the residual lane
+    /// rotation all run in float32 through the ISA-dispatched vector
+    /// kernels (partial sums in float32, accumulator combines in double,
+    /// lane phasors reseeded from double masters every 4096 frames — the
+    /// SimdNco chunk idiom). Other policies use the portable scalar
+    /// float64 fold. Lane outputs agree to float32 tolerance; decoded
+    /// packets are bit-identical (see DESIGN.md §7 precision analysis).
     KernelPolicy kernels = default_kernel_policy();
+    /// Fold precision under kSimd. kAuto selects the float32 fast path
+    /// above; kFloat64 pins the vectorized float64 fold + float64 FFT —
+    /// benches use it as the f32-vs-f64 speedup baseline and it remains
+    /// the output-precision reference. Ignored outside kSimd.
+    enum class Fold { kAuto, kFloat64 };
+    Fold fold = Fold::kAuto;
   };
 
   /// Auto-planner output for a subcarrier bank (see plan()).
@@ -138,9 +147,26 @@ class PolyphaseChannelizer {
   std::size_t phase() const noexcept { return phase_; }
   /// Total frames produced since construction (the lane-sample clock).
   std::uint64_t frames_produced() const noexcept { return frames_produced_; }
+  /// True when process() runs the float32 fast path (kSimd + Fold::kAuto).
+  bool float32_path() const noexcept { return use_f32_; }
 
  private:
+  /// Per-lane float32 residual phasor: `re/im` rotate by `rre/rim` each
+  /// frame; `phase` is the double master (phase of the *next* frame),
+  /// advanced alongside and used to recompute re/im at reseed points so
+  /// float32 drift never spans more than kF32ReseedFrames frames.
+  struct LaneF32 {
+    double phase = 0.0;
+    double step = 0.0;
+    float re = 1.0f;
+    float im = 0.0f;
+    float rre = 1.0f;
+    float rim = 0.0f;
+  };
+  static constexpr std::size_t kF32ReseedFrames = 4096;
+
   void seed_lane_nco(double center_hz);
+  std::size_t process_f32(const cplx* in, std::size_t n);
 
   Params params_;
   std::shared_ptr<const FftPlan> fft_;
@@ -151,6 +177,16 @@ class PolyphaseChannelizer {
   std::vector<std::vector<cplx>> lanes_;
   std::vector<cplx> work_;  ///< history (L-1 samples) + current block
   std::vector<cplx> spec_;  ///< size C: branch sums, FFT'd in place
+  // Float32 fast path (engaged when use_f32_): duplicated float32
+  // prototype, interleaved float32 window mirror (replaces work_), branch
+  // scratch, and the per-lane phasors. lane_nco_ stays seeded in parallel
+  // so the two paths share add_lane()/frame-clock semantics.
+  bool use_f32_ = false;
+  std::vector<float> proto_f_;    ///< scaled_proto_ duplicated elementwise
+  std::vector<float> work_f_;     ///< interleaved history + current block
+  std::vector<float> spec_f_;     ///< 2*C floats: branch sums, FFT scratch
+  std::vector<LaneF32> lane_f32_;
+  std::size_t f32_reseed_left_ = kF32ReseedFrames;
   std::size_t phase_ = 0;
   std::size_t last_frames_ = 0;
   std::uint64_t frames_produced_ = 0;

@@ -7,6 +7,7 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "arachnet/dsp/kernels/simd/simd_kernels.hpp"
 #include "arachnet/dsp/kernels/simd/vec.hpp"
 
 namespace arachnet::dsp {
@@ -34,6 +35,17 @@ FftPlan::FftPlan(std::size_t n) : n_(n) {
         -2.0 * std::numbers::pi * static_cast<double>(k) /
         static_cast<double>(n);
     twiddle_[k] = cplx{std::cos(angle), std::sin(angle)};
+  }
+  if (n >= 2) {
+    stage_tw_f_.resize(2 * (n - 1));
+    for (std::size_t half = 1; half < n; half <<= 1) {
+      const std::size_t stride = n / (2 * half);
+      float* st = stage_tw_f_.data() + 2 * (half - 1);
+      for (std::size_t k = 0; k < half; ++k) {
+        st[2 * k] = static_cast<float>(twiddle_[k * stride].real());
+        st[2 * k + 1] = static_cast<float>(twiddle_[k * stride].imag());
+      }
+    }
   }
 }
 
@@ -90,6 +102,17 @@ void FftPlan::transform(cplx* data, bool inverse) const noexcept {
     const double scale = 1.0 / static_cast<double>(n);
     for (std::size_t i = 0; i < n; ++i) data[i] *= scale;
   }
+}
+
+void FftPlan::transform_f(std::complex<float>* data,
+                          bool inverse) const noexcept {
+  // The float32 butterflies live in the ISA-dispatched kernel table so
+  // they compile once per tier (AVX2/AVX-512 encodings included); this
+  // wrapper supplies the plan's tables.
+  simd::kernels().fft_radix2_cf32(
+      reinterpret_cast<float*>(data), n_, bitrev_.data(),
+      stage_tw_f_.data(), inverse ? -1.0f : 1.0f,
+      inverse ? 1.0f / static_cast<float>(n_) : 1.0f);
 }
 
 void FftPlan::forward(std::vector<cplx>& data) const {

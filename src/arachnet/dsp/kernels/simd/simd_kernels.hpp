@@ -26,7 +26,8 @@ namespace arachnet::dsp::simd {
 ///     window with re in even lanes and im in odd lanes. Lane partials
 ///     are accumulated in float32 and horizontally summed in double.
 struct KernelTable {
-  const char* isa;  ///< "generic", "neon" or "avx2" (matches cpu_dispatch)
+  /// "generic", "neon", "avx2" or "avx512" (matches cpu_dispatch).
+  const char* isa;
 
   /// out[k] = in[k] * lane phasor, real input. Lanes advance by
   /// (rre,rim) every 8 samples; the tail (n % 8) uses the current lane
@@ -51,11 +52,39 @@ struct KernelTable {
                          std::size_t first, std::size_t decim,
                          std::size_t count, std::complex<double>* out);
 
-  /// Polyphase branch fold, kept in float64 (the channelizer feeds an
-  /// FFT whose output drives lane decisions at ~20 samples/chip — the
-  /// thinnest margin in the chain, so it keeps double precision):
-  ///   v[p] = sum_q h[p + q*fft_size] * win[taps-1-p-q*fft_size],
-  /// for p in [0, fft_size); branches with p >= taps fold to zero.
+  /// In-place float32 radix-2 transform over interleaved complex data —
+  /// the FFT stage of the kSimd channelizer fast path (FftPlan::
+  /// forward_f/inverse_f route here so the butterflies compile per ISA
+  /// tier). `bitrev` is the plan's permutation table; `stage_tw` the
+  /// stage-contiguous float twiddles (stage with `half` butterflies at
+  /// float offset 2*(half-1)); `sgn` is +1 forward / -1 inverse (applied
+  /// to twiddle imaginary lanes); `scale` multiplies every output (1/n
+  /// for the inverse, 1 otherwise).
+  void (*fft_radix2_cf32)(float* d, std::size_t n, const std::size_t* bitrev,
+                          const float* stage_tw, float sgn, float scale);
+
+  /// Single-precision polyphase branch fold — the kSimd channelizer fast
+  /// path. `win` is the interleaved float32 window (`taps` complex
+  /// samples, ascending in time); `hd` is the prototype duplicated
+  /// elementwise (hd[2m] == hd[2m+1] == h[m], indexed by tap m directly —
+  /// unlike the FIR hd convention the taps are *not* pre-reversed; the
+  /// window reversal lives in the kernel's descending reads). Writes
+  /// fft_size interleaved complex float32 branch outputs:
+  ///   v[p] = sum_q h[p + q*fft_size] * win[taps-1-p-q*fft_size].
+  /// Lane partial sums are float32; accumulator pairs combine in double
+  /// before narrowing (same discipline as fir_dot_cf32). Precision
+  /// analysis (DESIGN.md §7): the fold feeds an FFT whose bins drive lane
+  /// decisions at ~20 samples/chip, and float32 fold noise (~1e-6
+  /// relative) sits ~50 dB under the decision margin, so packets stay
+  /// bit-identical to the float64 fold.
+  void (*chzr_fold_cf32)(const float* win, const float* hd, std::size_t taps,
+                         std::size_t fft_size, float* v);
+
+  /// Double-precision polyphase branch fold (same recurrence as
+  /// chzr_fold_cf32 over complex<double> with the plain prototype).
+  /// Retained as the reference/fallback lane: benches pin it via
+  /// Channelizer::Params::fold to measure the float32 speedup, and
+  /// non-uniform configs that want double IQ keep it.
   void (*chzr_fold_f64)(const std::complex<double>* win, const double* h,
                         std::size_t taps, std::size_t fft_size,
                         std::complex<double>* v);

@@ -403,7 +403,8 @@ void FleetEngine::step_shard_waveform(Shard& shard) {
                                             shard.noise_rng);
   shard.bank->process(wave);
   const auto base = static_cast<std::uint64_t>(shard.reader_id) * channels;
-  for (const auto& p : shard.bank->drain_packets()) {
+  shard.bank->drain_packets(shard.drained);
+  for (const auto& p : shard.drained) {
     if (p.packet.tid == 0 || p.packet.tid > channels) continue;
     BusMessage m;
     m.topic = Topic::kPacket;

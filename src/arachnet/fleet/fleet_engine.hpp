@@ -201,6 +201,9 @@ class FleetEngine {
     std::unique_ptr<reader::FdmaRxChain> bank;
     std::unique_ptr<acoustic::UplinkWaveformSynth> synth;
     sim::Rng noise_rng{0};
+    /// Reused drain buffer: the per-epoch packet drain fills this in
+    /// place instead of allocating a fresh vector every epoch.
+    std::vector<reader::RxPacket> drained;
   };
 
   /// Coordinator-side per-tag state; moves with ownership.

@@ -25,6 +25,9 @@ class BitVector {
   std::uint32_t read_uint(std::size_t pos, int nbits) const;
 
   void push_back(bool bit) { bits_.push_back(bit ? 1 : 0); }
+  /// Pre-sizes the backing store (framers reserve their fixed body
+  /// length up front so collecting a frame never reallocates).
+  void reserve(std::size_t n) { bits_.reserve(n); }
   void append(const BitVector& other);
 
   bool at(std::size_t i) const { return bits_.at(i) != 0; }

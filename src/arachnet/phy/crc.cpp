@@ -15,8 +15,13 @@ std::uint8_t crc8(std::span<const std::uint8_t> bytes) noexcept {
 }
 
 std::uint8_t crc8_bits(const BitVector& bits) noexcept {
+  return crc8_bits(bits, 0, bits.size());
+}
+
+std::uint8_t crc8_bits(const BitVector& bits, std::size_t pos,
+                       std::size_t len) noexcept {
   std::uint8_t crc = 0x00;
-  for (std::size_t i = 0; i < bits.size(); ++i) {
+  for (std::size_t i = pos; i < pos + len; ++i) {
     const std::uint8_t in = bits[i] ? 0x80u : 0x00u;
     crc ^= in;
     crc = (crc & 0x80u) ? static_cast<std::uint8_t>((crc << 1) ^ 0x07u)

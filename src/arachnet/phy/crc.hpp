@@ -16,6 +16,13 @@ std::uint8_t crc8(std::span<const std::uint8_t> bytes) noexcept;
 /// protect the 16-bit TID+payload field, which is what this is used for.
 std::uint8_t crc8_bits(const BitVector& bits) noexcept;
 
+/// Same CRC over the sub-range [pos, pos+len) of `bits`, so validators on
+/// the streaming decode path can check a protected field in place instead
+/// of slicing it into a temporary (slice() allocates; packet validation
+/// runs inside the reader's zero-allocation steady-state loop).
+std::uint8_t crc8_bits(const BitVector& bits, std::size_t pos,
+                       std::size_t len) noexcept;
+
 /// CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF) — provided for extended
 /// payload experiments and reader-side logging integrity.
 std::uint16_t crc16(std::span<const std::uint8_t> bytes) noexcept;

@@ -9,7 +9,13 @@ BitStreamFramer::BitStreamFramer(BitVector preamble, std::size_t body_bits,
     : preamble_(std::move(preamble)),
       body_bits_(body_bits),
       on_frame_(std::move(on_frame)),
-      shift_(preamble_.size(), 0) {}
+      shift_(preamble_.size(), 0) {
+  // Both halves of the emit swap hold at most one fixed-size body;
+  // reserving here makes frame collection allocation-free from the very
+  // first frame (not just once both buffers have been through a swap).
+  body_.reserve(body_bits_);
+  emit_.reserve(body_bits_);
+}
 
 bool BitStreamFramer::shift_matches() const noexcept {
   if (shift_fill_ < shift_.size()) return false;
@@ -25,12 +31,16 @@ void BitStreamFramer::push(bool bit) {
     if (body_.size() == body_bits_) {
       collecting_ = false;
       ++frames_;
-      BitVector body = std::move(body_);
+      // Swap the body into the emit scratch (instead of moving it out to
+      // a local): the handler still sees a buffer that survives a
+      // reentrant reset(), and both vectors keep their warm capacity, so
+      // a long-running framer emits frames without ever reallocating.
+      std::swap(emit_, body_);
       body_.clear();
       // Restart hunting with a clean window: the firmware's shift register
       // is reused for body collection, so history does not carry over.
       shift_fill_ = 0;
-      if (on_frame_) on_frame_(body);
+      if (on_frame_) on_frame_(emit_);
     }
     return;
   }

@@ -44,6 +44,9 @@ class BitStreamFramer {
   std::vector<std::uint8_t> shift_;  // circularly managed match window
   std::size_t shift_fill_ = 0;
   BitVector body_;
+  /// Completed body handed to on_frame_ (swapped from body_, so both
+  /// buffers stay warm and a frame emission never allocates).
+  BitVector emit_;
   bool collecting_ = false;
   std::size_t frames_ = 0;
 };

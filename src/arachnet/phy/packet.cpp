@@ -38,11 +38,15 @@ std::optional<UlPacket> UlPacket::parse(const BitVector& frame) {
 std::optional<UlPacket> UlPacket::parse_body(const BitVector& body) {
   constexpr std::size_t kBodyBits = kUlTidBits + kUlPayloadBits + kUlCrcBits;
   if (body.size() != kBodyBits) return std::nullopt;
-  const BitVector protected_field = body.slice(0, kUlTidBits + kUlPayloadBits);
   const auto crc =
       static_cast<std::uint8_t>(body.read_uint(kUlTidBits + kUlPayloadBits,
                                                kUlCrcBits));
-  if (crc8_bits(protected_field) != crc) return std::nullopt;
+  // CRC over the protected field in place — parse_body runs per decoded
+  // frame inside the reader's zero-allocation steady state, so the field
+  // is ranged, not sliced into a temporary.
+  if (crc8_bits(body, 0, kUlTidBits + kUlPayloadBits) != crc) {
+    return std::nullopt;
+  }
   UlPacket pkt;
   pkt.tid = static_cast<std::uint8_t>(body.read_uint(0, kUlTidBits));
   pkt.payload =

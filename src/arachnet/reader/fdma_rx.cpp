@@ -301,7 +301,8 @@ bool FdmaRxChain::engage_channelizer(const std::vector<double>& freqs) {
           .prototype =
               dsp::design_lowpass(plan.cutoff_hz, iq_rate_, plan.taps),
           .center_hz = freqs,
-          .kernels = params_.kernels});
+          .kernels = params_.kernels,
+          .fold = params_.chzr_fold});
   grid_origin_hz_ = plan.grid_origin_hz;
   grid_spacing_hz_ = plan.grid_spacing_hz;
   lane_rate_ = chzr_->lane_rate_hz();
@@ -535,22 +536,39 @@ const std::vector<phy::UlPacket>& FdmaRxChain::packets(
 
 std::vector<RxPacket> FdmaRxChain::drain_packets() {
   std::vector<RxPacket> merged;
+  drain_packets(merged);
+  return merged;
+}
+
+std::size_t FdmaRxChain::drain_packets(std::vector<RxPacket>& out) {
+  out.clear();
   for (std::size_t c = 0; c < channels_.size(); ++c) {
     auto& ch = *channels_[c];
     for (std::size_t i = ch.drained; i < ch.packets.size(); ++i) {
-      merged.push_back(RxPacket{
+      out.push_back(RxPacket{
           ch.packets[i],
           static_cast<double>(ch.packet_iq_index[i]) / iq_rate_, c});
     }
-    ch.drained = ch.packets.size();
+    // Release drained packets instead of advancing a cursor over an
+    // ever-growing list: a long-running reader once accumulated every
+    // packet it had ever decoded here. clear() keeps capacity, so the
+    // steady state neither grows nor allocates.
+    ch.packets.clear();
+    ch.packet_iq_index.clear();
+    ch.drained = 0;
   }
   // Deterministic cross-channel order: completion sample, then channel.
-  std::stable_sort(merged.begin(), merged.end(),
-                   [](const RxPacket& a, const RxPacket& b) {
-                     if (a.time_s != b.time_s) return a.time_s < b.time_s;
-                     return a.channel < b.channel;
-                   });
-  return merged;
+  // The comparator is a strict total order over this set — within one
+  // channel completion times are distinct, so (time_s, channel) never
+  // ties — which makes std::sort deterministic here. std::stable_sort
+  // would give the identical permutation but allocates its merge buffer
+  // on every call, breaking the steady-state allocation contract.
+  std::sort(out.begin(), out.end(),
+            [](const RxPacket& a, const RxPacket& b) {
+              if (a.time_s != b.time_s) return a.time_s < b.time_s;
+              return a.channel < b.channel;
+            });
+  return out.size();
 }
 
 void FdmaRxChain::clear_packets() {

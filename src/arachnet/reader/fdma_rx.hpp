@@ -116,6 +116,12 @@ class FdmaRxChain {
     /// Bank front-end selection; resolved once at construction (see
     /// BankPolicy and active_bank()).
     BankPolicy bank = BankPolicy::kAuto;
+    /// Channelizer fold precision under kSimd: kAuto rides the float32
+    /// fast path; kFloat64 pins the double-precision fold (the speedup
+    /// baseline for benches and parity tests). Ignored on the per-channel
+    /// front-end and outside kSimd.
+    dsp::PolyphaseChannelizer::Params::Fold chzr_fold =
+        dsp::PolyphaseChannelizer::Params::Fold::kAuto;
   };
 
   explicit FdmaRxChain(Params params);
@@ -163,13 +169,23 @@ class FdmaRxChain {
     process(samples.data(), samples.size());
   }
 
-  /// Packets decoded on channel `i` so far.
+  /// Packets decoded on channel `i` since the last drain_packets()/
+  /// clear_packets() call (draining releases them — an endless cursor
+  /// over every packet ever decoded grew without bound in long sessions).
   const std::vector<phy::UlPacket>& packets(std::size_t channel) const;
 
   /// Drains packets decoded since the last drain, merged across channels
   /// in a deterministic order: by the IQ sample at which the packet
   /// completed, then by channel index. Independent of worker scheduling.
+  /// Drained packets are released from the per-channel lists.
   std::vector<RxPacket> drain_packets();
+
+  /// Allocation-free drain: clears `out` and refills it in place, so a
+  /// caller reusing one vector across blocks stops allocating once the
+  /// vector has grown to the high-water packet count (the steady-state
+  /// contract RealtimeReader and ReaderService rely on). Returns the
+  /// number of packets drained. Same deterministic order as above.
+  std::size_t drain_packets(std::vector<RxPacket>& out);
 
   /// Clears decoded packets on all channels (and the drain cursors).
   void clear_packets();

@@ -30,6 +30,11 @@ RealtimeReader::Params with_metrics(RealtimeReader::Params params) {
   if (params.fdma && params.fdma->metrics_scope.empty()) {
     params.fdma->metrics_scope = params.metrics_scope;
   }
+  // Streaming sessions never run the MAC collision detector, and the
+  // reader exposes no iq_points() accessor — retaining the decimated IQ
+  // history would grow a vector forever (and allocate every block). Off
+  // unconditionally for the realtime path.
+  params.chain.retain_iq_points = false;
   return params;
 }
 
@@ -92,7 +97,8 @@ void RealtimeReader::worker_loop() {
       fdma_->process(block.data(), block.size());
       if (timed) t_decoded = steady_now_ns();
       samples_processed_.fetch_add(block.size(), std::memory_order_relaxed);
-      for (auto& pkt : fdma_->drain_packets()) {
+      fdma_->drain_packets(drained_);
+      for (auto& pkt : drained_) {
         if (emit_packet(std::move(pkt), &out_stall_ns)) {
           ++emitted;
         } else {

@@ -143,6 +143,10 @@ class RealtimeReader {
   dsp::RingBuffer<InputItem> input_;
   dsp::RingBuffer<RxPacket> output_;
   std::thread worker_;
+  /// Worker-thread drain scratch, reused across blocks: once grown to
+  /// the high-water packet count, the per-block FDMA drain stops
+  /// allocating (part of the steady-state allocation contract).
+  std::vector<RxPacket> drained_;
   std::atomic<std::uint64_t> samples_processed_{0};
   std::atomic<bool> resync_requested_{false};
   // Single-channel counters, published by the worker at block granularity.

@@ -105,7 +105,7 @@ void RxChain::on_iq(std::complex<double> iq) {
   }
   ++iq_sample_index_;
 
-  iq_points_.push_back(iq);
+  if (params_.retain_iq_points) iq_points_.push_back(iq);
 
   // Leak cancellation + axis projection. A slow complex EMA converges on
   // the static carrier-leak phasor (plus the mean reflection level). The

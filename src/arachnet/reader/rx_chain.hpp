@@ -68,6 +68,13 @@ class RxChain {
     /// Frequency-offset calibration: when nonzero, a one-shot offset
     /// estimate is applied after this many IQ samples.
     std::size_t freq_cal_samples = 0;
+    /// Retain decimated IQ points for the MAC collision detector
+    /// (iq_points()/collision_detected()). Slotted operation clears the
+    /// buffer every slot, so the growth is bounded; streaming sessions
+    /// (RealtimeReader, ReaderService) never call the detector, and for
+    /// them an ever-growing point list is both a leak and a steady-state
+    /// allocation source — they construct the chain with this off.
+    bool retain_iq_points = true;
   };
 
   explicit RxChain(Params params);

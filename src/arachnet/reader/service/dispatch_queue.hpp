@@ -42,7 +42,9 @@ class DispatchQueue {
   };
 
   explicit DispatchQueue(std::size_t capacity)
-      : capacity_(capacity == 0 ? 1 : capacity) {}
+      : capacity_(capacity == 0 ? 1 : capacity) {
+    free_nodes_.reserve(capacity_);
+  }
 
   DispatchQueue(const DispatchQueue&) = delete;
   DispatchQueue& operator=(const DispatchQueue&) = delete;
@@ -64,11 +66,22 @@ class DispatchQueue {
       if (victim->priority >= priority) return Push::kRejected;
       auto node = items_.extract(victim);
       if (displaced != nullptr) displaced->emplace(std::move(node.value().value));
+      stash(std::move(node));
       outcome = Push::kDisplaced;
     }
-    items_.insert(Item{priority, next_seq_++,
-                       ttl_ns == 0 ? 0 : now_ns + ttl_ns,
-                       std::move(value)});
+    Item item{priority, next_seq_++, ttl_ns == 0 ? 0 : now_ns + ttl_ns,
+              std::move(value)};
+    if (free_nodes_.empty()) {
+      items_.insert(std::move(item));
+    } else {
+      // Steady state: recycle an extracted tree node instead of paying a
+      // heap allocation per push (the decode loop's zero-allocation
+      // contract rides on this).
+      auto node = std::move(free_nodes_.back());
+      free_nodes_.pop_back();
+      node.value() = std::move(item);
+      items_.insert(std::move(node));
+    }
     ready_.notify_one();
     return outcome;
   }
@@ -88,6 +101,7 @@ class DispatchQueue {
       const bool dead = it->deadline_ns != 0 && it->deadline_ns <= now_ns;
       auto node = items_.extract(it);
       (dead ? expired : out)->push_back(std::move(node.value().value));
+      stash(std::move(node));
     }
     return true;
   }
@@ -126,9 +140,19 @@ class DispatchQueue {
     }
   };
 
+  using NodeHandle = typename std::set<Item, ByUrgency>::node_type;
+
+  /// Keeps an extracted node for reuse by the next push. Bounded by
+  /// capacity_: the pool can never hold more nodes than the queue could,
+  /// so a burst's nodes are retained but memory stays bounded.
+  void stash(NodeHandle&& node) {
+    if (free_nodes_.size() < capacity_) free_nodes_.push_back(std::move(node));
+  }
+
   mutable std::mutex mutex_;
   std::condition_variable ready_;
   std::set<Item, ByUrgency> items_;
+  std::vector<NodeHandle> free_nodes_;
   std::size_t capacity_;
   std::uint64_t next_seq_ = 0;
   bool closed_ = false;

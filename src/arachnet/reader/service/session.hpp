@@ -96,6 +96,10 @@ struct Session {
   void reset(SessionId new_id, SessionConfig new_cfg) {
     id = new_id;
     cfg = new_cfg;
+    // Service sessions stream: no MAC collision detector, no iq_points()
+    // surface. Retention would grow per-session IQ history without bound
+    // and allocate in the steady state, so it is forced off here.
+    cfg.chain.retain_iq_points = false;
     chain.emplace(cfg.chain);
     if (!output || output->capacity() != cfg.output_capacity) {
       output = std::make_unique<dsp::RingBuffer<RxPacket>>(

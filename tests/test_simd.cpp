@@ -51,6 +51,9 @@ TEST(CpuDispatch, ActiveTierIsSupportedAndTableMatches) {
   if (isa == dsp::SimdIsa::kAvx2) {
     EXPECT_TRUE(f.avx2 && f.fma);
   }
+  if (isa == dsp::SimdIsa::kAvx512) {
+    EXPECT_TRUE(f.avx512f && f.avx512vl && f.fma);
+  }
   if (isa == dsp::SimdIsa::kNeon) {
     EXPECT_TRUE(f.neon);
   }
@@ -78,6 +81,22 @@ TEST(CpuDispatch, ForceClampsToHardwareAndBuild) {
     EXPECT_EQ(dsp::active_simd_isa(), dsp::SimdIsa::kAvx2);
   } else {
     EXPECT_NE(dsp::active_simd_isa(), dsp::SimdIsa::kAvx2);
+  }
+#endif
+  EXPECT_STREQ(dsp::simd::kernels().isa,
+               dsp::to_string(dsp::active_simd_isa()));
+
+  dsp::force_simd_isa(dsp::SimdIsa::kAvx512);
+#if defined(ARACHNET_DISABLE_SIMD)
+  EXPECT_NE(dsp::active_simd_isa(), dsp::SimdIsa::kAvx512);
+#else
+  if (f.avx512f && f.avx512vl && f.fma) {
+    EXPECT_EQ(dsp::active_simd_isa(), dsp::SimdIsa::kAvx512);
+  } else if (f.avx2 && f.fma) {
+    // The 512 request degrades one tier, not all the way to portable.
+    EXPECT_EQ(dsp::active_simd_isa(), dsp::SimdIsa::kAvx2);
+  } else {
+    EXPECT_NE(dsp::active_simd_isa(), dsp::SimdIsa::kAvx512);
   }
 #endif
   EXPECT_STREQ(dsp::simd::kernels().isa,
@@ -443,16 +462,27 @@ TEST(SimdParity, DerotateSimdMatchesScalar) {
 
 // ----------------------------------------------------------- Channelizer
 
-TEST(SimdParity, ChannelizerSimdFoldMatchesScalarFold) {
-  // The simd branch fold stays in float64 (only the loop structure and
-  // summation order change), so lanes agree to summation-reordering
-  // tolerance — not just float32 tolerance.
-  const double fs = 62500.0;
-  const std::vector<double> centers = {3000.0, 4500.0, 6000.0, 7500.0};
-  const auto plan = dsp::PolyphaseChannelizer::plan(fs, 375.0, centers);
-  ASSERT_TRUE(plan.viable) << plan.reason;
-  const auto proto = dsp::design_lowpass(plan.cutoff_hz, fs, plan.taps);
-  const auto make = [&](dsp::KernelPolicy policy) {
+namespace {
+
+struct ChzrFixture {
+  dsp::PolyphaseChannelizer::Plan plan;
+  std::vector<double> proto;
+  std::vector<double> centers;
+  double fs = 62500.0;
+
+  explicit ChzrFixture(std::vector<double> c = {3000.0, 4500.0, 6000.0,
+                                                7500.0}) {
+    centers = std::move(c);
+    plan = dsp::PolyphaseChannelizer::plan(fs, 375.0, centers);
+    proto = plan.viable
+                ? dsp::design_lowpass(plan.cutoff_hz, fs, plan.taps)
+                : std::vector<double>{};
+  }
+
+  dsp::PolyphaseChannelizer make(
+      dsp::KernelPolicy policy,
+      dsp::PolyphaseChannelizer::Params::Fold fold =
+          dsp::PolyphaseChannelizer::Params::Fold::kAuto) const {
     return dsp::PolyphaseChannelizer{{
         .sample_rate_hz = fs,
         .fft_size = plan.fft_size,
@@ -460,10 +490,23 @@ TEST(SimdParity, ChannelizerSimdFoldMatchesScalarFold) {
         .prototype = proto,
         .center_hz = centers,
         .kernels = policy,
+        .fold = fold,
     }};
-  };
-  auto scalar = make(dsp::KernelPolicy::kScalar);
-  auto simd = make(dsp::KernelPolicy::kSimd);
+  }
+};
+
+}  // namespace
+
+TEST(SimdParity, ChannelizerSimdF64FoldMatchesScalarFold) {
+  // With the fold pinned to float64, the simd path changes only loop
+  // structure and summation order, so lanes agree to summation-reordering
+  // tolerance — not just float32 tolerance.
+  const ChzrFixture fx;
+  ASSERT_TRUE(fx.plan.viable) << fx.plan.reason;
+  auto scalar = fx.make(dsp::KernelPolicy::kScalar);
+  auto simd = fx.make(dsp::KernelPolicy::kSimd,
+                      dsp::PolyphaseChannelizer::Params::Fold::kFloat64);
+  EXPECT_FALSE(simd.float32_path());
   sim::Rng rng{39};
   std::vector<cplx> in(12000);
   for (auto& v : in) v = {rng.normal(0.0, 1.0), rng.normal(0.0, 1.0)};
@@ -471,13 +514,78 @@ TEST(SimdParity, ChannelizerSimdFoldMatchesScalarFold) {
   const std::size_t frames_b = simd.process(in.data(), in.size());
   ASSERT_EQ(frames_a, frames_b);
   ASSERT_GT(frames_a, 100u);
-  for (std::size_t k = 0; k < centers.size(); ++k) {
+  for (std::size_t k = 0; k < fx.centers.size(); ++k) {
     for (std::size_t f = 0; f < frames_a; ++f) {
       ASSERT_NEAR(simd.lane(k)[f].real(), scalar.lane(k)[f].real(), 1e-9)
           << "lane " << k << " frame " << f;
       ASSERT_NEAR(simd.lane(k)[f].imag(), scalar.lane(k)[f].imag(), 1e-9)
           << "lane " << k << " frame " << f;
     }
+  }
+}
+
+TEST(SimdParity, ChannelizerFloat32LaneTracksScalarToFloatTolerance) {
+  // The default kSimd channelizer rides the float32 fast path: fold,
+  // inverse FFT and lane rotation all single-precision. Lane IQ tracks
+  // the scalar float64 reference to float32-scale error — orders of
+  // magnitude inside the decision chain's margin.
+  const ChzrFixture fx;
+  ASSERT_TRUE(fx.plan.viable) << fx.plan.reason;
+  auto scalar = fx.make(dsp::KernelPolicy::kScalar);
+  auto simd = fx.make(dsp::KernelPolicy::kSimd);
+  EXPECT_TRUE(simd.float32_path());
+  sim::Rng rng{39};
+  std::vector<cplx> in(12000);
+  for (auto& v : in) v = {rng.normal(0.0, 1.0), rng.normal(0.0, 1.0)};
+  const std::size_t frames_a = scalar.process(in.data(), in.size());
+  const std::size_t frames_b = simd.process(in.data(), in.size());
+  ASSERT_EQ(frames_a, frames_b);
+  ASSERT_GT(frames_a, 100u);
+  for (std::size_t k = 0; k < fx.centers.size(); ++k) {
+    double ref_pow = 0.0;
+    for (std::size_t f = 0; f < frames_a; ++f) {
+      ref_pow += std::norm(scalar.lane(k)[f]);
+    }
+    const double scale =
+        std::max(1.0, std::sqrt(ref_pow / static_cast<double>(frames_a)));
+    for (std::size_t f = 0; f < frames_a; ++f) {
+      ASSERT_NEAR(simd.lane(k)[f].real(), scalar.lane(k)[f].real(),
+                  1e-3 * scale)
+          << "lane " << k << " frame " << f;
+      ASSERT_NEAR(simd.lane(k)[f].imag(), scalar.lane(k)[f].imag(),
+                  1e-3 * scale)
+          << "lane " << k << " frame " << f;
+    }
+  }
+}
+
+TEST(SimdParity, ChannelizerFloat32SurvivesDenormalAndNanBlocks) {
+  // Denormal-flooded input must not slow down or corrupt the float32
+  // path (narrowing flushes the tiny values harmlessly), and NaN blocks
+  // must propagate without crashing — then wash out of the FIR window.
+  const ChzrFixture fx;
+  ASSERT_TRUE(fx.plan.viable) << fx.plan.reason;
+  auto simd = fx.make(dsp::KernelPolicy::kSimd);
+  ASSERT_TRUE(simd.float32_path());
+  std::vector<cplx> denorm(4096, cplx{1e-310, -1e-312});
+  const std::size_t frames_d = simd.process(denorm.data(), denorm.size());
+  ASSERT_GT(frames_d, 0u);
+  for (std::size_t f = 0; f < frames_d; ++f) {
+    ASSERT_TRUE(std::isfinite(simd.lane(0)[f].real()));
+    ASSERT_TRUE(std::isfinite(simd.lane(0)[f].imag()));
+  }
+  std::vector<cplx> nan_block(
+      2048, cplx{std::numeric_limits<double>::quiet_NaN(), 0.0});
+  EXPECT_NO_THROW(simd.process(nan_block.data(), nan_block.size()));
+  // Once the NaNs age out of the prototype window, output is clean again.
+  std::vector<cplx> clean(fx.proto.size() + 8192, cplx{0.1, -0.1});
+  const std::size_t frames_c = simd.process(clean.data(), clean.size());
+  ASSERT_GT(frames_c, 0u);
+  const std::size_t settled = fx.proto.size() / fx.plan.decimation + 2;
+  ASSERT_GT(frames_c, settled);
+  for (std::size_t f = settled; f < frames_c; ++f) {
+    ASSERT_TRUE(std::isfinite(simd.lane(0)[f].real())) << "frame " << f;
+    ASSERT_TRUE(std::isfinite(simd.lane(0)[f].imag())) << "frame " << f;
   }
 }
 
@@ -534,7 +642,9 @@ void expect_packet_parity(const std::vector<reader::RxPacket>& ref,
                           const std::vector<reader::RxPacket>& got,
                           double time_tol) {
   ASSERT_EQ(got.size(), ref.size());
-  for (std::size_t c = 0; c < 4; ++c) {
+  std::size_t channels = 0;
+  for (const auto& p : ref) channels = std::max(channels, p.channel + 1);
+  for (std::size_t c = 0; c < channels; ++c) {
     std::vector<const reader::RxPacket*> a, b;
     for (const auto& p : ref) {
       if (p.channel == c) a.push_back(&p);
@@ -582,6 +692,202 @@ TEST(SimdParity, ForcedPortableTierDecodesIdenticalPackets) {
   dsp::force_simd_isa(before);
   ASSERT_GE(best.size(), 4u);
   expect_packet_parity(best, portable, kSimdTimeTol);
+}
+
+TEST(SimdParity, ForcedHardwareTiersDecodeIdenticalPackets) {
+  // Companion to the portable-tier check above, for the hardware tiers:
+  // forcing kAvx2 and kAvx512 (where the CPU supports them — the clamp
+  // silently moves unsupported requests, which skips that tier here)
+  // must decode the identical packet set as the auto-selected best tier.
+  const dsp::SimdIsa before = dsp::active_simd_isa();
+  const auto wave = fdma_capture();
+  const auto best = decode_with(dsp::KernelPolicy::kSimd, wave);
+  ASSERT_GE(best.size(), 4u);
+  for (const dsp::SimdIsa isa :
+       {dsp::SimdIsa::kAvx2, dsp::SimdIsa::kAvx512}) {
+    dsp::force_simd_isa(isa);
+    if (dsp::active_simd_isa() != isa) continue;  // clamped: no such tier
+    SCOPED_TRACE(dsp::to_string(isa));
+    EXPECT_STREQ(dsp::simd::kernels().isa, dsp::to_string(isa));
+    const auto got = decode_with(dsp::KernelPolicy::kSimd, wave);
+    expect_packet_parity(best, got, kSimdTimeTol);
+  }
+  dsp::force_simd_isa(before);
+}
+
+// ------------------------------------------------------- simd isa env
+
+TEST(SimdIsaEnv, ParseAcceptsAllTiersAndRejectsJunk) {
+  EXPECT_EQ(dsp::parse_simd_isa("generic"), dsp::SimdIsa::kGeneric);
+  EXPECT_EQ(dsp::parse_simd_isa("neon"), dsp::SimdIsa::kNeon);
+  EXPECT_EQ(dsp::parse_simd_isa("avx2"), dsp::SimdIsa::kAvx2);
+  EXPECT_EQ(dsp::parse_simd_isa("avx512"), dsp::SimdIsa::kAvx512);
+  EXPECT_FALSE(dsp::parse_simd_isa("avx999").has_value());
+  EXPECT_FALSE(dsp::parse_simd_isa("AVX2").has_value());
+  EXPECT_FALSE(dsp::parse_simd_isa("").has_value());
+}
+
+TEST(SimdIsaEnv, UnrecognizedValueWarnsNamingValueAndFallback) {
+  CapturedLog cap;
+  telemetry::set_log_sink(capture_sink, &cap);
+
+  // Unset, empty and recognized values resolve silently (recognized
+  // values may still clamp to the hardware, but never warn).
+  const dsp::SimdIsa auto_best = dsp::simd_isa_from_env_value(nullptr);
+  EXPECT_EQ(dsp::simd_isa_from_env_value(""), auto_best);
+  (void)dsp::simd_isa_from_env_value("generic");
+  (void)dsp::simd_isa_from_env_value("avx512");
+  EXPECT_EQ(cap.count, 0);
+
+  // An unrecognized value falls back to auto-detection with one WARN
+  // naming what was rejected, what it fell back to, and what is
+  // accepted — mirroring the kernel-policy env contract.
+  const dsp::SimdIsa got = dsp::simd_isa_from_env_value("avx999");
+  telemetry::set_log_sink(telemetry::stderr_log_sink);
+  EXPECT_EQ(got, auto_best);
+  ASSERT_EQ(cap.count, 1);
+  EXPECT_EQ(cap.level, telemetry::LogLevel::kWarn);
+  EXPECT_EQ(cap.component, "kernels");
+  EXPECT_EQ(cap.string_fields["value"], "avx999");
+  EXPECT_EQ(cap.string_fields["fallback"], dsp::to_string(auto_best));
+  EXPECT_NE(cap.string_fields["accepted"].find("avx512"),
+            std::string::npos);
+}
+
+// ------------------------------------------- float32 fold, wide banks
+
+using ChzrFold = dsp::PolyphaseChannelizer::Params::Fold;
+
+// The bench §1c bank recipe: a uniform grid from 3375 Hz (odd subcarrier
+// harmonics land 750 Hz off-channel) and one tag per subcarrier.
+reader::FdmaRxChain::Params wide_bank_params(int n, ChzrFold fold) {
+  reader::FdmaRxChain::Params fp;
+  // 32 channels top out near 50 kHz and need the 125 kS/s
+  // (decimation-4) IQ rate; up to 16 fit the usual 62.5 kS/s bank.
+  fp.ddc.decimation = n > 16 ? 4 : 8;
+  fp.workers = 1;
+  fp.kernels = dsp::KernelPolicy::kSimd;
+  fp.bank = reader::FdmaRxChain::BankPolicy::kChannelizer;
+  fp.chzr_fold = fold;
+  for (int k = 0; k < n; ++k) fp.channels.push_back({3375.0 + 1500.0 * k});
+  return fp;
+}
+
+std::vector<double> wide_capture(int n, double noise_sigma) {
+  acoustic::UplinkWaveformSynth::Params sp;
+  sp.noise_sigma = noise_sigma;
+  acoustic::UplinkWaveformSynth synth{sp};
+  sim::Rng rng{101};
+  std::vector<acoustic::BackscatterSource> srcs;
+  for (int k = 0; k < n; ++k) {
+    const phy::UlPacket pkt{.tid = static_cast<std::uint8_t>(k + 1),
+                            .payload =
+                                static_cast<std::uint16_t>(0x500 + k)};
+    phy::SubcarrierModulator mod{{375.0, 3375.0 + 1500.0 * k}};
+    acoustic::BackscatterSource s;
+    s.chips = mod.modulate(phy::Fm0Encoder::encode_frame(pkt.serialize()));
+    s.chip_rate = mod.subchip_rate();
+    s.start_s = 0.03;
+    s.amplitude = 0.18 + 0.01 * (k % 5);
+    s.phase_rad = 0.5 + 0.4 * k;
+    srcs.push_back(s);
+  }
+  return synth.synthesize(srcs, 0.3, rng);
+}
+
+std::vector<reader::RxPacket> decode_wide(int n, ChzrFold fold,
+                                          const std::vector<double>& wave) {
+  reader::FdmaRxChain chain{wide_bank_params(n, fold)};
+  EXPECT_EQ(chain.active_bank(),
+            reader::FdmaRxChain::BankPolicy::kChannelizer);
+  constexpr std::size_t kChunk = 7777;
+  for (std::size_t off = 0; off < wave.size(); off += kChunk) {
+    chain.process(wave.data() + off, std::min(kChunk, wave.size() - off));
+  }
+  return chain.drain_packets();
+}
+
+TEST(SimdParity, ChannelizerF32VsF64PacketParityAcrossBankWidths) {
+  // The kSimd contract applied to the float32 channelizer fast path at
+  // every bank width the bench exercises: pinning the fold to float64
+  // and letting it auto-select float32 must yield identical packets on
+  // every channel, with timestamps inside the float32 jitter bound.
+  for (const int n : {4, 8, 16, 32}) {
+    SCOPED_TRACE(n);
+    const auto wave = wide_capture(n, 0.004);
+    const auto f64 = decode_wide(n, ChzrFold::kFloat64, wave);
+    const auto f32 = decode_wide(n, ChzrFold::kAuto, wave);
+    // The 32-wide grid stacks enough co-channel harmonic energy that one
+    // marginal tag can miss in *both* folds; parity, not yield, is the
+    // contract under test.
+    ASSERT_GE(f64.size(), static_cast<std::size_t>(n) - 1)
+        << "almost every channel decodes its tag";
+    expect_packet_parity(f64, f32, kSimdTimeTol);
+  }
+}
+
+TEST(SimdParity, LowSnrCrcOutcomesMatchAcrossFolds) {
+  // Near the noise floor the CRC decision is the sharpest lens on the
+  // float32 fold: a single flipped slicer decision would surface as a
+  // frames_ok / crc_failures mismatch. Both folds must reach identical
+  // per-channel outcomes (and the same drained packets) on a capture
+  // noisy enough that decode is genuinely marginal.
+  const int n = 8;
+  const auto wave = wide_capture(n, 0.06);
+  reader::FdmaRxChain f64{wide_bank_params(n, ChzrFold::kFloat64)};
+  reader::FdmaRxChain f32{wide_bank_params(n, ChzrFold::kAuto)};
+  constexpr std::size_t kChunk = 7777;
+  for (std::size_t off = 0; off < wave.size(); off += kChunk) {
+    const std::size_t len = std::min(kChunk, wave.size() - off);
+    f64.process(wave.data() + off, len);
+    f32.process(wave.data() + off, len);
+  }
+  std::uint64_t total_ok = 0;
+  for (std::size_t c = 0; c < static_cast<std::size_t>(n); ++c) {
+    const auto a = f64.channel_stats(c);
+    const auto b = f32.channel_stats(c);
+    EXPECT_EQ(b.frames_ok, a.frames_ok) << "channel " << c;
+    EXPECT_EQ(b.crc_failures, a.crc_failures) << "channel " << c;
+    total_ok += a.frames_ok;
+  }
+  EXPECT_GE(total_ok, 1u) << "capture must not be pure noise";
+  expect_packet_parity(f64.drain_packets(), f32.drain_packets(),
+                       kSimdTimeTol);
+}
+
+TEST(SimdParity, ChannelizerFloat32NearNyquistLanesTrackScalar) {
+  // Subcarriers landing in the top bins of the bank (~bin 121 and 127 of
+  // 128 usable): the residual rotator steps nearly pi per lane sample,
+  // the worst case for the float32 phasor. Lanes must still track the
+  // scalar float64 reference to float32 tolerance.
+  const ChzrFixture fx({29500.0, 31000.0});
+  ASSERT_TRUE(fx.plan.viable) << fx.plan.reason;
+  auto scalar = fx.make(dsp::KernelPolicy::kScalar);
+  auto simd = fx.make(dsp::KernelPolicy::kSimd);
+  ASSERT_TRUE(simd.float32_path());
+  sim::Rng rng{77};
+  std::vector<cplx> in(16384);
+  for (auto& v : in) v = {rng.normal(0.0, 1.0), rng.normal(0.0, 1.0)};
+  const std::size_t frames_a = scalar.process(in.data(), in.size());
+  const std::size_t frames_b = simd.process(in.data(), in.size());
+  ASSERT_EQ(frames_a, frames_b);
+  ASSERT_GT(frames_a, 100u);
+  for (std::size_t k = 0; k < fx.centers.size(); ++k) {
+    double ref_pow = 0.0;
+    for (std::size_t f = 0; f < frames_a; ++f) {
+      ref_pow += std::norm(scalar.lane(k)[f]);
+    }
+    const double scale =
+        std::max(1.0, std::sqrt(ref_pow / static_cast<double>(frames_a)));
+    for (std::size_t f = 0; f < frames_a; ++f) {
+      ASSERT_NEAR(simd.lane(k)[f].real(), scalar.lane(k)[f].real(),
+                  1e-3 * scale)
+          << "lane " << k << " frame " << f;
+      ASSERT_NEAR(simd.lane(k)[f].imag(), scalar.lane(k)[f].imag(),
+                  1e-3 * scale)
+          << "lane " << k << " frame " << f;
+    }
+  }
 }
 
 }  // namespace
